@@ -1,0 +1,35 @@
+// Command edn-cost prints the Section 3.1 cost model (Equations 2 and 3)
+// as a table: crosspoint and wire costs for the crossbar, the delta
+// network, the Figure 8 EDN families and the dilated-delta baseline.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"edn"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "edn-cost:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("edn-cost", flag.ContinueOnError)
+	maxInputs := fs.Int("max-inputs", 1<<16, "largest network size to include")
+	fs.SetOutput(w)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	table, err := edn.CostTable(*maxInputs)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprint(w, table)
+	return err
+}

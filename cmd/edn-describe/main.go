@@ -1,0 +1,63 @@
+// Command edn-describe prints the physical structure of an EDN(a,b,c,l):
+// per-stage switch inventory, interstage permutations, bucket fan-out
+// (for small networks, in the spirit of Figure 4) and optionally the
+// complete wire-level netlist.
+//
+//	edn-describe -a 16 -b 4 -c 4 -l 2           # the Figure 4 network
+//	edn-describe -a 64 -b 16 -c 4 -l 2          # the MasPar router
+//	edn-describe -a 4 -b 2 -c 2 -l 2 -netlist   # full wire dump
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"edn"
+	"edn/internal/netlist"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "edn-describe:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("edn-describe", flag.ContinueOnError)
+	a := fs.Int("a", 16, "hyperbar inputs")
+	b := fs.Int("b", 4, "hyperbar output buckets")
+	c := fs.Int("c", 4, "bucket capacity")
+	l := fs.Int("l", 2, "hyperbar stages")
+	fanout := fs.Int("fanout", 8, "print per-switch fan-out when a stage has at most this many switches")
+	dump := fs.Bool("netlist", false, "dump every physical wire")
+	fs.SetOutput(w)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg, err := edn.New(*a, *b, *c, *l)
+	if err != nil {
+		return err
+	}
+	desc, err := netlist.Describe(cfg, *fanout)
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprint(w, desc); err != nil {
+		return err
+	}
+	if *dump {
+		nl, err := netlist.Build(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "netlist (%d wires):\n", nl.WireCount())
+		for _, wire := range nl.Wires {
+			fmt.Fprintf(w, "  %v -> %v\n", wire.From, wire.To)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunWritesAllArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	var sb strings.Builder
+	if err := run([]string{"-out", dir, "-max-inputs", "4096"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		"figure7.txt", "figure7.csv", "figure8.txt", "figure8.csv",
+		"figure11.txt", "figure11.csv", "costs.txt", "maspar.txt", "INDEX.md",
+	} {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Errorf("missing artifact %s: %v", name, err)
+			continue
+		}
+		if len(data) == 0 {
+			t.Errorf("artifact %s is empty", name)
+		}
+	}
+	// Without -simulate no simulation file appears.
+	if _, err := os.Stat(filepath.Join(dir, "simulation.txt")); err == nil {
+		t.Error("simulation.txt should not exist without -simulate")
+	}
+	maspar, err := os.ReadFile(filepath.Join(dir, "maspar.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(maspar), "0.544") {
+		t.Errorf("maspar report missing PA(1):\n%s", maspar)
+	}
+}
+
+func TestRunWithSimulation(t *testing.T) {
+	dir := t.TempDir()
+	var sb strings.Builder
+	if err := run([]string{"-out", dir, "-max-inputs", "1024", "-simulate", "-seed", "3"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "simulation.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "Equation 4") {
+		t.Errorf("simulation artifact malformed:\n%s", data)
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-nah"}, &sb); err == nil {
+		t.Fatal("expected flag parse error")
+	}
+}

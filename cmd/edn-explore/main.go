@@ -1,0 +1,88 @@
+// Command edn-explore searches the EDN design space for a required
+// machine size: every square EDN(bc,b,c,l) geometry is evaluated on
+// Equation 4 acceptance and Equation 2/3 costs, ranked, and reduced to
+// its cost/performance Pareto front — the capacity trade-off the paper's
+// abstract highlights.
+//
+//	edn-explore -ports 1024 -max-switch 64
+//	edn-explore -ports 4096 -budget 500000      # best PA within a crosspoint budget
+//	edn-explore -ports 1024 -floor 0.5          # cheapest design above a PA floor
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"edn"
+	"edn/internal/design"
+	"edn/internal/plot"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "edn-explore:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("edn-explore", flag.ContinueOnError)
+	ports := fs.Int("ports", 1024, "required number of network ports (power of two)")
+	maxSwitch := fs.Int("max-switch", 64, "widest buildable switch (a = b*c)")
+	budget := fs.Int64("budget", 0, "crosspoint budget; 0 disables the budget query")
+	floor := fs.Float64("floor", 0, "PA(1) floor; 0 disables the floor query")
+	all := fs.Bool("all", false, "list every candidate, not just the Pareto front")
+	fs.SetOutput(w)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	points, err := design.Enumerate(*ports, *maxSwitch)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%d square EDN candidates with %d ports and switches up to %d wide\n",
+		len(points), *ports, *maxSwitch)
+	fmt.Fprintf(w, "crossbar reference: PA(1) = %.4f at %d crosspoints\n\n",
+		edn.CrossbarPA(*ports, 1), int64(*ports)*int64(*ports))
+
+	rows := func(ps []design.Point) [][]string {
+		out := make([][]string, 0, len(ps))
+		for _, p := range ps {
+			out = append(out, []string{
+				p.Config.String(),
+				fmt.Sprintf("%.4f", p.PA1),
+				fmt.Sprint(p.Crosspoints),
+				fmt.Sprint(p.Wires),
+				fmt.Sprint(p.Config.PathCount()),
+			})
+		}
+		return out
+	}
+	headers := []string{"network", "PA(1)", "crosspoints", "wires", "paths"}
+	if *all {
+		fmt.Fprintln(w, "all candidates (by PA):")
+		fmt.Fprint(w, plot.Table(headers, rows(points)))
+	}
+	front := design.ParetoFront(points)
+	fmt.Fprintln(w, "cost/performance Pareto front:")
+	fmt.Fprint(w, plot.Table(headers, rows(front)))
+
+	if *budget > 0 {
+		if p, ok := design.BestUnderBudget(points, *budget); ok {
+			fmt.Fprintf(w, "\nbest within %d crosspoints: %v\n", *budget, p)
+		} else {
+			fmt.Fprintf(w, "\nno design fits within %d crosspoints\n", *budget)
+		}
+	}
+	if *floor > 0 {
+		if p, ok := design.CheapestAtFloor(points, *floor); ok {
+			fmt.Fprintf(w, "cheapest with PA(1) >= %.3f: %v\n", *floor, p)
+		} else {
+			fmt.Fprintf(w, "no design reaches PA(1) >= %.3f\n", *floor)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,66 @@
+// Command edn-figures regenerates the paper's evaluation figures as
+// ASCII charts or CSV:
+//
+//	edn-figures -fig 7          # Figure 7 (8-I/O hyperbar families)
+//	edn-figures -fig 8          # Figure 8 (16-I/O hyperbar families)
+//	edn-figures -fig 11         # Figure 11 (resubmission effect)
+//	edn-figures -fig all -csv   # everything, machine readable
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"edn"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "edn-figures:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("edn-figures", flag.ContinueOnError)
+	fig := fs.String("fig", "all", "figure to regenerate: 7, 8, 11 or all")
+	maxInputs := fs.Int("max-inputs", edn.DefaultMaxInputs, "largest network size to sweep")
+	csv := fs.Bool("csv", false, "emit CSV instead of an ASCII chart")
+	fs.SetOutput(w)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	builders := map[string]func(int) (edn.Chart, error){
+		"7":  edn.Figure7,
+		"8":  edn.Figure8,
+		"11": edn.Figure11,
+	}
+	order := []string{"7", "8", "11"}
+
+	selected := order
+	if *fig != "all" {
+		if _, ok := builders[*fig]; !ok {
+			return fmt.Errorf("unknown figure %q (want 7, 8, 11 or all)", *fig)
+		}
+		selected = []string{*fig}
+	}
+	for _, name := range selected {
+		chart, err := builders[name](*maxInputs)
+		if err != nil {
+			return fmt.Errorf("figure %s: %w", name, err)
+		}
+		if *csv {
+			if err := chart.WriteCSV(w); err != nil {
+				return err
+			}
+			continue
+		}
+		if _, err := fmt.Fprintln(w, chart.Render()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunStandardTrace(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-src", "631", "-dst", "422"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"EDN(64,16,4,2)", "destination tag", "stage 1", "crossbar", "route 631 -> 422"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunWithChoices(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-src", "0", "-dst", "10", "-choices", "1,3"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "wire 3") {
+		t.Errorf("choice not honored:\n%s", sb.String())
+	}
+}
+
+func TestRunReversedOrder(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-src", "5", "-dst", "5", "-order", "reversed"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "compensating output permutation") {
+		t.Errorf("reversed order output missing compensation note:\n%s", sb.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-choices", "x"}, &sb); err == nil {
+		t.Error("expected bad choice error")
+	}
+	if err := run([]string{"-order", "sideways"}, &sb); err == nil {
+		t.Error("expected unknown order error")
+	}
+	if err := run([]string{"-dst", "99999"}, &sb); err == nil {
+		t.Error("expected destination range error")
+	}
+	if err := run([]string{"-flagless"}, &sb); err == nil {
+		t.Error("expected flag parse error")
+	}
+}

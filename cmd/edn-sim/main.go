@@ -1,0 +1,154 @@
+// Command edn-sim runs a Monte-Carlo measurement of an arbitrary
+// EDN(a,b,c,l) under a chosen traffic pattern and compares the result
+// with the paper's closed forms:
+//
+//	edn-sim -a 64 -b 16 -c 4 -l 2 -r 1 -cycles 1000
+//	edn-sim -a 16 -b 4 -c 4 -l 2 -traffic permutation
+//	edn-sim -a 16 -b 4 -c 4 -l 3 -traffic hotspot -hot-fraction 0.2
+//	edn-sim -a 16 -b 4 -c 4 -l 2 -traffic identity -arb roundrobin
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"edn"
+	"edn/internal/switchfab"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "edn-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("edn-sim", flag.ContinueOnError)
+	a := fs.Int("a", 64, "hyperbar inputs")
+	b := fs.Int("b", 16, "hyperbar output buckets")
+	c := fs.Int("c", 4, "bucket capacity")
+	l := fs.Int("l", 2, "hyperbar stages")
+	r := fs.Float64("r", 1, "offered request rate (uniform/hotspot traffic)")
+	cycles := fs.Int("cycles", 1000, "cycles to simulate")
+	seed := fs.Uint64("seed", 1, "RNG seed")
+	pattern := fs.String("traffic", "uniform", "traffic: uniform, permutation, partial, hotspot, identity, bitreversal")
+	hotFraction := fs.Float64("hot-fraction", 0.1, "fraction of requests aimed at output 0 (hotspot traffic)")
+	arb := fs.String("arb", "priority", "arbitration: priority, roundrobin, random")
+	asJSON := fs.Bool("json", false, "emit the result as JSON instead of text")
+	fs.SetOutput(w)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg, err := edn.New(*a, *b, *c, *l)
+	if err != nil {
+		return err
+	}
+	opts := edn.SimOptions{Cycles: *cycles, Seed: *seed}
+	switch *arb {
+	case "priority":
+		// default
+	case "roundrobin":
+		opts.Factory = func() switchfab.Arbiter { return &switchfab.RoundRobinArbiter{} }
+	case "random":
+		rng := edn.NewRand(*seed + 0x9e37)
+		opts.Factory = func() switchfab.Arbiter {
+			s := rng.Split()
+			return switchfab.RandomArbiter{Perm: s.Perm}
+		}
+	default:
+		return fmt.Errorf("unknown arbitration %q", *arb)
+	}
+
+	rng := edn.NewRand(*seed)
+	var pat edn.Pattern
+	switch *pattern {
+	case "uniform":
+		pat = edn.Uniform{Rate: *r, Rng: rng}
+	case "permutation":
+		pat = edn.RandomPermutation{Rng: rng}
+	case "partial":
+		pat = edn.PartialPermutation{Rate: *r, Rng: rng}
+	case "hotspot":
+		pat = edn.HotSpot{Rate: *r, Fraction: *hotFraction, Hot: 0, Rng: rng}
+	case "identity":
+		pat = edn.IdentityPattern(cfg.Inputs())
+	case "bitreversal":
+		fp, err := edn.BitReversalPattern(cfg.Inputs())
+		if err != nil {
+			return err
+		}
+		pat = fp
+	default:
+		return fmt.Errorf("unknown traffic %q", *pattern)
+	}
+
+	res, err := edn.MeasurePA(cfg, pat, opts)
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		report := jsonReport{
+			Network:         cfg.String(),
+			Inputs:          cfg.Inputs(),
+			Outputs:         cfg.Outputs(),
+			Paths:           cfg.PathCount(),
+			Crosspoints:     cfg.CrosspointCount(),
+			Wires:           cfg.WireCount(),
+			Traffic:         res.Pattern,
+			Cycles:          res.Cycles,
+			Arbitration:     *arb,
+			Seed:            *seed,
+			MeasuredPA:      res.PA,
+			PAConfidence:    res.PACI,
+			Bandwidth:       res.Bandwidth,
+			OfferedRate:     res.OfferedRate,
+			BlockedPerStage: res.BlockedPerStage,
+		}
+		if *pattern == "uniform" {
+			pa := edn.PA(cfg, *r)
+			report.ModelPA = &pa
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(report)
+	}
+	fmt.Fprintf(w, "%v — %d inputs, %d outputs, %d paths/pair, %d crosspoints, %d wires\n",
+		cfg, cfg.Inputs(), cfg.Outputs(), cfg.PathCount(), cfg.CrosspointCount(), cfg.WireCount())
+	fmt.Fprintf(w, "traffic %s, %d cycles, %s arbitration, seed %d\n", res.Pattern, res.Cycles, *arb, *seed)
+	fmt.Fprintf(w, "  measured  PA = %.4f (+-%.4f), bandwidth = %.1f req/cycle, offered rate = %.4f\n",
+		res.PA, res.PACI, res.Bandwidth, res.OfferedRate)
+	fmt.Fprintf(w, "  blocked per stage: %v\n", res.BlockedPerStage)
+	switch *pattern {
+	case "uniform":
+		fmt.Fprintf(w, "  Equation 4    PA = %.4f (iid uniform model)\n", edn.PA(cfg, *r))
+	case "permutation", "partial", "identity", "bitreversal":
+		fmt.Fprintf(w, "  Equation 5    PAp = %.4f (permutation model at measured rate)\n",
+			edn.PAPermutation(cfg, res.OfferedRate))
+	}
+	return nil
+}
+
+// jsonReport is the machine-readable form of one measurement run.
+type jsonReport struct {
+	Network         string   `json:"network"`
+	Inputs          int      `json:"inputs"`
+	Outputs         int      `json:"outputs"`
+	Paths           int      `json:"pathsPerPair"`
+	Crosspoints     int64    `json:"crosspoints"`
+	Wires           int64    `json:"wires"`
+	Traffic         string   `json:"traffic"`
+	Cycles          int      `json:"cycles"`
+	Arbitration     string   `json:"arbitration"`
+	Seed            uint64   `json:"seed"`
+	MeasuredPA      float64  `json:"measuredPA"`
+	PAConfidence    float64  `json:"paConfidence95"`
+	Bandwidth       float64  `json:"bandwidthPerCycle"`
+	OfferedRate     float64  `json:"offeredRate"`
+	BlockedPerStage []int    `json:"blockedPerStage"`
+	ModelPA         *float64 `json:"equation4PA,omitempty"`
+}

@@ -1,0 +1,40 @@
+// Command maspar reproduces the Section 5.1 worked example: the expected
+// time for the RA-EDN(16,4,2,16) system — the MasPar MP-1 16K router —
+// to deliver a random permutation among its 16384 processing elements.
+//
+//	maspar            # analytic estimate only
+//	maspar -simulate  # plus a Monte-Carlo measurement
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"edn"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "maspar:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("maspar", flag.ContinueOnError)
+	simulate := fs.Bool("simulate", false, "also measure with the cycle-level simulator")
+	trials := fs.Int("trials", 3, "random permutations to measure with -simulate")
+	seed := fs.Uint64("seed", 1, "RNG seed for -simulate")
+	fs.SetOutput(w)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	report, err := edn.MasParReport(*simulate, *trials, *seed)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprint(w, report)
+	return err
+}

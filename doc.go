@@ -1,0 +1,32 @@
+// Package edn is a library-quality reproduction of "Expanded Delta
+// Networks for Very Large Parallel Computers" (Alleyne & Scherson, UC
+// Irvine ICS TR 92-02 / ISCA 1992).
+//
+// An Expanded Delta Network EDN(a,b,c,l) is a multistage interconnection
+// network built from hyperbar switches H(a -> b x c): a-input switches
+// whose b output "buckets" are groups of c interchangeable wires. Routing
+// is digit-controlled exactly as in Patel's delta networks — no global
+// controller — but every source/destination pair enjoys c^l distinct
+// paths, which absorbs internal contention. The crossbar (EDN(n,n,1,1))
+// and the classical delta network (EDN(a,b,1,l)) are the degenerate
+// corners of the family; the MasPar MP-1 router is RA-EDN(16,4,2,16),
+// logically EDN(64,16,4,2).
+//
+// The package exposes four layers:
+//
+//   - Structure: Config describes a network (stages, switches, wiring,
+//     Equation 2/3 costs); Tag, TraceRoute and RetirementOrder implement
+//     digit-retirement routing (Lemma 1, Corollary 2).
+//   - Closed forms: PA, PAPermutation, CrossbarPA, Resubmission and
+//     ExpectedPermutationTime evaluate the paper's Equations 4-11 and the
+//     Section 5.1 model.
+//   - Simulation: Network routes cycle-level request batches; the
+//     Measure* helpers, SimulateMIMD and RoutePermutation drive
+//     Monte-Carlo experiments that cross-check every closed form.
+//   - Reproduction: Figure7, Figure8, Figure11, CostTable and
+//     MasParCaseStudy regenerate the paper's evaluation artifacts (see
+//     cmd/edn-figures and EXPERIMENTS.md).
+//
+// All randomness is drawn from a deterministic SplitMix64 stream (Rand),
+// so every number in EXPERIMENTS.md reproduces bit-for-bit.
+package edn

@@ -1,0 +1,338 @@
+package edn
+
+import (
+	"edn/internal/analytic"
+	"edn/internal/core"
+	"edn/internal/design"
+	"edn/internal/dilated"
+	"edn/internal/mimd"
+	"edn/internal/netlist"
+	"edn/internal/routing"
+	"edn/internal/simd"
+	"edn/internal/simulate"
+	"edn/internal/switchfab"
+	"edn/internal/topology"
+	"edn/internal/traffic"
+	"edn/internal/xrand"
+)
+
+// ---------------------------------------------------------------------------
+// Structure (Section 2)
+
+// Config identifies an EDN(a,b,c,l): l stages of H(a -> b x c) hyperbars
+// followed by a stage of c x c crossbars. See internal/topology for the
+// full method set (Inputs, Outputs, costs, wiring, path enumeration).
+type Config = topology.Config
+
+// Family is a fixed-switch family EDN(a,b,c,*) swept over stage count,
+// as in Figures 7, 8 and 11.
+type Family = topology.Family
+
+// New validates and returns an EDN(a,b,c,l) configuration.
+func New(a, b, c, l int) (Config, error) { return topology.New(a, b, c, l) }
+
+// NewCrossbar returns EDN(n,n,1,1), which degenerates to an n x n crossbar.
+func NewCrossbar(n int) (Config, error) { return topology.NewCrossbar(n) }
+
+// NewDelta returns EDN(a,b,1,l): Patel's a^l x b^l delta network.
+func NewDelta(a, b, l int) (Config, error) { return topology.NewDelta(a, b, l) }
+
+// Hyperbar is the H(a -> b x c) switch of Definition 1, the generalized
+// MasPar MP-1 router switch.
+type Hyperbar = switchfab.Hyperbar
+
+// Crossbar is an n x m crosspoint switch (the c=1 hyperbar).
+type Crossbar = switchfab.Crossbar
+
+// Arbiter resolves bucket oversubscription inside a switch.
+type Arbiter = switchfab.Arbiter
+
+// PriorityArbiter is the paper's input-label priority rule (Figure 2).
+type PriorityArbiter = switchfab.PriorityArbiter
+
+// RoundRobinArbiter rotates priority across cycles (fairness ablation).
+type RoundRobinArbiter = switchfab.RoundRobinArbiter
+
+// RandomArbiter draws a fresh random arbitration order each cycle.
+type RandomArbiter = switchfab.RandomArbiter
+
+// ---------------------------------------------------------------------------
+// Routing (Section 2, Lemma 1, Corollary 2)
+
+// Tag is a decoded destination tag D = d_(l-1)...d_0 x.
+type Tag = routing.Tag
+
+// EncodeTag decodes destination label dst into its routing tag.
+func EncodeTag(cfg Config, dst int) (Tag, error) { return routing.Encode(cfg, dst) }
+
+// Trace is a full per-stage record of one message's path (Lemma 1 walk).
+type Trace = routing.Trace
+
+// Hop is one stage of a Trace.
+type Hop = routing.Hop
+
+// TraceRoute walks a message from src to dst under the standard
+// retirement order, taking choices as the free per-stage wire choices.
+func TraceRoute(cfg Config, src, dst int, choices []int) (Trace, error) {
+	return routing.TraceRoute(cfg, src, dst, choices)
+}
+
+// RetirementOrder is a Corollary 2 digit-retirement order together with
+// its compensating output permutation (Figure 6).
+type RetirementOrder = routing.RetirementOrder
+
+// StandardOrder retires d_(l-i) at stage i (the paper's default).
+func StandardOrder(cfg Config) RetirementOrder { return routing.StandardOrder(cfg) }
+
+// ReversedOrder retires d_0 first — the Figure 6 construction.
+func ReversedOrder(cfg Config) RetirementOrder { return routing.ReversedOrder(cfg) }
+
+// NewRetirementOrder builds a custom order from a permutation of [0, l).
+func NewRetirementOrder(cfg Config, perm []int) (RetirementOrder, error) {
+	return routing.NewRetirementOrder(cfg, perm)
+}
+
+// ---------------------------------------------------------------------------
+// Closed-form performance models (Sections 3-5)
+
+// PA evaluates Equation 4: the probability of acceptance of cfg under
+// uniform independent traffic at offered rate r.
+func PA(cfg Config, r float64) float64 { return analytic.PA(cfg, r) }
+
+// PAPermutation evaluates Equation 5 (Lemma 2-consistent form): the
+// probability of acceptance when the requests form a permutation.
+func PAPermutation(cfg Config, r float64) float64 { return analytic.PAPermutation(cfg, r) }
+
+// CrossbarPA is the full-crossbar reference curve of Figures 7 and 8.
+func CrossbarPA(n int, r float64) float64 { return analytic.CrossbarPA(n, r) }
+
+// Bandwidth returns expected satisfied requests per cycle at rate r.
+func Bandwidth(cfg Config, r float64) float64 { return analytic.Bandwidth(cfg, r) }
+
+// StageRates returns the per-wire request rate after every stage.
+func StageRates(cfg Config, r float64) []float64 { return analytic.StageRates(cfg, r) }
+
+// MIMDModel is the Section 4 steady state (Equations 7-11).
+type MIMDModel = analytic.MIMDResult
+
+// Resubmission solves the Section 4 Markov fixed point for a shared
+// memory system in which blocked requests are resubmitted until accepted.
+func Resubmission(cfg Config, r float64) (MIMDModel, error) {
+	return analytic.Resubmission(cfg, r, analytic.ResubmissionOptions{})
+}
+
+// PermutationTimeModel is the Section 5.1 permutation-time estimate.
+type PermutationTimeModel = analytic.PermutationTime
+
+// ExpectedPermutationTime evaluates the Section 5.1 model (q/PA(1) + J)
+// for a square network serving clusters of q PEs.
+func ExpectedPermutationTime(cfg Config, q int) (PermutationTimeModel, error) {
+	return analytic.ExpectedPermutationTime(cfg, q)
+}
+
+// ---------------------------------------------------------------------------
+// Cycle-level simulation
+
+// Network is an instantiated EDN that routes request batches with the
+// exact hyperbar semantics (one call = one circuit-switched cycle).
+type Network = core.Network
+
+// NoRequest marks an idle input in request vectors and outcomes.
+const NoRequest = core.NoRequest
+
+// ArbiterFactory builds one arbiter per physical switch.
+type ArbiterFactory = core.ArbiterFactory
+
+// Outcome is the per-input result of a routed cycle.
+type Outcome = core.Outcome
+
+// CycleStats aggregates one routed cycle.
+type CycleStats = core.CycleStats
+
+// NewNetwork builds a cycle-level network (nil factory = priority rule).
+func NewNetwork(cfg Config, factory ArbiterFactory) (*Network, error) {
+	return core.NewNetwork(cfg, factory)
+}
+
+// SimOptions configures a Monte-Carlo measurement run.
+type SimOptions = simulate.Options
+
+// SimResult is an aggregated measurement.
+type SimResult = simulate.Result
+
+// MeasurePA measures acceptance for an arbitrary traffic pattern.
+func MeasurePA(cfg Config, pattern Pattern, opts SimOptions) (SimResult, error) {
+	return simulate.MeasurePA(cfg, pattern, opts)
+}
+
+// MeasureUniformPA measures acceptance under uniform traffic at rate r,
+// the Monte-Carlo counterpart of PA.
+func MeasureUniformPA(cfg Config, r float64, opts SimOptions) (SimResult, error) {
+	return simulate.MeasureUniformPA(cfg, r, opts)
+}
+
+// MeasureUniformPAParallel splits the cycle budget across independent
+// worker runs (exact Welford merge); workers <= 0 selects GOMAXPROCS.
+func MeasureUniformPAParallel(cfg Config, r float64, opts SimOptions, workers int) (SimResult, error) {
+	return simulate.MeasureUniformPAParallel(cfg, r, opts, workers)
+}
+
+// MeasurePermutationPA measures acceptance under fresh random
+// permutations, the counterpart of PAPermutation.
+func MeasurePermutationPA(cfg Config, opts SimOptions) (SimResult, error) {
+	return simulate.MeasurePermutationPA(cfg, opts)
+}
+
+// StageRateResult compares measured per-stage survivor rates with the
+// Theorem 3 recursion.
+type StageRateResult = simulate.StageRateResult
+
+// MeasureStageRates measures the per-wire request rate at every stage
+// boundary under uniform traffic — the element-wise validation of the
+// r_{i+1} = E(r_i)/c recursion.
+func MeasureStageRates(cfg Config, r float64, opts SimOptions) (StageRateResult, error) {
+	return simulate.MeasureStageRates(cfg, r, opts)
+}
+
+// MultipassResult reports a fixed request set drained over repeated
+// network passes.
+type MultipassResult = simulate.MultipassResult
+
+// RouteMultipass re-offers blocked requests pass after pass until every
+// message of dest is delivered — how an SIMD machine actually completes
+// a permutation on a blocking network.
+func RouteMultipass(cfg Config, dest []int, factory ArbiterFactory, maxPasses int) (MultipassResult, error) {
+	return simulate.RouteMultipass(cfg, dest, factory, maxPasses)
+}
+
+// MIMDOptions configures a Section 4 system simulation.
+type MIMDOptions = mimd.Options
+
+// MIMDMeasured is the measured steady state of the resubmission system.
+type MIMDMeasured = mimd.Result
+
+// SimulateMIMD runs the processor-memory system with resubmission, the
+// Monte-Carlo counterpart of Resubmission.
+func SimulateMIMD(cfg Config, r float64, opts MIMDOptions) (MIMDMeasured, error) {
+	return mimd.Simulate(cfg, r, opts)
+}
+
+// ---------------------------------------------------------------------------
+// SIMD clustering (Section 5)
+
+// RAEDN is a Restricted-Access EDN: p = b^l*c clusters of q PEs sharing
+// one network port each.
+type RAEDN = simd.System
+
+// NewRAEDN builds RA-EDN(b,c,l,q) over the network EDN(bc,b,c,l).
+func NewRAEDN(b, c, l, q int) (RAEDN, error) { return simd.RAEDN(b, c, l, q) }
+
+// MasParMP1 returns RA-EDN(16,4,2,16): the 16K-PE MasPar MP-1 router.
+func MasParMP1() RAEDN { return simd.MasParMP1() }
+
+// Scheduler selects each cluster's offered message per cycle.
+type Scheduler = simd.Scheduler
+
+// RandomScheduler is the paper's random schedule.
+type RandomScheduler = simd.RandomScheduler
+
+// FIFOScheduler offers each cluster's oldest message.
+type FIFOScheduler = simd.FIFOScheduler
+
+// GreedyDistinctScheduler prefers pairwise-distinct destination clusters.
+type GreedyDistinctScheduler = simd.GreedyDistinctScheduler
+
+// RouteOptions configures a permutation-routing run.
+type RouteOptions = simd.RouteOptions
+
+// RouteResult reports one permutation delivery.
+type RouteResult = simd.RouteResult
+
+// RoutePermutation delivers a permutation over the system's PEs and
+// returns the cycle count the Section 5.1 model estimates.
+func RoutePermutation(sys RAEDN, perm []int, opts RouteOptions) (RouteResult, error) {
+	return simd.RoutePermutation(sys, perm, opts)
+}
+
+// ---------------------------------------------------------------------------
+// Traffic and randomness
+
+// Pattern produces one request vector per cycle.
+type Pattern = traffic.Pattern
+
+// Uniform is iid uniform traffic at a given rate (Section 3.2).
+type Uniform = traffic.Uniform
+
+// RandomPermutation draws a fresh permutation each cycle.
+type RandomPermutation = traffic.RandomPermutation
+
+// PartialPermutation keeps each permutation entry with a given rate.
+type PartialPermutation = traffic.PartialPermutation
+
+// HotSpot concentrates a fraction of requests on one output (NUTS).
+type HotSpot = traffic.HotSpot
+
+// FixedPattern replays a static request vector every cycle.
+type FixedPattern = traffic.Fixed
+
+// IdentityPattern returns the identity permutation on n ports.
+func IdentityPattern(n int) FixedPattern { return traffic.Identity(n) }
+
+// BitReversalPattern returns the bit-reversal permutation on n ports.
+func BitReversalPattern(n int) (FixedPattern, error) { return traffic.BitReversal(n) }
+
+// Rand is the deterministic SplitMix64 generator used everywhere.
+type Rand = xrand.Rand
+
+// NewRand returns a generator seeded with seed.
+func NewRand(seed uint64) *Rand { return xrand.New(seed) }
+
+// ---------------------------------------------------------------------------
+// Dilated-delta baseline (Section 1 comparison)
+
+// DilatedDelta is a d-dilated square delta network, the multipath
+// alternative whose wire cost the introduction compares EDNs against.
+type DilatedDelta = dilated.Config
+
+// NewDilatedDelta builds a d-dilated radix-b delta of l stages.
+func NewDilatedDelta(b, d, l int) (DilatedDelta, error) { return dilated.New(b, d, l) }
+
+// ---------------------------------------------------------------------------
+// Design-space exploration and physical netlists
+
+// DesignPoint is one candidate network on the PA/cost axes.
+type DesignPoint = design.Point
+
+// EnumerateDesigns returns every square EDN with the given port count
+// and buildable switch width, sorted by descending PA(1).
+func EnumerateDesigns(ports, maxSwitch int) ([]DesignPoint, error) {
+	return design.Enumerate(ports, maxSwitch)
+}
+
+// ParetoFront reduces candidates to the PA/crosspoint Pareto front.
+func ParetoFront(points []DesignPoint) []DesignPoint { return design.ParetoFront(points) }
+
+// BestDesignUnderBudget returns the highest-PA candidate within a
+// crosspoint budget.
+func BestDesignUnderBudget(points []DesignPoint, budget int64) (DesignPoint, bool) {
+	return design.BestUnderBudget(points, budget)
+}
+
+// CheapestDesignAtFloor returns the lowest-cost candidate meeting a
+// PA(1) floor.
+func CheapestDesignAtFloor(points []DesignPoint, floor float64) (DesignPoint, bool) {
+	return design.CheapestAtFloor(points, floor)
+}
+
+// Netlist is the full physical wire enumeration of a network.
+type Netlist = netlist.Netlist
+
+// BuildNetlist materializes every wire of cfg; its wire count equals the
+// Equation 3 cost exactly.
+func BuildNetlist(cfg Config) (*Netlist, error) { return netlist.Build(cfg) }
+
+// DescribeNetwork renders a stage-by-stage structural summary (Figure 4
+// style) of cfg.
+func DescribeNetwork(cfg Config, maxFanout int) (string, error) {
+	return netlist.Describe(cfg, maxFanout)
+}

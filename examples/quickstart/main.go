@@ -1,0 +1,58 @@
+// Quickstart: build an Expanded Delta Network, inspect its structure and
+// cost, query the closed-form performance model, trace one message, and
+// route a full cycle of random traffic through the cycle-level simulator.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"edn"
+)
+
+func main() {
+	// The MasPar MP-1 router network: EDN(64,16,4,2) — 1024x1024, built
+	// from H(64 -> 16x4) hyperbars and 4x4 output crossbars.
+	cfg, err := edn.New(64, 16, 4, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("network          %v\n", cfg)
+	fmt.Printf("terminals        %d inputs, %d outputs\n", cfg.Inputs(), cfg.Outputs())
+	fmt.Printf("stages           %d hyperbar + 1 crossbar\n", cfg.L)
+	fmt.Printf("paths per pair   %d (Theorem 2: c^l)\n", cfg.PathCount())
+	fmt.Printf("crosspoint cost  %d (Equation 2)\n", cfg.CrosspointCount())
+	fmt.Printf("wire cost        %d (Equation 3)\n", cfg.WireCount())
+
+	// Closed-form performance (Section 3.2).
+	fmt.Printf("\nPA(1)   = %.4f  (Equation 4, uniform traffic at full load)\n", edn.PA(cfg, 1))
+	fmt.Printf("PAp(1)  = %.4f  (Equation 5, permutation traffic)\n", edn.PAPermutation(cfg, 1))
+	fmt.Printf("crossbar reference at the same size: %.4f\n", edn.CrossbarPA(cfg.Inputs(), 1))
+
+	// Trace one message through the Lemma 1 walk.
+	tr, err := edn.TraceRoute(cfg, 631, 422, []int{1, 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%s", tr)
+
+	// Route one cycle of uniform random traffic.
+	net, err := edn.NewNetwork(cfg, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := edn.NewRand(42)
+	dest := make([]int, cfg.Inputs())
+	for i := range dest {
+		dest[i] = rng.Intn(cfg.Outputs())
+	}
+	_, stats, err := net.RouteCycle(dest)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\none simulated cycle at full load: %d/%d delivered (PA=%.4f, model %.4f)\n",
+		stats.Delivered, stats.Offered, stats.PA(), edn.PA(cfg, 1))
+	fmt.Printf("blocked per stage: %v\n", stats.Blocked)
+}

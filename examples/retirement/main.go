@@ -1,0 +1,78 @@
+// Retirement-order demonstration (Corollary 2, Figures 5 and 6): the
+// EDN(64,16,4,2) network cannot route the identity permutation in one
+// pass — every first-stage switch funnels its entire load into a single
+// bucket — but retiring the tag digits in reverse order spreads the load
+// perfectly, and a fixed compensating permutation at the outputs restores
+// every destination. Average-case behavior is unchanged; specific
+// permutations differ dramatically, exactly as the paper notes.
+//
+//	go run ./examples/retirement
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"edn"
+)
+
+func main() {
+	cfg, err := edn.New(64, 16, 4, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	net, err := edn.NewNetwork(cfg, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	identity := edn.IdentityPattern(cfg.Inputs()).Dest
+
+	// Pass 1: standard retirement order (Figure 5).
+	_, stats, err := net.RouteCycle(identity)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%v, identity permutation, standard order d1 then d0:\n", cfg)
+	fmt.Printf("  delivered %d/%d (PA = %.4f) — every switch fights over one bucket\n\n",
+		stats.Delivered, stats.Offered, stats.PA())
+
+	// Pass 2: reversed retirement order (Figure 6): route to F(dst), then
+	// apply the fixed compensating permutation F^-1 at the outputs.
+	order := edn.ReversedOrder(cfg)
+	table, err := order.OutputPermutation()
+	if err != nil {
+		log.Fatal(err)
+	}
+	remapped := make([]int, len(identity))
+	for i, d := range identity {
+		f, err := order.F(d)
+		if err != nil {
+			log.Fatal(err)
+		}
+		remapped[i] = f
+	}
+	out, stats2, err := net.RouteCycle(remapped)
+	if err != nil {
+		log.Fatal(err)
+	}
+	correct := 0
+	for i, o := range out {
+		if o.Delivered() && table[o.Output] == identity[i] {
+			correct++
+		}
+	}
+	fmt.Printf("reversed order d0 then d1, plus the Figure 6 output permutation:\n")
+	fmt.Printf("  delivered %d/%d (PA = %.4f), %d arrive at their original destinations\n\n",
+		stats2.Delivered, stats2.Offered, stats2.PA(), correct)
+
+	// Average case is unchanged: random traffic sees the same acceptance
+	// under either order (Corollary 2's closing remark).
+	res, err := edn.MeasureUniformPA(cfg, 1, edn.SimOptions{Cycles: 300, Seed: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("uniform random traffic for reference: PA = %.4f (order-independent)\n", res.PA)
+
+	// Show the first few entries of the compensating permutation.
+	fmt.Printf("\ncompensating output permutation (first 8 entries): %v\n", table[:8])
+}

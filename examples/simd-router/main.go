@@ -1,0 +1,71 @@
+// SIMD global-router study (Section 5): a MasPar MP-1-style machine in
+// which clusters of PEs share network ports (the Restricted-Access EDN).
+// The example routes random permutations over all 16K processing
+// elements, compares the measured delivery time with the Section 5.1
+// estimate q/PA(1) + J, and ablates the cluster schedule.
+//
+//	go run ./examples/simd-router
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"edn"
+)
+
+func main() {
+	sys := edn.MasParMP1()
+	fmt.Printf("system    %v — the MasPar MP-1 16K router\n", sys)
+	fmt.Printf("network   %v (%d ports)\n", sys.Network, sys.P())
+	fmt.Printf("clusters  %d x %d PEs = %d processors\n\n", sys.P(), sys.Q, sys.N())
+
+	model, err := edn.ExpectedPermutationTime(sys.Network, sys.Q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Section 5.1 estimate: q/PA(1) + J = %.2f/%.4f + %d = %.2f cycles (paper: 34.41)\n\n",
+		float64(sys.Q), model.PA1, model.J, model.Cycles())
+
+	// Route three random permutations and watch the drain.
+	rng := edn.NewRand(2024)
+	for trial := 1; trial <= 3; trial++ {
+		perm := rng.Perm(sys.N())
+		res, err := edn.RoutePermutation(sys, perm, edn.RouteOptions{Seed: rng.Uint64() | 1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("trial %d: %d cycles; deliveries per cycle: first %v ... last %v\n",
+			trial, res.Cycles, res.Delivered[:3], res.Delivered[len(res.Delivered)-3:])
+	}
+
+	// Schedule ablation on a smaller sibling so each variant runs many
+	// trials quickly: RA-EDN(4,4,2,8) = EDN(16,4,4,2) with 64 ports.
+	small, err := edn.NewRAEDN(4, 4, 2, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nschedule ablation on %v (%d PEs):\n", small, small.N())
+	for _, sched := range []edn.Scheduler{
+		edn.RandomScheduler{}, edn.FIFOScheduler{}, edn.GreedyDistinctScheduler{},
+	} {
+		var total int
+		const trials = 10
+		r := edn.NewRand(77)
+		for i := 0; i < trials; i++ {
+			perm := r.Perm(small.N())
+			res, err := edn.RoutePermutation(small, perm, edn.RouteOptions{Seed: r.Uint64() | 1, Scheduler: sched})
+			if err != nil {
+				log.Fatal(err)
+			}
+			total += res.Cycles
+		}
+		fmt.Printf("  %-16s mean %.1f cycles over %d permutations\n",
+			sched.Name(), float64(total)/trials, trials)
+	}
+	smallModel, err := edn.ExpectedPermutationTime(small.Network, small.Q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  %-16s %.1f cycles\n", "(model)", smallModel.Cycles())
+}

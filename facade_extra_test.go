@@ -1,0 +1,97 @@
+package edn
+
+import (
+	"strings"
+	"testing"
+)
+
+// facade_extra_test.go covers the design-exploration, netlist,
+// stage-rate and multipass surfaces of the public API.
+
+func TestEnumerateDesignsFacade(t *testing.T) {
+	points, err := EnumerateDesigns(1024, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) == 0 {
+		t.Fatal("no candidates")
+	}
+	front := ParetoFront(points)
+	if len(front) == 0 || len(front) > len(points) {
+		t.Fatalf("front size %d of %d", len(front), len(points))
+	}
+	// The MasPar router must be on the 1024-port Pareto front — the
+	// production machine picked a non-dominated design.
+	foundMasPar := false
+	for _, p := range front {
+		if p.Config.String() == "EDN(64,16,4,2)" {
+			foundMasPar = true
+		}
+	}
+	if !foundMasPar {
+		t.Error("EDN(64,16,4,2) missing from the 1024-port Pareto front")
+	}
+	if _, ok := BestDesignUnderBudget(points, 1<<60); !ok {
+		t.Error("unlimited budget found nothing")
+	}
+	if _, ok := CheapestDesignAtFloor(points, 0.5); !ok {
+		t.Error("no design at PA floor 0.5")
+	}
+}
+
+func TestNetlistFacade(t *testing.T) {
+	cfg := mustNew(t, 16, 4, 4, 2)
+	nl, err := BuildNetlist(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(nl.WireCount()) != cfg.WireCount() {
+		t.Fatalf("netlist %d wires vs Equation 3 %d", nl.WireCount(), cfg.WireCount())
+	}
+	if err := nl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	desc, err := DescribeNetwork(cfg, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(desc, "EDN(16,4,4,2)") {
+		t.Errorf("description missing header:\n%s", desc)
+	}
+}
+
+func TestMeasureStageRatesFacade(t *testing.T) {
+	cfg := mustNew(t, 16, 4, 4, 2)
+	res, err := MeasureStageRates(cfg, 1, SimOptions{Cycles: 100, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Measured) != cfg.Stages()+1 {
+		t.Fatalf("measured %d boundaries, want %d", len(res.Measured), cfg.Stages()+1)
+	}
+	model := StageRates(cfg, 1)
+	for i := range model {
+		if res.Measured[i] < 0 || res.Measured[i] > 1 {
+			t.Fatalf("rate %d out of range: %g", i, res.Measured[i])
+		}
+	}
+}
+
+func TestRouteMultipassFacade(t *testing.T) {
+	cfg := mustNew(t, 16, 4, 4, 2)
+	perm := NewRand(4).Perm(cfg.Inputs())
+	res, err := RouteMultipass(cfg, perm, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Passes < 1 {
+		t.Fatalf("passes = %d", res.Passes)
+	}
+	total := 0
+	for _, d := range res.Delivered {
+		total += d
+	}
+	if total != cfg.Inputs() {
+		t.Fatalf("delivered %d of %d", total, cfg.Inputs())
+	}
+}

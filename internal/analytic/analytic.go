@@ -1,0 +1,164 @@
+// Package analytic implements the closed-form performance models of
+// Section 3.2 (probability of acceptance under uniform traffic,
+// Equations 4 and 5), Section 4 (MIMD resubmission Markov model,
+// Equations 7-11) and Section 5 (SIMD restricted-access permutation
+// time) of the paper.
+//
+// All models share the Section 3.2 assumptions: requests are uniformly
+// and independently distributed over the outputs, each input carries a
+// request with probability r at the start of a cycle, and the network is
+// circuit switched with no internal buffering.
+package analytic
+
+import (
+	"fmt"
+	"math"
+
+	"edn/internal/topology"
+)
+
+// BucketAcceptance returns E(r): the expected number of requests accepted
+// by one output bucket of an H(a -> b x c) hyperbar per cycle, when each
+// of the a inputs carries a request with probability r and requests are
+// uniform over the b buckets.
+//
+//	E(r) = c - sum_{n=0}^{c-1} (c-n) * C(a,n) p^n (1-p)^(a-n),  p = r/b
+//
+// i.e. capacity minus the expected shortfall on undersubscribed cycles.
+func BucketAcceptance(a, b, c int, r float64) float64 {
+	if a <= 0 || b <= 0 || c <= 0 {
+		panic(fmt.Sprintf("analytic: invalid hyperbar H(%d->%dx%d)", a, b, c))
+	}
+	if r < 0 || r > 1 {
+		panic(fmt.Sprintf("analytic: request rate %g out of [0,1]", r))
+	}
+	p := r / float64(b)
+	switch {
+	case p <= 0:
+		return 0
+	case p >= 1:
+		// Every input requests this bucket; capacity bounds acceptance.
+		return math.Min(float64(a), float64(c))
+	}
+	if c >= a {
+		// Capacity can never be exceeded: every request is accepted.
+		return float64(a) * p
+	}
+	// Walk the binomial pmf iteratively; only the first c terms matter.
+	pmf := math.Pow(1-p, float64(a)) // P(N = 0)
+	shortfall := 0.0
+	for n := 0; n < c; n++ {
+		shortfall += float64(c-n) * pmf
+		pmf *= float64(a-n) / float64(n+1) * p / (1 - p)
+	}
+	return float64(c) - shortfall
+}
+
+// HyperbarStageRate maps the per-wire request rate at the inputs of a
+// hyperbar stage to the rate at its outputs: r_out = E(r_in)/c.
+func HyperbarStageRate(a, b, c int, r float64) float64 {
+	return BucketAcceptance(a, b, c, r) / float64(c)
+}
+
+// StageRates returns the per-wire request rates through an EDN at offered
+// rate r: element 0 is r itself, element i (1 <= i <= l) the rate on the
+// wires after hyperbar stage i, and the last element the rate on the
+// network outputs after the crossbar stage,
+//
+//	r_final = 1 - (1 - r_l/c)^c.
+func StageRates(cfg topology.Config, r float64) []float64 {
+	rates := make([]float64, 0, cfg.L+2)
+	rates = append(rates, r)
+	ri := r
+	for i := 1; i <= cfg.L; i++ {
+		ri = HyperbarStageRate(cfg.A, cfg.B, cfg.C, ri)
+		rates = append(rates, ri)
+	}
+	c := float64(cfg.C)
+	rates = append(rates, 1-math.Pow(1-ri/c, c))
+	return rates
+}
+
+// PA returns the probability of acceptance of Equation 4: the ratio of
+// expected requests satisfied per cycle to expected requests generated,
+//
+//	PA(r) = (b^l c * r_final) / ((a/c)^l c * r).
+//
+// PA(0) is defined as 1 (an idle network blocks nothing).
+func PA(cfg topology.Config, r float64) float64 {
+	if r == 0 {
+		return 1
+	}
+	rates := StageRates(cfg, r)
+	rFinal := rates[len(rates)-1]
+	return float64(cfg.Outputs()) * rFinal / (float64(cfg.Inputs()) * r)
+}
+
+// Bandwidth returns the expected number of requests satisfied per cycle
+// at offered rate r: Outputs * r_final.
+func Bandwidth(cfg topology.Config, r float64) float64 {
+	rates := StageRates(cfg, r)
+	return float64(cfg.Outputs()) * rates[len(rates)-1]
+}
+
+// PAPermutation returns PAp of Equation 5: the probability of acceptance
+// when the offered requests form a (partial) permutation. By Lemma 2
+// there is then no blocking at the last two stages — the final hyperbar
+// stage and the crossbar stage — so only hyperbar stages 1..l-1 reject
+// requests and every survivor of stage l-1 is delivered:
+//
+//	PAp(r) = (b^(l-1) c / a^(l-1) ... ) = W_(l-1)*r_(l-1) / (Inputs * r).
+//
+// Note: the paper prints the recursion bound as 0 <= i < l-2, which would
+// exempt the last *three* stages; Lemma 2 only justifies two, so this
+// function uses l-1 blocking transitions minus one — see
+// PAPermutationPaperEq5 for the printed variant.
+func PAPermutation(cfg topology.Config, r float64) float64 {
+	return paPermutationStages(cfg, r, cfg.L-1)
+}
+
+// PAPermutationPaperEq5 evaluates Equation 5 exactly as printed in the
+// paper (blocking recursion over 0 <= i < l-2, exempting the last three
+// stages). Kept for comparison against the corrected PAPermutation.
+func PAPermutationPaperEq5(cfg topology.Config, r float64) float64 {
+	return paPermutationStages(cfg, r, cfg.L-2)
+}
+
+// paPermutationStages computes acceptance when only the first `blocking`
+// hyperbar stages can reject requests and everything alive after them is
+// delivered.
+func paPermutationStages(cfg topology.Config, r float64, blocking int) float64 {
+	if r == 0 {
+		return 1
+	}
+	if blocking < 0 {
+		blocking = 0
+	}
+	ri := r
+	for i := 1; i <= blocking; i++ {
+		ri = HyperbarStageRate(cfg.A, cfg.B, cfg.C, ri)
+	}
+	// Survivors after the last blocking stage: W_blocking * r_blocking;
+	// all are delivered.
+	survivors := float64(cfg.WiresAfterStage(blocking)) * ri
+	offered := float64(cfg.Inputs()) * r
+	return survivors / offered
+}
+
+// CrossbarPA returns the probability of acceptance of a full n x n
+// crossbar at offered rate r: the only losses are output conflicts, so
+//
+//	PA(r) = (1 - (1 - r/n)^n) * n / (n*r).
+//
+// This is the reference curve in Figures 7 and 8; at r=1 it decreases
+// from 1 toward 1 - 1/e as n grows.
+func CrossbarPA(n int, r float64) float64 {
+	if n <= 0 {
+		panic(fmt.Sprintf("analytic: crossbar size %d must be positive", n))
+	}
+	if r == 0 {
+		return 1
+	}
+	nf := float64(n)
+	return (1 - math.Pow(1-r/nf, nf)) / r
+}

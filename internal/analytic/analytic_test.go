@@ -1,0 +1,336 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"edn/internal/topology"
+)
+
+func mustCfg(t *testing.T, a, b, c, l int) topology.Config {
+	t.Helper()
+	cfg, err := topology.New(a, b, c, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg
+}
+
+func approx(got, want, tol float64) bool { return math.Abs(got-want) <= tol }
+
+func TestBucketAcceptanceEdges(t *testing.T) {
+	if got := BucketAcceptance(8, 4, 2, 0); got != 0 {
+		t.Errorf("E(0) = %g, want 0", got)
+	}
+	// p >= 1: all a inputs hit one bucket; acceptance is min(a, c).
+	if got := BucketAcceptance(8, 1, 2, 1); got != 2 {
+		t.Errorf("E at p=1 = %g, want capacity 2", got)
+	}
+	if got := BucketAcceptance(2, 1, 4, 1); got != 2 {
+		t.Errorf("E at p=1 with c>a = %g, want a=2", got)
+	}
+	// c >= a: no rejection possible, E = a*p exactly.
+	if got, want := BucketAcceptance(4, 2, 4, 0.6), 4*0.3; !approx(got, want, 1e-12) {
+		t.Errorf("E with c>=a = %g, want %g", got, want)
+	}
+}
+
+func TestBucketAcceptanceMatchesDirectSum(t *testing.T) {
+	// Direct evaluation of E(r) = sum_n min(n,c) C(a,n) p^n (1-p)^(a-n).
+	direct := func(a, b, c int, r float64) float64 {
+		p := r / float64(b)
+		sum := 0.0
+		for n := 0; n <= a; n++ {
+			pmf := binom(a, n) * math.Pow(p, float64(n)) * math.Pow(1-p, float64(a-n))
+			sum += math.Min(float64(n), float64(c)) * pmf
+		}
+		return sum
+	}
+	cases := []struct {
+		a, b, c int
+		r       float64
+	}{
+		{8, 4, 2, 1}, {8, 4, 2, 0.5}, {16, 4, 4, 1}, {64, 16, 4, 1},
+		{64, 16, 4, 0.25}, {8, 8, 1, 1}, {8, 2, 4, 0.9}, {4, 2, 2, 0.1},
+	}
+	for _, cse := range cases {
+		got := BucketAcceptance(cse.a, cse.b, cse.c, cse.r)
+		want := direct(cse.a, cse.b, cse.c, cse.r)
+		if !approx(got, want, 1e-10) {
+			t.Errorf("E(%d,%d,%d,%g) = %.12f, want %.12f", cse.a, cse.b, cse.c, cse.r, got, want)
+		}
+	}
+}
+
+func TestDeltaStageRateMatchesPatel(t *testing.T) {
+	// With c=1 the stage recursion must reduce to Patel's classical
+	// delta-network recursion r_out = 1 - (1 - r/b)^a.
+	for _, r := range []float64{0.1, 0.5, 0.9, 1} {
+		for _, ab := range [][2]int{{2, 2}, {4, 4}, {8, 8}, {8, 4}} {
+			a, b := ab[0], ab[1]
+			got := HyperbarStageRate(a, b, 1, r)
+			want := 1 - math.Pow(1-r/float64(b), float64(a))
+			if !approx(got, want, 1e-12) {
+				t.Errorf("delta stage rate a=%d b=%d r=%g: %g, want %g", a, b, r, got, want)
+			}
+		}
+	}
+}
+
+// TestMasParPA1 pins the paper's Section 5.1 headline number: for
+// EDN(64,16,4,2) — the MasPar MP-1 router equivalent — PA(1) = .544.
+func TestMasParPA1(t *testing.T) {
+	cfg := mustCfg(t, 64, 16, 4, 2)
+	got := PA(cfg, 1)
+	if !approx(got, 0.544, 0.001) {
+		t.Fatalf("PA(1) for EDN(64,16,4,2) = %.6f, want 0.544 +- 0.001", got)
+	}
+}
+
+func TestPAEdgeCases(t *testing.T) {
+	cfg := mustCfg(t, 16, 4, 4, 2)
+	if got := PA(cfg, 0); got != 1 {
+		t.Errorf("PA(0) = %g, want 1", got)
+	}
+	// PA decreases with offered load.
+	prev := math.Inf(1)
+	for _, r := range []float64{0.1, 0.3, 0.5, 0.7, 0.9, 1} {
+		pa := PA(cfg, r)
+		if pa > prev+1e-12 {
+			t.Errorf("PA not monotone: PA(%g) = %g > previous %g", r, pa, prev)
+		}
+		if pa <= 0 || pa > 1 {
+			t.Errorf("PA(%g) = %g out of (0,1]", r, pa)
+		}
+		prev = pa
+	}
+}
+
+func TestStageRatesShape(t *testing.T) {
+	cfg := mustCfg(t, 64, 16, 4, 2)
+	rates := StageRates(cfg, 1)
+	if len(rates) != cfg.L+2 {
+		t.Fatalf("len(rates) = %d, want %d", len(rates), cfg.L+2)
+	}
+	if rates[0] != 1 {
+		t.Errorf("rates[0] = %g, want offered rate", rates[0])
+	}
+	for i, r := range rates {
+		if r < 0 || r > 1 {
+			t.Errorf("rates[%d] = %g out of [0,1]", i, r)
+		}
+		if i > 0 && r > rates[i-1]+1e-12 {
+			t.Errorf("rates must not increase through square-stage losses: rates[%d]=%g > rates[%d]=%g", i, r, i-1, rates[i-1])
+		}
+	}
+}
+
+// TestCapacityImprovesPA reproduces the qualitative claim of Figures 7
+// and 8: within a fixed switch size, higher capacity c gives strictly
+// better acceptance at the same network size, with the delta network
+// (c=1) worst; and every EDN sits below the full crossbar.
+func TestCapacityImprovesPA(t *testing.T) {
+	paAt := func(fam topology.Family, size int) float64 {
+		cfgs, err := fam.Configs(size, size)
+		if err != nil || len(cfgs) != 1 {
+			t.Fatalf("%v: no config of size %d (err=%v)", fam, size, err)
+		}
+		return PA(cfgs[0], 1)
+	}
+	// 512 inputs is in all three 8-I/O family series: 8^3, 4^4*2, 2^7*4.
+	pa841 := paAt(topology.Family{A: 8, B: 8, C: 1}, 512)
+	pa842 := paAt(topology.Family{A: 8, B: 4, C: 2}, 512)
+	pa824 := paAt(topology.Family{A: 8, B: 2, C: 4}, 512)
+	xbar := CrossbarPA(512, 1)
+	if !(pa841 < pa842 && pa842 < pa824) {
+		t.Errorf("capacity ordering violated: c=1 %.4f, c=2 %.4f, c=4 %.4f", pa841, pa842, pa824)
+	}
+	if !(pa824 < xbar) {
+		t.Errorf("EDN(8,2,4,*) %.4f should stay below crossbar %.4f", pa824, xbar)
+	}
+	// 16-wide switches beat 8-wide switches at the same size and capacity
+	// (Figure 8 vs Figure 7): compare EDN(16,8,2,*) and EDN(8,4,2,*) at
+	// 8192 inputs (8^4*2 and 4^6*2 respectively).
+	pa1682 := paAt(topology.Family{A: 16, B: 8, C: 2}, 8192)
+	pa842big := paAt(topology.Family{A: 8, B: 4, C: 2}, 8192)
+	if !(pa1682 > pa842big) {
+		t.Errorf("EDN(16,8,2,*) %.4f should beat EDN(8,4,2,*) %.4f at 8192 inputs", pa1682, pa842big)
+	}
+}
+
+func TestCrossbarPA(t *testing.T) {
+	if got := CrossbarPA(1, 1); !approx(got, 1, 1e-12) {
+		t.Errorf("1x1 crossbar PA(1) = %g, want 1", got)
+	}
+	if got := CrossbarPA(4, 0); got != 1 {
+		t.Errorf("crossbar PA(0) = %g, want 1", got)
+	}
+	// Large-n limit at r=1 is 1 - 1/e.
+	if got, want := CrossbarPA(1<<20, 1), 1-1/math.E; !approx(got, want, 1e-4) {
+		t.Errorf("large crossbar PA(1) = %.6f, want %.6f", got, want)
+	}
+	// An EDN(n,n,1,1) has the same acceptance as an n x n crossbar.
+	cfg := mustCfg(t, 16, 16, 1, 1)
+	for _, r := range []float64{0.25, 0.5, 1} {
+		if got, want := PA(cfg, r), CrossbarPA(16, r); !approx(got, want, 1e-12) {
+			t.Errorf("EDN(16,16,1,1) PA(%g) = %g, want crossbar %g", r, got, want)
+		}
+	}
+}
+
+func TestPAPermutationNoBlockingForShortNetworks(t *testing.T) {
+	// With l = 1 both the final hyperbar stage and the crossbar stage are
+	// "the last two stages": a permutation routes without loss.
+	cfg := mustCfg(t, 16, 4, 4, 1)
+	if got := PAPermutation(cfg, 1); !approx(got, 1, 1e-12) {
+		t.Errorf("PAp(l=1) = %g, want 1", got)
+	}
+	// Permutation acceptance must dominate uniform-traffic acceptance.
+	cfg2 := mustCfg(t, 64, 16, 4, 2)
+	for _, r := range []float64{0.25, 0.5, 1} {
+		pap := PAPermutation(cfg2, r)
+		pa := PA(cfg2, r)
+		if pap < pa-1e-12 {
+			t.Errorf("PAp(%g) = %g below PA = %g", r, pap, pa)
+		}
+		if pap > 1+1e-12 {
+			t.Errorf("PAp(%g) = %g exceeds 1", r, pap)
+		}
+	}
+	// The printed Equation 5 bound exempts one stage more, so it must be
+	// at least as optimistic as the Lemma-2-consistent version.
+	cfg3 := mustCfg(t, 8, 4, 2, 4)
+	for _, r := range []float64{0.5, 1} {
+		if PAPermutationPaperEq5(cfg3, r) < PAPermutation(cfg3, r)-1e-12 {
+			t.Errorf("printed Eq5 should be >= corrected PAp at r=%g", r)
+		}
+	}
+}
+
+func TestResubmissionFixedPoint(t *testing.T) {
+	cfg := mustCfg(t, 16, 4, 4, 6)
+	res, err := Resubmission(cfg, 0.5, ResubmissionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fixed point consistency: PA' == PA(r').
+	if got := PA(cfg, res.EffectiveRate); !approx(got, res.PAPrime, 1e-9) {
+		t.Errorf("fixed point violated: PA(r')=%g, PA'=%g", got, res.PAPrime)
+	}
+	// Markov chain sanity: probabilities sum to one; waiting is nonzero
+	// whenever some requests are rejected.
+	if !approx(res.QActive+res.QWaiting, 1, 1e-9) {
+		t.Errorf("qA + qW = %g, want 1", res.QActive+res.QWaiting)
+	}
+	if res.PAPrime >= 1 && res.QWaiting > 1e-9 {
+		t.Errorf("no rejections but qW = %g", res.QWaiting)
+	}
+	// Resubmission raises the load and lowers acceptance.
+	if res.EffectiveRate < 0.5 {
+		t.Errorf("r' = %g below fresh rate", res.EffectiveRate)
+	}
+	if res.PAPrime > PA(cfg, 0.5)+1e-12 {
+		t.Errorf("PA' = %g above PA = %g", res.PAPrime, PA(cfg, 0.5))
+	}
+	if res.Efficiency() <= 0 || res.Efficiency() > 1 {
+		t.Errorf("efficiency %g out of (0,1]", res.Efficiency())
+	}
+}
+
+func TestResubmissionZeroRate(t *testing.T) {
+	cfg := mustCfg(t, 16, 4, 4, 2)
+	res, err := Resubmission(cfg, 0, ResubmissionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PAPrime != 1 || res.QActive != 1 || res.EffectiveRate != 0 {
+		t.Errorf("zero-rate steady state wrong: %+v", res)
+	}
+	if _, err := Resubmission(cfg, 1.5, ResubmissionOptions{}); err == nil {
+		t.Error("expected range error for r > 1")
+	}
+}
+
+// TestMasParPermutationTime pins the Section 5.1 worked example:
+// RA-EDN(16,4,2,16) = EDN(64,16,4,2) with 1024 clusters of 16 PEs.
+// The paper reports PA(1) = .544, J = 5 and T ~= 34.41 cycles. Our PA(1)
+// matches to three digits, but the drain recursion as printed converges
+// in four steps (r_1=.456, r_2=.0885, r_3=.0029, r_4=3.2e-6; the first
+// rate with r*p < 1 is r_4), giving J = 4 and T ~= 33.41: exactly one
+// network cycle below the paper's figure. We pin the reproducible values
+// and record the one-cycle delta in EXPERIMENTS.md.
+func TestMasParPermutationTime(t *testing.T) {
+	cfg := mustCfg(t, 64, 16, 4, 2)
+	pt, err := ExpectedPermutationTime(cfg, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.P != 1024 {
+		t.Errorf("p = %d, want 1024", pt.P)
+	}
+	if !approx(pt.PA1, 0.544, 0.001) {
+		t.Errorf("PA(1) = %.6f, want 0.544", pt.PA1)
+	}
+	if pt.J != 4 {
+		t.Errorf("J = %d, want 4 (tail rates %v)", pt.J, pt.TailRates)
+	}
+	if !approx(pt.Cycles(), 33.41, 0.05) {
+		t.Errorf("expected time = %.3f, want ~33.41 (paper prints 34.41; see EXPERIMENTS.md)", pt.Cycles())
+	}
+	// Paper-shape check: within one cycle of the published number.
+	if math.Abs(pt.Cycles()-34.41) > 1.01 {
+		t.Errorf("expected time %.3f drifted more than one cycle from the paper's 34.41", pt.Cycles())
+	}
+}
+
+func TestExpectedPermutationTimeValidation(t *testing.T) {
+	// Non-square networks are rejected.
+	cfg := mustCfg(t, 8, 2, 2, 2)
+	if _, err := ExpectedPermutationTime(cfg, 4); err == nil {
+		t.Error("expected error for non-square network")
+	}
+	sq := mustCfg(t, 16, 4, 4, 2)
+	if _, err := ExpectedPermutationTime(sq, 0); err == nil {
+		t.Error("expected error for q=0")
+	}
+}
+
+// Property: for random square configs and rates, 0 <= PA <= 1 and
+// bandwidth never exceeds the output count.
+func TestQuickPABounds(t *testing.T) {
+	f := func(rawB, rawC, rawL uint8, rawR uint16) bool {
+		b := 1 << (rawB%3 + 1) // 2..8
+		c := 1 << (rawC % 3)   // 1..4
+		l := int(rawL%4) + 1   // 1..4
+		cfg := topology.Config{A: b * c, B: b, C: c, L: l}
+		if cfg.Validate() != nil {
+			return true
+		}
+		r := float64(rawR%1001) / 1000
+		pa := PA(cfg, r)
+		if pa < 0 || pa > 1+1e-9 {
+			return false
+		}
+		bw := Bandwidth(cfg, r)
+		return bw >= 0 && bw <= float64(cfg.Outputs())+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// binom computes C(n,k) in floating point for the direct-sum oracle.
+func binom(n, k int) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	r := 1.0
+	for i := 0; i < k; i++ {
+		r = r * float64(n-i) / float64(i+1)
+	}
+	return r
+}

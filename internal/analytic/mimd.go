@@ -1,0 +1,101 @@
+package analytic
+
+import (
+	"fmt"
+	"math"
+
+	"edn/internal/topology"
+)
+
+// MIMDResult captures the steady state of the Section 4 processor-memory
+// model: processors issue requests at rate r, blocked processors wait and
+// resubmit the same request every cycle until accepted (the two-state
+// Markov chain of Figure 10).
+type MIMDResult struct {
+	R             float64 // fresh request rate of an active processor
+	PAPrime       float64 // PA'(r): acceptance seen at the elevated load (Equation 9/10)
+	EffectiveRate float64 // r': actual per-input request rate (Equation 8)
+	QActive       float64 // steady-state probability a processor is active (Equation 7)
+	QWaiting      float64 // steady-state probability a processor is waiting
+	Iterations    int     // fixed-point iterations used
+}
+
+// Efficiency returns the Section 4 (Equation 11) efficiency of the system
+// relative to an ideal machine whose every memory request is satisfied
+// immediately: the fraction of time a processor spends active.
+func (m MIMDResult) Efficiency() float64 { return m.QActive }
+
+// MeanWaitCycles returns the expected number of cycles a request spends
+// blocked before acceptance, by Little's law: the waiting population
+// qW per processor divided by the per-processor throughput r'*PA'.
+// A request accepted on first submission waits zero cycles.
+func (m MIMDResult) MeanWaitCycles() float64 {
+	throughput := m.EffectiveRate * m.PAPrime
+	if throughput == 0 {
+		return 0
+	}
+	return m.QWaiting / throughput
+}
+
+// Bandwidth returns the expected number of satisfied requests per cycle
+// for a system with the given number of network inputs.
+func (m MIMDResult) Bandwidth(inputs int) float64 {
+	return float64(inputs) * m.EffectiveRate * m.PAPrime
+}
+
+// ResubmissionOptions tunes the Equation 10 fixed-point iteration.
+type ResubmissionOptions struct {
+	Tolerance     float64 // convergence threshold on |PA' - PA'_prev|; default 1e-12
+	MaxIterations int     // default 10000
+}
+
+func (o ResubmissionOptions) withDefaults() ResubmissionOptions {
+	if o.Tolerance <= 0 {
+		o.Tolerance = 1e-12
+	}
+	if o.MaxIterations <= 0 {
+		o.MaxIterations = 10000
+	}
+	return o
+}
+
+// Resubmission solves the Section 4 model for an EDN shared-memory system:
+// it iterates Equation 10,
+//
+//	PA'_(n+1)(r) = PA( r / (r + PA'_n(r) - r*PA'_n(r)) )
+//
+// from PA'_0(r) = PA(r) until convergence, then derives r', qA and qW
+// from Equations 7 and 8.
+func Resubmission(cfg topology.Config, r float64, opts ResubmissionOptions) (MIMDResult, error) {
+	if r < 0 || r > 1 {
+		return MIMDResult{}, fmt.Errorf("analytic: request rate %g out of [0,1]", r)
+	}
+	opts = opts.withDefaults()
+	if r == 0 {
+		return MIMDResult{R: 0, PAPrime: 1, EffectiveRate: 0, QActive: 1}, nil
+	}
+	pa := PA(cfg, r)
+	iters := 0
+	for ; iters < opts.MaxIterations; iters++ {
+		rPrime := r / (r + pa - r*pa)
+		next := PA(cfg, rPrime)
+		if math.Abs(next-pa) <= opts.Tolerance {
+			pa = next
+			break
+		}
+		pa = next
+	}
+	if iters == opts.MaxIterations {
+		return MIMDResult{}, fmt.Errorf("analytic: resubmission fixed point did not converge for %v at r=%g", cfg, r)
+	}
+	denom := r + pa - r*pa
+	res := MIMDResult{
+		R:             r,
+		PAPrime:       pa,
+		EffectiveRate: r / denom,
+		QActive:       pa / denom,
+		QWaiting:      r * (1 - pa) / denom,
+		Iterations:    iters + 1,
+	}
+	return res, nil
+}

@@ -1,0 +1,60 @@
+package analytic
+
+import (
+	"fmt"
+
+	"edn/internal/topology"
+)
+
+// PermutationTime is the Section 5.1 estimate of how many network cycles
+// an RA-EDN system needs to route a random permutation among p clusters
+// of q processors each.
+type PermutationTime struct {
+	P   int     // clusters (network ports)
+	Q   int     // processors per cluster
+	PA1 float64 // PA(1): acceptance under full load
+	// DrainCycles is the q/PA(1) phase during which nearly every cluster
+	// still holds undelivered messages and offers a request every cycle.
+	DrainCycles float64
+	// TailRates[j] is r_(j+1) of the drain recursion
+	// r_(j+1) = (1 - PA(r_j)) * r_j, starting from r_0 = 1; the tail ends
+	// at the first rate with r*p < 1.
+	TailRates []float64
+	// J is the number of tail cycles (the paper's J).
+	J int
+}
+
+// Cycles returns the expected total time, q/PA(1) + J.
+func (pt PermutationTime) Cycles() float64 { return pt.DrainCycles + float64(pt.J) }
+
+// ExpectedPermutationTime evaluates the Section 5.1 model for an
+// RA-EDN(b,c,l,q) system whose network is cfg = EDN(bc,b,c,l) with
+// p = b^l*c ports. The worked example in the paper is EDN(64,16,4,2) with
+// q=16: PA(1) = .544, J = 5, T ~= 34.41 cycles.
+func ExpectedPermutationTime(cfg topology.Config, q int) (PermutationTime, error) {
+	if err := cfg.Validate(); err != nil {
+		return PermutationTime{}, err
+	}
+	if !cfg.IsSquare() {
+		return PermutationTime{}, fmt.Errorf("analytic: RA-EDN needs a square network, got %v (%d x %d)", cfg, cfg.Inputs(), cfg.Outputs())
+	}
+	if q < 1 {
+		return PermutationTime{}, fmt.Errorf("analytic: cluster size q=%d must be positive", q)
+	}
+	p := cfg.Inputs()
+	pa1 := PA(cfg, 1)
+	pt := PermutationTime{P: p, Q: q, PA1: pa1, DrainCycles: float64(q) / pa1}
+
+	// Tail: r_0 = 1, r_(j+1) = (1 - PA(r_j)) r_j until r*p < 1. Guard the
+	// loop: the recursion contracts (PA > 0), but cap iterations anyway.
+	r := 1.0
+	for j := 0; j < 10000; j++ {
+		r = (1 - PA(cfg, r)) * r
+		pt.TailRates = append(pt.TailRates, r)
+		if r*float64(p) < 1 {
+			pt.J = j + 1
+			return pt, nil
+		}
+	}
+	return PermutationTime{}, fmt.Errorf("analytic: drain recursion did not converge for %v", cfg)
+}

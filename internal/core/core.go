@@ -1,0 +1,277 @@
+// Package core implements the paper's primary contribution as an
+// executable artifact: a cycle-level, circuit-switched Expanded Delta
+// Network. It binds the static structure of internal/topology, the
+// hyperbar/crossbar behavior of internal/switchfab and the
+// digit-retirement routing of internal/routing into a Network that
+// arbitrates whole request batches exactly as Section 2 describes.
+//
+// One RouteCycle call models one network cycle: every request propagates
+// stage by stage; a hyperbar bucket accepts at most c requests; losers
+// are dropped (circuit switched, no buffering); survivors of the final
+// c x c crossbar stage appear on their destination terminals.
+package core
+
+import (
+	"fmt"
+
+	"edn/internal/switchfab"
+	"edn/internal/topology"
+)
+
+// NoRequest marks an idle input in a request vector, and "not delivered"
+// in an output assignment.
+const NoRequest = -1
+
+// ArbiterFactory builds one arbiter per physical switch. Stateful
+// arbiters (round robin, random) need per-switch instances; stateless
+// ones may return a shared value.
+type ArbiterFactory func() switchfab.Arbiter
+
+// PriorityArbiters is the default factory: the paper's input-label
+// priority rule.
+func PriorityArbiters() switchfab.Arbiter { return switchfab.PriorityArbiter{} }
+
+// Network is an instantiated EDN ready to route request batches. It is
+// not safe for concurrent use; build one per goroutine (construction is
+// cheap — switch state is lazily allocated).
+type Network struct {
+	cfg      topology.Config
+	factory  ArbiterFactory
+	arbiters [][]switchfab.Arbiter // [stage-1][switch]
+	workers  int                   // goroutines per stage; <=1 means serial
+	// scratch buffers reused across cycles
+	lineOwner []int
+	digits    []int
+}
+
+// NewNetwork builds a network for cfg. A nil factory selects the paper's
+// priority arbitration.
+func NewNetwork(cfg topology.Config, factory ArbiterFactory) (*Network, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if factory == nil {
+		factory = PriorityArbiters
+	}
+	n := &Network{cfg: cfg, factory: factory}
+	n.arbiters = make([][]switchfab.Arbiter, cfg.Stages())
+	for s := 1; s <= cfg.Stages(); s++ {
+		n.arbiters[s-1] = make([]switchfab.Arbiter, cfg.SwitchesInStage(s))
+	}
+	maxW := cfg.Inputs()
+	for i := 0; i <= cfg.L+1; i++ {
+		if w := cfg.WiresAfterStage(i); w > maxW {
+			maxW = w
+		}
+	}
+	n.lineOwner = make([]int, maxW)
+	n.digits = make([]int, cfg.A)
+	return n, nil
+}
+
+// Config returns the network's configuration.
+func (n *Network) Config() topology.Config { return n.cfg }
+
+func (n *Network) arbiter(stage, sw int) switchfab.Arbiter {
+	if n.arbiters[stage-1][sw] == nil {
+		n.arbiters[stage-1][sw] = n.factory()
+	}
+	return n.arbiters[stage-1][sw]
+}
+
+// Outcome reports the fate of one input's request in a cycle.
+type Outcome struct {
+	// Output is the network output terminal the request reached, or
+	// NoRequest if the input was idle or the request was blocked.
+	Output int
+	// BlockedStage is the 1-based stage at which the request lost
+	// arbitration, or 0 if it was idle or delivered.
+	BlockedStage int
+}
+
+// Delivered reports whether the request reached an output.
+func (o Outcome) Delivered() bool { return o.Output != NoRequest }
+
+// CycleStats aggregates one RouteCycle call.
+type CycleStats struct {
+	Offered   int   // inputs carrying a request
+	Delivered int   // requests that reached their destination
+	Blocked   []int // Blocked[s-1] = requests dropped at stage s
+}
+
+// BlockedTotal returns the total number of dropped requests.
+func (cs CycleStats) BlockedTotal() int {
+	t := 0
+	for _, b := range cs.Blocked {
+		t += b
+	}
+	return t
+}
+
+// PA returns the cycle's empirical probability of acceptance
+// (delivered/offered), or 1 for an idle cycle.
+func (cs CycleStats) PA() float64 {
+	if cs.Offered == 0 {
+		return 1
+	}
+	return float64(cs.Delivered) / float64(cs.Offered)
+}
+
+// RouteCycle routes one batch of requests: dest[i] is the destination
+// terminal requested by input i, or NoRequest. It returns one Outcome per
+// input plus aggregate statistics.
+//
+// Digit retirement follows Section 2: stage i consumes d_(l-i) of the
+// destination tag, the final crossbar stage consumes x. The c-way wire
+// freedom inside each bucket (Theorem 2) is resolved by arbitration
+// order, which is how the MasPar hyperbar behaves.
+func (n *Network) RouteCycle(dest []int) ([]Outcome, CycleStats, error) {
+	cfg := n.cfg
+	if len(dest) != cfg.Inputs() {
+		return nil, CycleStats{}, fmt.Errorf("core: %v got %d requests, want %d inputs", cfg, len(dest), cfg.Inputs())
+	}
+
+	outcomes := make([]Outcome, len(dest))
+	stats := CycleStats{Blocked: make([]int, cfg.Stages())}
+
+	// Live message bookkeeping: line[i] = current wire of input i's
+	// request, or NoRequest once dropped/idle.
+	line := make([]int, len(dest))
+	for i, d := range dest {
+		if d == NoRequest {
+			line[i] = NoRequest
+			outcomes[i] = Outcome{Output: NoRequest}
+			continue
+		}
+		if d < 0 || d >= cfg.Outputs() {
+			return nil, CycleStats{}, fmt.Errorf("core: input %d requests output %d out of range [0,%d)", i, d, cfg.Outputs())
+		}
+		line[i] = i
+		stats.Offered++
+	}
+
+	hb := cfg.Hyperbar()
+	xb := cfg.OutputCrossbar()
+
+	for s := 1; s <= cfg.L; s++ {
+		wires := cfg.WiresAfterStage(s - 1)
+		n.resetOwners(wires)
+		for i, ln := range line {
+			if ln != NoRequest {
+				n.lineOwner[ln] = i
+			}
+		}
+		if n.workers > 1 {
+			blocked, _, err := n.routeStageParallel(s, dest, line, outcomes)
+			if err != nil {
+				return nil, CycleStats{}, err
+			}
+			stats.Blocked[s-1] = blocked
+			continue
+		}
+		g := cfg.InterstageGamma(s)
+		switches := cfg.SwitchesInStage(s)
+		for sw := 0; sw < switches; sw++ {
+			base := sw * cfg.A
+			busy := false
+			for p := 0; p < cfg.A; p++ {
+				owner := n.lineOwner[base+p]
+				if owner == NoRequest {
+					n.digits[p] = switchfab.Idle
+					continue
+				}
+				busy = true
+				// Retire d_(l-s): positional digit index l-s of dest/c.
+				n.digits[p] = digitAt(dest[owner]/cfg.C, cfg.B, cfg.L-s)
+			}
+			if !busy {
+				continue
+			}
+			grants, _, err := hb.Route(n.digits[:cfg.A], n.arbiter(s, sw))
+			if err != nil {
+				return nil, CycleStats{}, fmt.Errorf("core: stage %d switch %d: %w", s, sw, err)
+			}
+			for p, o := range grants {
+				owner := n.lineOwner[base+p]
+				if owner == NoRequest {
+					continue
+				}
+				if o == switchfab.Idle {
+					line[owner] = NoRequest
+					outcomes[owner] = Outcome{Output: NoRequest, BlockedStage: s}
+					stats.Blocked[s-1]++
+					continue
+				}
+				line[owner] = g.Apply(sw*(cfg.B*cfg.C) + o)
+			}
+		}
+	}
+
+	// Final stage: c x c crossbars, digit x = dest mod c.
+	wires := cfg.WiresAfterStage(cfg.L)
+	n.resetOwners(wires)
+	for i, ln := range line {
+		if ln != NoRequest {
+			n.lineOwner[ln] = i
+		}
+	}
+	lastStage := cfg.L + 1
+	if n.workers > 1 {
+		blocked, delivered, err := n.routeStageParallel(lastStage, dest, line, outcomes)
+		if err != nil {
+			return nil, CycleStats{}, err
+		}
+		stats.Blocked[lastStage-1] = blocked
+		stats.Delivered = delivered
+		return outcomes, stats, nil
+	}
+	for sw := 0; sw < cfg.SwitchesInStage(lastStage); sw++ {
+		base := sw * cfg.C
+		busy := false
+		for p := 0; p < cfg.C; p++ {
+			owner := n.lineOwner[base+p]
+			if owner == NoRequest {
+				n.digits[p] = switchfab.Idle
+				continue
+			}
+			busy = true
+			n.digits[p] = dest[owner] % cfg.C
+		}
+		if !busy {
+			continue
+		}
+		grants, _, err := xb.Route(n.digits[:cfg.C], n.arbiter(lastStage, sw))
+		if err != nil {
+			return nil, CycleStats{}, fmt.Errorf("core: crossbar %d: %w", sw, err)
+		}
+		for p, o := range grants {
+			owner := n.lineOwner[base+p]
+			if owner == NoRequest {
+				continue
+			}
+			if o == switchfab.Idle {
+				outcomes[owner] = Outcome{Output: NoRequest, BlockedStage: lastStage}
+				stats.Blocked[lastStage-1]++
+				continue
+			}
+			out := base + o
+			outcomes[owner] = Outcome{Output: out}
+			stats.Delivered++
+		}
+	}
+	return outcomes, stats, nil
+}
+
+func (n *Network) resetOwners(wires int) {
+	for i := 0; i < wires; i++ {
+		n.lineOwner[i] = NoRequest
+	}
+}
+
+// digitAt returns the base-b digit with positional weight b^idx of v.
+func digitAt(v, b, idx int) int {
+	for ; idx > 0; idx-- {
+		v /= b
+	}
+	return v % b
+}

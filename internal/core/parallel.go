@@ -1,0 +1,149 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"edn/internal/switchfab"
+)
+
+// SetParallelism configures RouteCycle to arbitrate the switches of each
+// stage across up to n goroutines. Switches within a stage are mutually
+// independent — they share no wires, no arbitration state and no message
+// ownership — so the parallel result is bit-identical to the serial one.
+// n <= 1 restores serial operation; n <= 0 selects GOMAXPROCS.
+//
+// Parallel mode instantiates every per-switch arbiter eagerly (the lazy
+// path would race on the factory), so stateful factories observe all
+// their calls up front, in deterministic stage/switch order.
+//
+// Performance note: on the geometries evaluated in this repository
+// (up to 16K ports) stage-level parallelism does NOT pay off — after the
+// interstage shuffle, neighbouring switches write to scattered slots of
+// the shared line/outcome arrays and the workers bottleneck on cache
+// traffic (see BenchmarkRouteCycleSerialVsParallel). The knob is kept
+// because it is correct, race-clean and useful for very wide switches;
+// for Monte-Carlo throughput, parallelize across independent runs
+// instead (simulate.MeasureUniformPAParallel).
+func (n *Network) SetParallelism(workers int) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	n.workers = workers
+	if workers > 1 {
+		for s := 1; s <= n.cfg.Stages(); s++ {
+			for sw := range n.arbiters[s-1] {
+				if n.arbiters[s-1][sw] == nil {
+					n.arbiters[s-1][sw] = n.factory()
+				}
+			}
+		}
+	}
+}
+
+// routeStageParallel arbitrates one hyperbar or crossbar stage with the
+// configured worker count. It mirrors the serial loops in RouteCycle;
+// each worker owns a contiguous switch range, a private digit buffer and
+// a private blocked counter, merged after the barrier.
+func (n *Network) routeStageParallel(stage int, dest, line []int, outcomes []Outcome) (blocked, delivered int, err error) {
+	cfg := n.cfg
+	switches := cfg.SwitchesInStage(stage)
+	isCrossbar := stage == cfg.L+1
+	width := cfg.A
+	if isCrossbar {
+		width = cfg.C
+	}
+	var g interface{ Apply(int) int }
+	if !isCrossbar {
+		g = cfg.InterstageGamma(stage)
+	}
+	hb := cfg.Hyperbar()
+	xb := cfg.OutputCrossbar()
+
+	workers := n.workers
+	if workers > switches {
+		workers = switches
+	}
+	type result struct {
+		blocked   int
+		delivered int
+		err       error
+	}
+	results := make([]result, workers)
+	var wg sync.WaitGroup
+	chunk := (switches + workers - 1) / workers
+	for wkr := 0; wkr < workers; wkr++ {
+		lo := wkr * chunk
+		hi := lo + chunk
+		if hi > switches {
+			hi = switches
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(wkr, lo, hi int) {
+			defer wg.Done()
+			digits := make([]int, width)
+			res := &results[wkr]
+			for sw := lo; sw < hi; sw++ {
+				base := sw * width
+				busy := false
+				for p := 0; p < width; p++ {
+					owner := n.lineOwner[base+p]
+					if owner == NoRequest {
+						digits[p] = switchfab.Idle
+						continue
+					}
+					busy = true
+					if isCrossbar {
+						digits[p] = dest[owner] % cfg.C
+					} else {
+						digits[p] = digitAt(dest[owner]/cfg.C, cfg.B, cfg.L-stage)
+					}
+				}
+				if !busy {
+					continue
+				}
+				var grants []int
+				var routeErr error
+				if isCrossbar {
+					grants, _, routeErr = xb.Route(digits, n.arbiters[stage-1][sw])
+				} else {
+					grants, _, routeErr = hb.Route(digits, n.arbiters[stage-1][sw])
+				}
+				if routeErr != nil {
+					res.err = fmt.Errorf("core: stage %d switch %d: %w", stage, sw, routeErr)
+					return
+				}
+				for p, o := range grants {
+					owner := n.lineOwner[base+p]
+					if owner == NoRequest {
+						continue
+					}
+					switch {
+					case o == switchfab.Idle:
+						line[owner] = NoRequest
+						outcomes[owner] = Outcome{Output: NoRequest, BlockedStage: stage}
+						res.blocked++
+					case isCrossbar:
+						outcomes[owner] = Outcome{Output: base + o}
+						res.delivered++
+					default:
+						line[owner] = g.Apply(sw*(cfg.B*cfg.C) + o)
+					}
+				}
+			}
+		}(wkr, lo, hi)
+	}
+	wg.Wait()
+	for _, r := range results {
+		if r.err != nil {
+			return 0, 0, r.err
+		}
+		blocked += r.blocked
+		delivered += r.delivered
+	}
+	return blocked, delivered, nil
+}

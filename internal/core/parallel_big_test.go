@@ -1,0 +1,44 @@
+package core
+
+import (
+	"testing"
+
+	"edn/internal/topology"
+	"edn/internal/xrand"
+)
+
+// BenchmarkRouteCycleBigNetwork compares serial and parallel cycle
+// routing on a 16K-port EDN(64,16,4,3), where each stage carries enough
+// independent switch work to amortize the fan-out barrier.
+func BenchmarkRouteCycleBigNetwork(b *testing.B) {
+	cfg, err := topology.New(64, 16, 4, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := xrand.New(7)
+	dest := make([]int, cfg.Inputs())
+	for i := range dest {
+		dest[i] = rng.Intn(cfg.Outputs())
+	}
+	for _, workers := range []int{1, 8} {
+		name := "serial"
+		if workers > 1 {
+			name = "parallel8"
+		}
+		b.Run(name, func(b *testing.B) {
+			n, err := NewNetwork(cfg, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if workers > 1 {
+				n.SetParallelism(workers)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := n.RouteCycle(dest); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

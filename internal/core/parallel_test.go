@@ -1,0 +1,172 @@
+package core
+
+import (
+	"testing"
+
+	"edn/internal/switchfab"
+	"edn/internal/topology"
+	"edn/internal/xrand"
+)
+
+// TestParallelMatchesSerial: switches within a stage are independent, so
+// the parallel cycle must be bit-identical to the serial one — same
+// outcomes, same per-stage blocking — across loads and geometries.
+func TestParallelMatchesSerial(t *testing.T) {
+	for _, dims := range [][4]int{{16, 4, 4, 2}, {64, 16, 4, 2}, {8, 4, 2, 3}, {8, 8, 1, 2}} {
+		cfg, err := topology.New(dims[0], dims[1], dims[2], dims[3])
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial, err := NewNetwork(cfg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parallel, err := NewNetwork(cfg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parallel.SetParallelism(4)
+
+		rng := xrand.New(55)
+		dest := make([]int, cfg.Inputs())
+		for trial := 0; trial < 20; trial++ {
+			for i := range dest {
+				if rng.Bool(0.8) {
+					dest[i] = rng.Intn(cfg.Outputs())
+				} else {
+					dest[i] = NoRequest
+				}
+			}
+			so, ss, err := serial.RouteCycle(dest)
+			if err != nil {
+				t.Fatal(err)
+			}
+			po, ps, err := parallel.RouteCycle(dest)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ss.Delivered != ps.Delivered || ss.Offered != ps.Offered {
+				t.Fatalf("%v trial %d: stats diverge: %+v vs %+v", cfg, trial, ss, ps)
+			}
+			for s := range ss.Blocked {
+				if ss.Blocked[s] != ps.Blocked[s] {
+					t.Fatalf("%v trial %d: stage %d blocking %d vs %d", cfg, trial, s+1, ss.Blocked[s], ps.Blocked[s])
+				}
+			}
+			for i := range so {
+				if so[i] != po[i] {
+					t.Fatalf("%v trial %d input %d: outcome %+v vs %+v", cfg, trial, i, so[i], po[i])
+				}
+			}
+		}
+	}
+}
+
+// TestParallelStatefulArbiters: round-robin arbiters keep per-switch
+// state; the parallel engine must produce the same sequence of grants as
+// the serial one across consecutive cycles.
+func TestParallelStatefulArbiters(t *testing.T) {
+	cfg, err := topology.New(16, 4, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	factory := func() switchfab.Arbiter { return &switchfab.RoundRobinArbiter{} }
+	serial, err := NewNetwork(cfg, factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := NewNetwork(cfg, factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel.SetParallelism(3)
+
+	dest := make([]int, cfg.Inputs())
+	for i := range dest {
+		dest[i] = i % cfg.Outputs()
+	}
+	for cycle := 0; cycle < 10; cycle++ {
+		so, _, err := serial.RouteCycle(dest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		po, _, err := parallel.RouteCycle(dest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range so {
+			if so[i] != po[i] {
+				t.Fatalf("cycle %d input %d: %+v vs %+v", cycle, i, so[i], po[i])
+			}
+		}
+	}
+}
+
+func TestSetParallelismDefaults(t *testing.T) {
+	cfg, err := topology.New(16, 4, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := NewNetwork(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.SetParallelism(0) // GOMAXPROCS
+	if n.workers < 1 {
+		t.Fatalf("workers = %d", n.workers)
+	}
+	// All arbiters eagerly instantiated.
+	for s := 1; s <= cfg.Stages(); s++ {
+		for sw, arb := range n.arbiters[s-1] {
+			if arb == nil {
+				t.Fatalf("stage %d switch %d arbiter not instantiated", s, sw)
+			}
+		}
+	}
+	// And the network still routes correctly.
+	dest := make([]int, cfg.Inputs())
+	for i := range dest {
+		dest[i] = NoRequest
+	}
+	dest[3] = 42
+	out, _, err := n.RouteCycle(dest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[3].Output != 42 {
+		t.Fatalf("parallel single-message delivery failed: %+v", out[3])
+	}
+}
+
+func BenchmarkRouteCycleSerialVsParallel(b *testing.B) {
+	cfg, err := topology.New(64, 16, 4, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := xrand.New(7)
+	dest := make([]int, cfg.Inputs())
+	for i := range dest {
+		dest[i] = rng.Intn(cfg.Outputs())
+	}
+	for _, workers := range []int{1, 4} {
+		name := "serial"
+		if workers > 1 {
+			name = "parallel4"
+		}
+		b.Run(name, func(b *testing.B) {
+			n, err := NewNetwork(cfg, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if workers > 1 {
+				n.SetParallelism(workers)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := n.RouteCycle(dest); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

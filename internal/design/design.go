@@ -1,0 +1,149 @@
+// Package design explores the EDN design space that Sections 2-3 open
+// up: for a required machine size, every square EDN(bc,b,c,l) geometry
+// is a candidate, trading switch width and bucket capacity against
+// crosspoint and wire cost. The paper's headline claim is that members
+// of the family reach crossbar-like acceptance at delta-like cost; this
+// package makes that trade-off queryable — enumerate the candidates,
+// rank them, and extract the cost/performance Pareto front.
+package design
+
+import (
+	"fmt"
+	"sort"
+
+	"edn/internal/analytic"
+	"edn/internal/topology"
+)
+
+// Point is one candidate network evaluated on the three axes the paper
+// uses: acceptance at full load (Equation 4), crosspoint cost
+// (Equation 2) and wire cost (Equation 3).
+type Point struct {
+	Config      topology.Config
+	PA1         float64
+	Crosspoints int64
+	Wires       int64
+}
+
+// String renders the point compactly.
+func (p Point) String() string {
+	return fmt.Sprintf("%v: PA(1)=%.4f, %d crosspoints, %d wires", p.Config, p.PA1, p.Crosspoints, p.Wires)
+}
+
+// Enumerate returns every square EDN(bc,b,c,l) with exactly `ports`
+// inputs and a switch no wider than maxSwitch (a = b*c <= maxSwitch),
+// evaluated and sorted by descending PA(1). The crossbar appears when
+// maxSwitch >= ports; the delta families always do.
+func Enumerate(ports, maxSwitch int) ([]Point, error) {
+	if ports < 2 || ports&(ports-1) != 0 {
+		return nil, fmt.Errorf("design: ports=%d must be a power of two >= 2", ports)
+	}
+	if maxSwitch < 2 {
+		return nil, fmt.Errorf("design: maxSwitch=%d must be at least 2", maxSwitch)
+	}
+	var points []Point
+	for b := 2; b <= maxSwitch; b *= 2 {
+		for c := 1; b*c <= maxSwitch; c *= 2 {
+			// Square network: inputs = b^l * c; find an integral l.
+			rest := ports / c
+			if rest*c != ports {
+				continue
+			}
+			l, ok := logBase(rest, b)
+			if !ok || l < 1 {
+				continue
+			}
+			cfg, err := topology.New(b*c, b, c, l)
+			if err != nil {
+				continue // size guard; skip
+			}
+			points = append(points, Point{
+				Config:      cfg,
+				PA1:         analytic.PA(cfg, 1),
+				Crosspoints: cfg.CrosspointCount(),
+				Wires:       cfg.WireCount(),
+			})
+		}
+	}
+	if len(points) == 0 {
+		return nil, fmt.Errorf("design: no square EDN with %d ports and switches <= %d", ports, maxSwitch)
+	}
+	sort.Slice(points, func(i, j int) bool {
+		if points[i].PA1 != points[j].PA1 {
+			return points[i].PA1 > points[j].PA1
+		}
+		return points[i].Crosspoints < points[j].Crosspoints
+	})
+	return points, nil
+}
+
+// BestUnderBudget returns the highest-PA point whose crosspoint cost
+// stays within budget, and whether one exists.
+func BestUnderBudget(points []Point, budget int64) (Point, bool) {
+	best := Point{PA1: -1}
+	for _, p := range points {
+		if p.Crosspoints <= budget && p.PA1 > best.PA1 {
+			best = p
+		}
+	}
+	return best, best.PA1 >= 0
+}
+
+// CheapestAtFloor returns the lowest-cost point with PA(1) >= floor, and
+// whether one exists.
+func CheapestAtFloor(points []Point, floor float64) (Point, bool) {
+	var best Point
+	found := false
+	for _, p := range points {
+		if p.PA1 < floor {
+			continue
+		}
+		if !found || p.Crosspoints < best.Crosspoints {
+			best = p
+			found = true
+		}
+	}
+	return best, found
+}
+
+// ParetoFront returns the points not dominated on (PA(1), crosspoints):
+// a point is dominated if another has at least its acceptance for
+// strictly less cost, or more acceptance for at most the same cost. The
+// result is sorted by ascending cost (and therefore ascending PA).
+func ParetoFront(points []Point) []Point {
+	var front []Point
+	for _, p := range points {
+		dominated := false
+		for _, q := range points {
+			if q.Config == p.Config {
+				continue
+			}
+			if (q.PA1 >= p.PA1 && q.Crosspoints < p.Crosspoints) ||
+				(q.PA1 > p.PA1 && q.Crosspoints <= p.Crosspoints) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			front = append(front, p)
+		}
+	}
+	sort.Slice(front, func(i, j int) bool { return front[i].Crosspoints < front[j].Crosspoints })
+	return front
+}
+
+// logBase returns (log_base(v), true) when v is an exact power of base.
+func logBase(v, base int) (int, bool) {
+	if v < 1 || base < 2 {
+		return 0, false
+	}
+	l := 0
+	for v > 1 {
+		if v%base != 0 {
+			return 0, false
+		}
+		v /= base
+		l++
+	}
+	return l, true
+}

@@ -1,0 +1,202 @@
+package design
+
+import (
+	"testing"
+
+	"edn/internal/topology"
+)
+
+func TestEnumerateValidation(t *testing.T) {
+	if _, err := Enumerate(1000, 64); err == nil {
+		t.Error("expected error for non-power-of-two ports")
+	}
+	if _, err := Enumerate(1024, 1); err == nil {
+		t.Error("expected error for tiny switch cap")
+	}
+	if _, err := Enumerate(0, 64); err == nil {
+		t.Error("expected error for zero ports")
+	}
+}
+
+func TestEnumerateContainsKnownDesigns(t *testing.T) {
+	points, err := Enumerate(1024, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{
+		"EDN(64,16,4,2)": false, // the MasPar router
+		"EDN(2,2,1,10)":  false, // the binary delta
+		"EDN(4,2,2,9)":   false,
+	}
+	for _, p := range points {
+		name := p.Config.String()
+		if _, ok := want[name]; ok {
+			want[name] = true
+		}
+		if p.Config.Inputs() != 1024 || !p.Config.IsSquare() {
+			t.Fatalf("non-square or wrong-size candidate %v", p.Config)
+		}
+		if p.Config.A > 64 {
+			t.Fatalf("switch too wide: %v", p.Config)
+		}
+		if p.PA1 <= 0 || p.PA1 > 1 {
+			t.Fatalf("bad PA for %v: %g", p.Config, p.PA1)
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("expected candidate %s missing", name)
+		}
+	}
+	// Sorted by descending PA.
+	for i := 1; i < len(points); i++ {
+		if points[i].PA1 > points[i-1].PA1+1e-12 {
+			t.Fatalf("points not sorted by PA at %d", i)
+		}
+	}
+}
+
+func TestCrossbarAppearsOnlyWithWideSwitches(t *testing.T) {
+	narrow, err := Enumerate(256, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range narrow {
+		if p.Config.IsCrossbarNetwork() {
+			t.Fatalf("crossbar %v should not fit in 64-wide switches", p.Config)
+		}
+	}
+	wide, err := Enumerate(256, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundXbar := false
+	for _, p := range wide {
+		if p.Config.IsCrossbarNetwork() {
+			foundXbar = true
+			// The crossbar tops the PA ranking.
+			if p.Config != wide[0].Config {
+				t.Errorf("crossbar should rank first, got %v", wide[0].Config)
+			}
+		}
+	}
+	if !foundXbar {
+		t.Error("crossbar missing from wide enumeration")
+	}
+}
+
+func TestBestUnderBudget(t *testing.T) {
+	points, err := Enumerate(1024, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cheapest int64 = 1 << 62
+	for _, p := range points {
+		if p.Crosspoints < cheapest {
+			cheapest = p.Crosspoints
+		}
+	}
+	if _, ok := BestUnderBudget(points, cheapest-1); ok {
+		t.Error("sub-minimal budget should find nothing")
+	}
+	best, ok := BestUnderBudget(points, 1<<62)
+	if !ok {
+		t.Fatal("unlimited budget found nothing")
+	}
+	if best.PA1 != points[0].PA1 {
+		t.Errorf("unlimited budget should return the top point, got %v", best)
+	}
+	// A mid budget returns something affordable and maximal among the
+	// affordable.
+	mid := (cheapest + points[0].Crosspoints) / 2
+	p, ok := BestUnderBudget(points, mid)
+	if !ok {
+		t.Fatal("mid budget found nothing")
+	}
+	if p.Crosspoints > mid {
+		t.Errorf("selected point over budget: %v", p)
+	}
+	for _, q := range points {
+		if q.Crosspoints <= mid && q.PA1 > p.PA1 {
+			t.Errorf("better affordable point exists: %v beats %v", q, p)
+		}
+	}
+}
+
+func TestCheapestAtFloor(t *testing.T) {
+	points, err := Enumerate(1024, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := CheapestAtFloor(points, 0.999); ok {
+		t.Error("no 1024-port EDN with 64-wide switches reaches PA 0.999")
+	}
+	p, ok := CheapestAtFloor(points, 0.5)
+	if !ok {
+		t.Fatal("no candidate at floor 0.5; expected at least the MasPar design")
+	}
+	if p.PA1 < 0.5 {
+		t.Errorf("selected point below floor: %v", p)
+	}
+	for _, q := range points {
+		if q.PA1 >= 0.5 && q.Crosspoints < p.Crosspoints {
+			t.Errorf("cheaper point at floor exists: %v beats %v", q, p)
+		}
+	}
+}
+
+func TestParetoFront(t *testing.T) {
+	points, err := Enumerate(1024, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := ParetoFront(points)
+	if len(front) == 0 || len(front) > len(points) {
+		t.Fatalf("front size %d of %d", len(front), len(points))
+	}
+	// Ascending in both cost and PA along the front, with no dominated
+	// members.
+	for i := 1; i < len(front); i++ {
+		if front[i].Crosspoints < front[i-1].Crosspoints {
+			t.Fatal("front not sorted by cost")
+		}
+		if front[i].PA1 <= front[i-1].PA1 {
+			t.Fatalf("front member %v does not improve PA over %v", front[i], front[i-1])
+		}
+	}
+	for _, f := range front {
+		for _, q := range points {
+			if (q.PA1 >= f.PA1 && q.Crosspoints < f.Crosspoints) ||
+				(q.PA1 > f.PA1 && q.Crosspoints <= f.Crosspoints) {
+				t.Fatalf("front member %v dominated by %v", f, q)
+			}
+		}
+	}
+}
+
+func TestLogBase(t *testing.T) {
+	cases := []struct {
+		v, base, want int
+		ok            bool
+	}{
+		{1, 2, 0, true}, {8, 2, 3, true}, {81, 3, 4, true},
+		{6, 2, 0, false}, {0, 2, 0, false}, {8, 1, 0, false},
+	}
+	for _, c := range cases {
+		got, ok := logBase(c.v, c.base)
+		if ok != c.ok || (ok && got != c.want) {
+			t.Errorf("logBase(%d,%d) = (%d,%v), want (%d,%v)", c.v, c.base, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestPointString(t *testing.T) {
+	cfg, err := topology.New(64, 16, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Point{Config: cfg, PA1: 0.5437, Crosspoints: 135168, Wires: 4096}
+	if s := p.String(); s == "" {
+		t.Error("empty point rendering")
+	}
+}

@@ -1,0 +1,131 @@
+package dilated
+
+import (
+	"math"
+	"testing"
+)
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		b, d, l int
+		ok      bool
+	}{
+		{4, 4, 4, true},
+		{2, 1, 3, true},
+		{3, 2, 2, false},
+		{4, 3, 2, false},
+		{4, 2, 0, false},
+		{2, 2, 60, false},
+	}
+	for _, c := range cases {
+		_, err := New(c.b, c.d, c.l)
+		if (err == nil) != c.ok {
+			t.Errorf("New(%d,%d,%d) err=%v want ok=%v", c.b, c.d, c.l, err, c.ok)
+		}
+	}
+}
+
+func TestUndilatedMatchesDelta(t *testing.T) {
+	// d=1 must collapse to the plain delta network acceptance.
+	dd, err := New(4, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Patel's recursion for a square radix-4 delta.
+	for _, r := range []float64{0.25, 0.5, 1} {
+		ri := r
+		for i := 0; i < 3; i++ {
+			ri = 1 - math.Pow(1-ri/4, 4)
+		}
+		want := ri / r
+		if got := dd.PA(r); math.Abs(got-want) > 1e-12 {
+			t.Errorf("PA(%g) = %g, want delta %g", r, got, want)
+		}
+	}
+}
+
+func TestDilationImprovesPA(t *testing.T) {
+	d1, _ := New(4, 1, 4)
+	d2, _ := New(4, 2, 4)
+	d4, _ := New(4, 4, 4)
+	pa1, pa2, pa4 := d1.PA(1), d2.PA(1), d4.PA(1)
+	if !(pa1 < pa2 && pa2 < pa4) {
+		t.Errorf("dilation ordering violated: %g, %g, %g", pa1, pa2, pa4)
+	}
+}
+
+// TestSection1WireClaim verifies the introduction's cost claim: a
+// d-dilated delta uses exactly d times the interstage wires of the EDN
+// with the same number of inputs.
+func TestSection1WireClaim(t *testing.T) {
+	cases := []struct{ b, d, l int }{
+		{4, 4, 3}, {2, 2, 4}, {4, 1, 3}, {2, 4, 5},
+	}
+	for _, c := range cases {
+		dd, err := New(c.b, c.d, c.l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratio, err := dd.WireRatioVersusEDN()
+		if err != nil {
+			t.Fatalf("%v: %v", dd, err)
+		}
+		if math.Abs(ratio-float64(c.d)) > 1e-12 {
+			t.Errorf("%v: wire ratio %g, want %d", dd, ratio, c.d)
+		}
+	}
+}
+
+func TestEquivalentEDNGeometry(t *testing.T) {
+	dd, err := New(4, 4, 3) // 64 ports
+	if err != nil {
+		t.Fatal(err)
+	}
+	edn, err := dd.EquivalentEDN()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if edn.Inputs() != dd.Ports() || edn.Outputs() != dd.Ports() {
+		t.Errorf("equivalent EDN %v is %dx%d, want %d ports", edn, edn.Inputs(), edn.Outputs(), dd.Ports())
+	}
+	if edn.A != 16 || edn.B != 4 || edn.C != 4 || edn.L != 2 {
+		t.Errorf("equivalent EDN = %v, want EDN(16,4,4,2)", edn)
+	}
+	// Dilation not a power of the radix: no equivalent.
+	dd2, err := New(4, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dd2.EquivalentEDN(); err == nil {
+		t.Error("expected no-equivalent error for d=2, b=4")
+	}
+	// Too shallow.
+	dd3, err := New(4, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dd3.EquivalentEDN(); err == nil {
+		t.Error("expected too-shallow error")
+	}
+}
+
+func TestCostsArePositiveAndScale(t *testing.T) {
+	small, _ := New(4, 2, 2)
+	big, _ := New(4, 2, 3)
+	if small.WireCount() <= 0 || small.CrosspointCount() <= 0 {
+		t.Fatal("non-positive costs")
+	}
+	if big.WireCount() <= small.WireCount() {
+		t.Error("wire cost should grow with l")
+	}
+	if big.CrosspointCount() <= small.CrosspointCount() {
+		t.Error("crosspoint cost should grow with l")
+	}
+}
+
+func TestPAZeroRate(t *testing.T) {
+	dd, _ := New(4, 2, 3)
+	if got := dd.PA(0); got != 1 {
+		t.Errorf("PA(0) = %g, want 1", got)
+	}
+}

@@ -1,0 +1,156 @@
+// Package gamma implements the bit-field permutations used to wire the
+// stages of an Expanded Delta Network together.
+//
+// The central object is the gamma permutation of Definition 3 in the paper:
+// gamma_{j,k} acts on an n-bit label by fixing the j least significant bits
+// and left-cyclic-shifting the remaining n-j bits by k positions. Special
+// cases recover well-known interconnection permutations:
+//
+//	gamma_{0,1}        the perfect shuffle of 2^n labels (Stone)
+//	gamma_{0,log2(q)}  Patel's q-shuffle of 2^n objects
+//	gamma_{n,0}        the identity
+//
+// gamma_{j,k} is related to Lenfant's "segment shuffle".
+package gamma
+
+import "fmt"
+
+// Gamma is the permutation gamma_{j,k} on n-bit labels: the J least
+// significant bits are fixed and the remaining N-J bits are left-cyclic
+// shifted by K. The zero value is the identity permutation on 0-bit labels.
+type Gamma struct {
+	J int // number of fixed least-significant bits
+	K int // left cyclic shift amount applied to the upper N-J bits
+	N int // total label width in bits
+}
+
+// New returns the permutation gamma_{j,k} on n-bit labels. It returns an
+// error if the parameters are out of range (j,k >= 0, n >= j, k <= n-j).
+func New(j, k, n int) (Gamma, error) {
+	g := Gamma{J: j, K: k, N: n}
+	if err := g.Validate(); err != nil {
+		return Gamma{}, err
+	}
+	return g, nil
+}
+
+// Validate reports whether the permutation parameters are consistent.
+func (g Gamma) Validate() error {
+	switch {
+	case g.N < 0 || g.N > 62:
+		return fmt.Errorf("gamma: label width n=%d out of range [0,62]", g.N)
+	case g.J < 0 || g.J > g.N:
+		return fmt.Errorf("gamma: fixed bits j=%d out of range [0,%d]", g.J, g.N)
+	case g.K < 0 || g.K > g.N-g.J:
+		return fmt.Errorf("gamma: shift k=%d out of range [0,%d]", g.K, g.N-g.J)
+	}
+	return nil
+}
+
+// Size returns the number of labels the permutation acts on (2^n).
+func (g Gamma) Size() int { return 1 << uint(g.N) }
+
+// width of the rotated field.
+func (g Gamma) field() int { return g.N - g.J }
+
+// Apply maps label y through gamma_{j,k}. Labels outside [0, 2^n) panic:
+// they indicate a wiring bug, not a runtime condition.
+func (g Gamma) Apply(y int) int {
+	if y < 0 || y >= g.Size() {
+		panic(fmt.Sprintf("gamma: label %d out of range [0,%d)", y, g.Size()))
+	}
+	w := g.field()
+	if w == 0 || g.K%w == 0 {
+		return y
+	}
+	low := y & ((1 << uint(g.J)) - 1)
+	high := y >> uint(g.J)
+	return rotl(high, g.K%w, w)<<uint(g.J) | low
+}
+
+// Invert maps label z back through the inverse permutation, so that
+// g.Invert(g.Apply(y)) == y for all labels y.
+func (g Gamma) Invert(z int) int {
+	w := g.field()
+	if w == 0 {
+		return g.Apply(z) // identity, but keep the range check
+	}
+	inv := Gamma{J: g.J, K: (w - g.K%w) % w, N: g.N}
+	return inv.Apply(z)
+}
+
+// Inverse returns the inverse permutation as a Gamma value.
+func (g Gamma) Inverse() Gamma {
+	w := g.field()
+	if w == 0 {
+		return g
+	}
+	return Gamma{J: g.J, K: (w - g.K%w) % w, N: g.N}
+}
+
+// IsIdentity reports whether the permutation maps every label to itself.
+func (g Gamma) IsIdentity() bool {
+	w := g.field()
+	return w == 0 || g.K%w == 0
+}
+
+// Table materializes the permutation as a slice t with t[y] = Apply(y).
+// It is intended for small n (wiring construction and tests).
+func (g Gamma) Table() []int {
+	t := make([]int, g.Size())
+	for y := range t {
+		t[y] = g.Apply(y)
+	}
+	return t
+}
+
+// String renders the permutation in the paper's notation.
+func (g Gamma) String() string {
+	return fmt.Sprintf("gamma_{%d,%d} on %d-bit labels", g.J, g.K, g.N)
+}
+
+// Shuffle returns the perfect shuffle gamma_{0,1} of 2^n labels.
+func Shuffle(n int) Gamma { return Gamma{J: 0, K: min(1, n), N: n} }
+
+// QShuffle returns Patel's q-shuffle gamma_{0,log2(q)} of 2^n objects.
+// logQ is log2(q) and must satisfy 0 <= logQ <= n.
+func QShuffle(logQ, n int) Gamma { return Gamma{J: 0, K: logQ, N: n} }
+
+// Identity returns the identity permutation gamma_{n,0} on n-bit labels.
+func Identity(n int) Gamma { return Gamma{J: n, K: 0, N: n} }
+
+// rotl left-rotates the low w bits of v by s (0 <= s < w).
+func rotl(v, s, w int) int {
+	if w == 0 || s == 0 {
+		return v
+	}
+	mask := (1 << uint(w)) - 1
+	v &= mask
+	return ((v << uint(s)) | (v >> uint(w-s))) & mask
+}
+
+// IsPermutationTable reports whether t is a permutation of [0, len(t)).
+// It is a test helper shared by packages that build wiring tables.
+func IsPermutationTable(t []int) bool {
+	seen := make([]bool, len(t))
+	for _, v := range t {
+		if v < 0 || v >= len(t) || seen[v] {
+			return false
+		}
+		seen[v] = true
+	}
+	return true
+}
+
+// Compose returns the table of the composition "first a, then b" over
+// labels of width n bits. Both permutations must act on n-bit labels.
+func Compose(a, b Gamma) ([]int, error) {
+	if a.N != b.N {
+		return nil, fmt.Errorf("gamma: cannot compose widths %d and %d", a.N, b.N)
+	}
+	t := make([]int, a.Size())
+	for y := range t {
+		t[y] = b.Apply(a.Apply(y))
+	}
+	return t, nil
+}

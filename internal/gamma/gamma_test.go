@@ -1,0 +1,189 @@
+package gamma
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		j, k, n int
+		ok      bool
+	}{
+		{0, 0, 0, true},
+		{0, 1, 1, true},
+		{2, 4, 10, true},
+		{10, 0, 10, true},
+		{-1, 0, 4, false},
+		{5, 0, 4, false},
+		{0, 5, 4, false},
+		{2, 3, 4, false}, // k > n-j
+		{0, 0, 63, false},
+	}
+	for _, c := range cases {
+		_, err := New(c.j, c.k, c.n)
+		if (err == nil) != c.ok {
+			t.Errorf("New(%d,%d,%d) error=%v, want ok=%v", c.j, c.k, c.n, err, c.ok)
+		}
+	}
+}
+
+func TestIdentity(t *testing.T) {
+	for n := 0; n <= 10; n++ {
+		g := Identity(n)
+		if !g.IsIdentity() {
+			t.Fatalf("Identity(%d) not reported as identity", n)
+		}
+		for y := 0; y < g.Size(); y++ {
+			if got := g.Apply(y); got != y {
+				t.Fatalf("Identity(%d).Apply(%d) = %d", n, y, got)
+			}
+		}
+	}
+}
+
+func TestShuffleMatchesDefinition(t *testing.T) {
+	// The perfect shuffle of 2^n labels maps y to the left-rotation of its
+	// full n-bit string by one position.
+	for n := 1; n <= 8; n++ {
+		g := Shuffle(n)
+		for y := 0; y < g.Size(); y++ {
+			want := rotl(y, 1, n)
+			if got := g.Apply(y); got != want {
+				t.Fatalf("Shuffle(%d).Apply(%d) = %d, want %d", n, y, got, want)
+			}
+		}
+	}
+}
+
+func TestQShuffleOnCards(t *testing.T) {
+	// Patel's q-shuffle of q*m objects deals the deck into q piles of m and
+	// interleaves. For q=2, n=3 (8 labels) the classic riffle: 0->0, 1->2,
+	// 2->4, 3->6, 4->1, 5->3, 6->5, 7->7.
+	g := QShuffle(1, 3)
+	want := []int{0, 2, 4, 6, 1, 3, 5, 7}
+	for y, w := range want {
+		if got := g.Apply(y); got != w {
+			t.Fatalf("QShuffle(1,3).Apply(%d) = %d, want %d", y, got, w)
+		}
+	}
+}
+
+func TestApplyFixesLowBits(t *testing.T) {
+	g := Gamma{J: 2, K: 4, N: 10}
+	for y := 0; y < g.Size(); y++ {
+		if g.Apply(y)&3 != y&3 {
+			t.Fatalf("gamma_{2,4} moved fixed low bits of %d", y)
+		}
+	}
+}
+
+func TestInvertRoundTrip(t *testing.T) {
+	gs := []Gamma{
+		{J: 0, K: 0, N: 0},
+		{J: 0, K: 1, N: 6},
+		{J: 2, K: 4, N: 10},
+		{J: 3, K: 2, N: 9},
+		{J: 5, K: 0, N: 5},
+	}
+	for _, g := range gs {
+		inv := g.Inverse()
+		for y := 0; y < g.Size(); y++ {
+			if got := g.Invert(g.Apply(y)); got != y {
+				t.Fatalf("%v: Invert(Apply(%d)) = %d", g, y, got)
+			}
+			if got := inv.Apply(g.Apply(y)); got != y {
+				t.Fatalf("%v: Inverse().Apply(Apply(%d)) = %d", g, y, got)
+			}
+		}
+	}
+}
+
+func TestTableIsPermutation(t *testing.T) {
+	for j := 0; j <= 6; j++ {
+		for k := 0; k <= 6-j; k++ {
+			g := Gamma{J: j, K: k, N: 6}
+			if !IsPermutationTable(g.Table()) {
+				t.Fatalf("%v table is not a permutation", g)
+			}
+		}
+	}
+}
+
+func TestComposeWithInverseIsIdentity(t *testing.T) {
+	g := Gamma{J: 2, K: 3, N: 8}
+	tbl, err := Compose(g, g.Inverse())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for y, v := range tbl {
+		if v != y {
+			t.Fatalf("compose(g, g^-1)[%d] = %d", y, v)
+		}
+	}
+}
+
+func TestComposeWidthMismatch(t *testing.T) {
+	if _, err := Compose(Gamma{N: 3}, Gamma{N: 4}); err == nil {
+		t.Fatal("expected width-mismatch error")
+	}
+}
+
+func TestApplyOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range label")
+		}
+	}()
+	Gamma{J: 0, K: 1, N: 3}.Apply(8)
+}
+
+// Property: gamma is a bijection and preserves the fixed field, for
+// arbitrary (j,k,n) drawn by testing/quick.
+func TestQuickBijection(t *testing.T) {
+	f := func(rawJ, rawK, rawN uint8) bool {
+		n := int(rawN % 11)
+		j := 0
+		if n > 0 {
+			j = int(rawJ) % (n + 1)
+		}
+		k := 0
+		if n-j > 0 {
+			k = int(rawK) % (n - j + 1)
+		}
+		g, err := New(j, k, n)
+		if err != nil {
+			return false
+		}
+		if !IsPermutationTable(g.Table()) {
+			return false
+		}
+		mask := (1 << uint(j)) - 1
+		for y := 0; y < g.Size(); y++ {
+			if g.Apply(y)&mask != y&mask {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: shuffling n times with gamma_{0,1} returns to the identity
+// (the perfect shuffle has order n on 2^n labels).
+func TestShuffleOrder(t *testing.T) {
+	for n := 1; n <= 8; n++ {
+		g := Shuffle(n)
+		for y := 0; y < g.Size(); y++ {
+			v := y
+			for i := 0; i < n; i++ {
+				v = g.Apply(v)
+			}
+			if v != y {
+				t.Fatalf("shuffle^%d(%d) = %d on %d bits", n, y, v, n)
+			}
+		}
+	}
+}

@@ -1,0 +1,197 @@
+package mimd
+
+import (
+	"math"
+	"testing"
+
+	"edn/internal/analytic"
+	"edn/internal/topology"
+)
+
+func mustCfg(t *testing.T, a, b, c, l int) topology.Config {
+	t.Helper()
+	cfg, err := topology.New(a, b, c, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg
+}
+
+func TestSimulateValidation(t *testing.T) {
+	cfg := mustCfg(t, 16, 4, 4, 2)
+	if _, err := Simulate(cfg, -0.1, Options{Cycles: 10}); err == nil {
+		t.Error("expected rate range error")
+	}
+	if _, err := Simulate(cfg, 1.5, Options{Cycles: 10}); err == nil {
+		t.Error("expected rate range error")
+	}
+}
+
+func TestZeroRateSystemStaysActive(t *testing.T) {
+	cfg := mustCfg(t, 16, 4, 4, 2)
+	res, err := Simulate(cfg, 0, Options{Cycles: 50, Warmup: 1, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.QActive != 1 || res.Bandwidth != 0 || res.EffectiveRate != 0 {
+		t.Fatalf("zero-rate steady state: %+v", res)
+	}
+}
+
+// TestMarkovModelAgreement cross-checks the measured steady state against
+// the Equation 7-10 fixed point. The analytic network model is a few
+// percent optimistic (see internal/simulate), so the derived quantities
+// carry the same bias; we check agreement within a modest band.
+func TestMarkovModelAgreement(t *testing.T) {
+	cases := []struct {
+		a, b, c, l int
+		r          float64
+	}{
+		{16, 4, 4, 2, 0.5},
+		{16, 4, 4, 3, 0.5},
+		{4, 2, 2, 3, 0.5},
+		{16, 4, 4, 2, 1.0},
+	}
+	for _, cse := range cases {
+		cfg := mustCfg(t, cse.a, cse.b, cse.c, cse.l)
+		model, err := analytic.Resubmission(cfg, cse.r, analytic.ResubmissionOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		meas, err := Simulate(cfg, cse.r, Options{Cycles: 3000, Warmup: 300, Seed: 11})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(meas.PA-model.PAPrime) > 0.08 {
+			t.Errorf("%v r=%g: measured PA' %.4f vs model %.4f", cfg, cse.r, meas.PA, model.PAPrime)
+		}
+		if math.Abs(meas.QActive-model.QActive) > 0.08 {
+			t.Errorf("%v r=%g: measured qA %.4f vs model %.4f", cfg, cse.r, meas.QActive, model.QActive)
+		}
+		if math.Abs(meas.EffectiveRate-model.EffectiveRate) > 0.08 {
+			t.Errorf("%v r=%g: measured r' %.4f vs model %.4f", cfg, cse.r, meas.EffectiveRate, model.EffectiveRate)
+		}
+	}
+}
+
+// TestLittlesLawWaitTime: the model's Little's-law waiting time must
+// match the simulator's directly measured per-request wait.
+func TestLittlesLawWaitTime(t *testing.T) {
+	cfg := mustCfg(t, 16, 4, 4, 3)
+	model, err := analytic.Resubmission(cfg, 0.75, analytic.ResubmissionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	meas, err := Simulate(cfg, 0.75, Options{Cycles: 4000, Warmup: 400, Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model.MeanWaitCycles() <= 0 {
+		t.Fatalf("model wait = %g, expected positive under contention", model.MeanWaitCycles())
+	}
+	// Both sides carry the independence-model bias; agreement within 30%
+	// relative is the expected band at this load.
+	ratio := meas.AvgWaitCycles / model.MeanWaitCycles()
+	if ratio < 0.7 || ratio > 1.6 {
+		t.Errorf("measured wait %.3f vs model %.3f (ratio %.2f)", meas.AvgWaitCycles, model.MeanWaitCycles(), ratio)
+	}
+}
+
+// TestPersistentRetriesHurt quantifies the gap between the paper's
+// "retries re-address memory uniformly" assumption and physically
+// persistent retries: retrying the same destination builds standing
+// conflicts, so sustained acceptance drops and waiting grows.
+func TestPersistentRetriesHurt(t *testing.T) {
+	cfg := mustCfg(t, 16, 4, 4, 3)
+	redraw, err := Simulate(cfg, 0.5, Options{Cycles: 2500, Warmup: 300, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	persistent, err := Simulate(cfg, 0.5, Options{Cycles: 2500, Warmup: 300, Seed: 21, PersistentDestinations: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if persistent.PA >= redraw.PA {
+		t.Errorf("persistent retries PA %.4f should be below redraw PA %.4f", persistent.PA, redraw.PA)
+	}
+	if persistent.QWaiting <= redraw.QWaiting {
+		t.Errorf("persistent retries should increase waiting: %.4f vs %.4f", persistent.QWaiting, redraw.QWaiting)
+	}
+}
+
+// TestResubmissionRaisesLoad reproduces the Figure 11 phenomenon in the
+// simulator: with resubmission the sustained acceptance probability is
+// strictly below the blocked-requests-ignored PA, because retries inflate
+// the offered load.
+func TestResubmissionRaisesLoad(t *testing.T) {
+	cfg := mustCfg(t, 16, 4, 4, 4)
+	res, err := Simulate(cfg, 0.5, Options{Cycles: 2000, Warmup: 200, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ignored := analytic.PA(cfg, 0.5)
+	if res.PA >= ignored {
+		t.Errorf("resubmission PA %.4f should sit below ignored-requests PA %.4f", res.PA, ignored)
+	}
+	if res.EffectiveRate <= 0.5*res.QActive {
+		t.Errorf("effective rate %.4f should exceed fresh-load share", res.EffectiveRate)
+	}
+	if res.QWaiting <= 0 {
+		t.Error("some processors must be waiting under contention")
+	}
+	if res.AvgWaitCycles <= 0 {
+		t.Error("waiting processors must accumulate wait cycles")
+	}
+}
+
+// TestConservationUnderResubmission: over a long run, accepted requests
+// per processor per cycle equals the rate at which processors leave the
+// active state with a request (flow balance).
+func TestConservationUnderResubmission(t *testing.T) {
+	cfg := mustCfg(t, 16, 4, 4, 2)
+	res, err := Simulate(cfg, 0.7, Options{Cycles: 4000, Warmup: 400, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Throughput per input = r' * PA'; in steady state it must equal the
+	// fresh issue rate qA * r (every fresh request is eventually accepted).
+	throughput := res.EffectiveRate * res.PA
+	fresh := res.QActive * 0.7
+	if math.Abs(throughput-fresh) > 0.03 {
+		t.Errorf("flow imbalance: throughput %.4f vs fresh issue %.4f", throughput, fresh)
+	}
+	if bw := res.Bandwidth / float64(cfg.Inputs()); math.Abs(bw-throughput) > 1e-9 {
+		t.Errorf("bandwidth/input %.4f != r'*PA' %.4f", bw, throughput)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := mustCfg(t, 16, 4, 4, 2)
+	a, err := Simulate(cfg, 0.5, Options{Cycles: 200, Warmup: 20, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(cfg, 0.5, Options{Cycles: 200, Warmup: 20, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.PA != b.PA || a.QActive != b.QActive || a.Bandwidth != b.Bandwidth {
+		t.Errorf("same seed diverged: %+v vs %+v", a, b)
+	}
+}
+
+func TestEfficiencyBounds(t *testing.T) {
+	cfg := mustCfg(t, 4, 2, 2, 4)
+	for _, r := range []float64{0.25, 0.5, 1} {
+		res, err := Simulate(cfg, r, Options{Cycles: 800, Warmup: 100, Seed: 17})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e := res.Efficiency(); e <= 0 || e > 1 {
+			t.Errorf("r=%g: efficiency %g out of (0,1]", r, e)
+		}
+		if res.QActive+res.QWaiting != 1 {
+			t.Errorf("r=%g: state fractions do not sum to 1", r)
+		}
+	}
+}

@@ -1,0 +1,228 @@
+// Package netlist materializes an EDN as an explicit physical netlist:
+// every switch, every terminal and every wire, exactly as a board- or
+// chip-level realization would enumerate them. It provides an
+// independent, constructive validation of the wiring rules (Definition 2
+// plus the Equation 1 gamma permutation) and of the Equation 3 wire
+// cost: the built netlist must contain precisely Config.WireCount()
+// wires, each terminal driven exactly once.
+//
+// The package also renders small networks as stage-by-stage connection
+// descriptions in the spirit of Figures 4 and 5.
+package netlist
+
+import (
+	"fmt"
+	"strings"
+
+	"edn/internal/topology"
+)
+
+// Kind classifies a terminal.
+type Kind uint8
+
+// Terminal kinds. NetworkIn/NetworkOut are the external ports; SwitchIn
+// and SwitchOut are the per-switch ports inside a stage.
+const (
+	NetworkIn Kind = iota
+	SwitchIn
+	SwitchOut
+	NetworkOut
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case NetworkIn:
+		return "in"
+	case SwitchIn:
+		return "sw-in"
+	case SwitchOut:
+		return "sw-out"
+	case NetworkOut:
+		return "out"
+	default:
+		return fmt.Sprintf("kind(%d)", k)
+	}
+}
+
+// Terminal is one physical connection point.
+type Terminal struct {
+	Kind   Kind
+	Stage  int // 0 for network ports; 1..l+1 for switch stages
+	Switch int // switch index within the stage (0 for network ports)
+	Port   int // port within the switch, or the external port number
+}
+
+// String renders the terminal compactly.
+func (t Terminal) String() string {
+	switch t.Kind {
+	case NetworkIn:
+		return fmt.Sprintf("in[%d]", t.Port)
+	case NetworkOut:
+		return fmt.Sprintf("out[%d]", t.Port)
+	default:
+		return fmt.Sprintf("s%d.%s%d.p%d", t.Stage, map[Kind]string{SwitchIn: "i", SwitchOut: "o"}[t.Kind], t.Switch, t.Port)
+	}
+}
+
+// Wire is a directed physical connection.
+type Wire struct {
+	From Terminal
+	To   Terminal
+}
+
+// Netlist is the full physical enumeration of one EDN.
+type Netlist struct {
+	Config topology.Config
+	Wires  []Wire
+}
+
+// Build enumerates every wire of cfg:
+//
+//   - network input i feeds stage-1 switch i/a, port i%a;
+//   - output (bucket*c + w) of stage-s switch sw feeds the stage-(s+1)
+//     switch selected by the interstage gamma permutation;
+//   - crossbar output ports are the network outputs.
+func Build(cfg topology.Config) (*Netlist, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	nl := &Netlist{Config: cfg}
+
+	// Network inputs into stage 1.
+	for i := 0; i < cfg.Inputs(); i++ {
+		sw, port := cfg.SwitchOfLine(1, i)
+		nl.Wires = append(nl.Wires, Wire{
+			From: Terminal{Kind: NetworkIn, Port: i},
+			To:   Terminal{Kind: SwitchIn, Stage: 1, Switch: sw, Port: port},
+		})
+	}
+	// Interstage wiring.
+	for s := 1; s <= cfg.L; s++ {
+		g := cfg.InterstageGamma(s)
+		outsPerSwitch := cfg.B * cfg.C
+		for sw := 0; sw < cfg.SwitchesInStage(s); sw++ {
+			for o := 0; o < outsPerSwitch; o++ {
+				line := g.Apply(sw*outsPerSwitch + o)
+				nsw, nport := cfg.SwitchOfLine(s+1, line)
+				nl.Wires = append(nl.Wires, Wire{
+					From: Terminal{Kind: SwitchOut, Stage: s, Switch: sw, Port: o},
+					To:   Terminal{Kind: SwitchIn, Stage: s + 1, Switch: nsw, Port: nport},
+				})
+			}
+		}
+	}
+	// Crossbar outputs to network outputs.
+	last := cfg.L + 1
+	for sw := 0; sw < cfg.SwitchesInStage(last); sw++ {
+		for o := 0; o < cfg.C; o++ {
+			nl.Wires = append(nl.Wires, Wire{
+				From: Terminal{Kind: SwitchOut, Stage: last, Switch: sw, Port: o},
+				To:   Terminal{Kind: NetworkOut, Port: sw*cfg.C + o},
+			})
+		}
+	}
+	return nl, nil
+}
+
+// WireCount returns the number of physical wires, which must equal the
+// Equation 3 cost cfg.WireCount().
+func (nl *Netlist) WireCount() int { return len(nl.Wires) }
+
+// Validate checks physical sanity: every switch input and every network
+// output is driven by exactly one wire, and every driver drives exactly
+// one sink.
+func (nl *Netlist) Validate() error {
+	sinks := make(map[Terminal]int, len(nl.Wires))
+	drivers := make(map[Terminal]int, len(nl.Wires))
+	for _, w := range nl.Wires {
+		sinks[w.To]++
+		drivers[w.From]++
+	}
+	for t, n := range sinks {
+		if n != 1 {
+			return fmt.Errorf("netlist: terminal %v driven by %d wires", t, n)
+		}
+	}
+	for t, n := range drivers {
+		if n != 1 {
+			return fmt.Errorf("netlist: terminal %v drives %d wires", t, n)
+		}
+	}
+	cfg := nl.Config
+	// Expected sink population: every switch input port + every output.
+	expected := cfg.Inputs() // stage-1 inputs
+	for s := 2; s <= cfg.L+1; s++ {
+		width := cfg.A
+		if s == cfg.L+1 {
+			width = cfg.C
+		}
+		expected += cfg.SwitchesInStage(s) * width
+	}
+	expected += cfg.Outputs()
+	if len(sinks) != expected {
+		return fmt.Errorf("netlist: %d sink terminals, want %d", len(sinks), expected)
+	}
+	return nil
+}
+
+// Describe renders a stage-by-stage structural summary in the spirit of
+// Figure 4: switch counts and types per stage, wire counts per boundary,
+// and — for networks up to maxFanout switches per stage — the bucket
+// fan-out of each switch.
+func Describe(cfg topology.Config, maxFanout int) (string, error) {
+	nl, err := Build(cfg)
+	if err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%v: %d inputs, %d outputs, %d stages, %d wires, %d crosspoints\n",
+		cfg, cfg.Inputs(), cfg.Outputs(), cfg.Stages(), nl.WireCount(), cfg.CrosspointCount())
+	for s := 1; s <= cfg.L; s++ {
+		fmt.Fprintf(&sb, "stage %d: %d x %v, %d wires out (gamma: %v)\n",
+			s, cfg.SwitchesInStage(s), cfg.Hyperbar(), cfg.WiresAfterStage(s), cfg.InterstageGamma(s))
+	}
+	fmt.Fprintf(&sb, "stage %d: %d x %v (one per bucket of stage %d)\n",
+		cfg.L+1, cfg.SwitchesInStage(cfg.L+1), cfg.OutputCrossbar(), cfg.L)
+
+	if cfg.SwitchesInStage(1) <= maxFanout {
+		// Bucket fan-out: where each bucket of each hyperbar lands.
+		for s := 1; s <= cfg.L; s++ {
+			g := cfg.InterstageGamma(s)
+			fmt.Fprintf(&sb, "stage %d fan-out:\n", s)
+			for sw := 0; sw < cfg.SwitchesInStage(s); sw++ {
+				fmt.Fprintf(&sb, "  switch %d:", sw)
+				for bucket := 0; bucket < cfg.B; bucket++ {
+					targets := map[int]bool{}
+					for w := 0; w < cfg.C; w++ {
+						line := g.Apply(sw*(cfg.B*cfg.C) + bucket*cfg.C + w)
+						nsw, _ := cfg.SwitchOfLine(s+1, line)
+						targets[nsw] = true
+					}
+					fmt.Fprintf(&sb, " b%d->%s", bucket, fmtSet(targets))
+				}
+				sb.WriteByte('\n')
+			}
+		}
+	}
+	return sb.String(), nil
+}
+
+func fmtSet(set map[int]bool) string {
+	mini, maxi := -1, -1
+	for v := range set {
+		if mini == -1 || v < mini {
+			mini = v
+		}
+		if v > maxi {
+			maxi = v
+		}
+	}
+	if len(set) == 1 {
+		return fmt.Sprintf("{%d}", mini)
+	}
+	if maxi-mini+1 == len(set) {
+		return fmt.Sprintf("{%d..%d}", mini, maxi)
+	}
+	return fmt.Sprintf("{%d..%d:%d}", mini, maxi, len(set))
+}

@@ -1,0 +1,190 @@
+package netlist
+
+import (
+	"strings"
+	"testing"
+
+	"edn/internal/topology"
+)
+
+func mustCfg(t *testing.T, a, b, c, l int) topology.Config {
+	t.Helper()
+	cfg, err := topology.New(a, b, c, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg
+}
+
+// TestWireCountMatchesEquation3: the physically enumerated netlist must
+// contain exactly the Equation 3 wire cost, for both cost-formula
+// branches and the degenerate networks.
+func TestWireCountMatchesEquation3(t *testing.T) {
+	cfgs := []topology.Config{
+		mustCfg(t, 16, 4, 4, 2),
+		mustCfg(t, 64, 16, 4, 2),
+		mustCfg(t, 8, 2, 4, 3),
+		mustCfg(t, 8, 8, 1, 3),
+		mustCfg(t, 8, 8, 8, 1),
+		mustCfg(t, 4, 8, 2, 2),
+		mustCfg(t, 16, 16, 1, 1),
+	}
+	for _, cfg := range cfgs {
+		nl, err := Build(cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", cfg, err)
+		}
+		if int64(nl.WireCount()) != cfg.WireCount() {
+			t.Errorf("%v: netlist has %d wires, Equation 3 says %d", cfg, nl.WireCount(), cfg.WireCount())
+		}
+		if err := nl.Validate(); err != nil {
+			t.Errorf("%v: %v", cfg, err)
+		}
+	}
+}
+
+func TestBuildRejectsInvalidConfig(t *testing.T) {
+	if _, err := Build(topology.Config{A: 7, B: 2, C: 1, L: 1}); err == nil {
+		t.Fatal("expected validation error")
+	}
+}
+
+// TestEveryNetworkInputReachesStage1: input i must land on switch i/a
+// port i%a — the Lemma 1 premise.
+func TestEveryNetworkInputReachesStage1(t *testing.T) {
+	cfg := mustCfg(t, 16, 4, 4, 2)
+	nl, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range nl.Wires {
+		if w.From.Kind != NetworkIn {
+			continue
+		}
+		i := w.From.Port
+		if w.To.Kind != SwitchIn || w.To.Stage != 1 {
+			t.Fatalf("input %d lands on %v", i, w.To)
+		}
+		if w.To.Switch != i/cfg.A || w.To.Port != i%cfg.A {
+			t.Fatalf("input %d lands on switch %d port %d", i, w.To.Switch, w.To.Port)
+		}
+	}
+}
+
+// TestFigure4FanOut: in EDN(16,4,4,2) each first-stage bucket is a
+// 4-wire group that lands entirely inside one second-stage switch (the
+// thick lines of Figure 4), and distinct buckets of one switch reach
+// distinct switches.
+func TestFigure4FanOut(t *testing.T) {
+	cfg := mustCfg(t, 16, 4, 4, 2)
+	g := cfg.InterstageGamma(1)
+	for sw := 0; sw < cfg.SwitchesInStage(1); sw++ {
+		seen := map[int]bool{}
+		for bucket := 0; bucket < cfg.B; bucket++ {
+			targets := map[int]bool{}
+			for w := 0; w < cfg.C; w++ {
+				line := g.Apply(sw*(cfg.B*cfg.C) + bucket*cfg.C + w)
+				nsw, _ := cfg.SwitchOfLine(2, line)
+				targets[nsw] = true
+			}
+			if len(targets) != 1 {
+				t.Fatalf("switch %d bucket %d spreads over %d switches", sw, bucket, len(targets))
+			}
+			for nsw := range targets {
+				if seen[nsw] {
+					t.Fatalf("switch %d: two buckets reach switch %d", sw, nsw)
+				}
+				seen[nsw] = true
+			}
+		}
+		if len(seen) != cfg.B {
+			t.Fatalf("switch %d reaches %d second-stage switches, want %d", sw, len(seen), cfg.B)
+		}
+	}
+}
+
+// TestCrossbarFeedIsBucketAligned: the b^l buckets of the last hyperbar
+// stage feed one c x c crossbar each, in label order (Definition 2's
+// "each of the b^l buckets are sent directly to a c x c crossbar").
+func TestCrossbarFeedIsBucketAligned(t *testing.T) {
+	cfg := mustCfg(t, 8, 4, 2, 2)
+	nl, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range nl.Wires {
+		if w.From.Kind != SwitchOut || w.From.Stage != cfg.L {
+			continue
+		}
+		bucketGlobal := w.From.Switch*cfg.B + w.From.Port/cfg.C
+		if w.To.Switch != bucketGlobal {
+			t.Fatalf("stage-%d switch %d port %d feeds crossbar %d, want %d",
+				cfg.L, w.From.Switch, w.From.Port, w.To.Switch, bucketGlobal)
+		}
+		if w.To.Port != w.From.Port%cfg.C {
+			t.Fatalf("wire order scrambled into crossbar: port %d -> %d", w.From.Port, w.To.Port)
+		}
+	}
+}
+
+func TestDescribeSmallNetwork(t *testing.T) {
+	cfg := mustCfg(t, 16, 4, 4, 2)
+	out, err := Describe(cfg, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"EDN(16,4,4,2): 64 inputs, 64 outputs",
+		"stage 1: 4 x H(16 -> 4x4)",
+		"stage 3: 16 x 4x4 crossbar",
+		"fan-out",
+		"b0->",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("description missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDescribeLargeNetworkOmitsFanout(t *testing.T) {
+	cfg := mustCfg(t, 64, 16, 4, 2)
+	out, err := Describe(cfg, 8) // 16 switches > 8: fan-out suppressed
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "fan-out") {
+		t.Errorf("large network should omit fan-out detail:\n%s", out)
+	}
+}
+
+func TestTerminalStrings(t *testing.T) {
+	cases := map[Terminal]string{
+		{Kind: NetworkIn, Port: 3}:                        "in[3]",
+		{Kind: NetworkOut, Port: 9}:                       "out[9]",
+		{Kind: SwitchIn, Stage: 2, Switch: 1, Port: 5}:    "s2.i1.p5",
+		{Kind: SwitchOut, Stage: 3, Switch: 250, Port: 0}: "s3.o250.p0",
+	}
+	for term, want := range cases {
+		if got := term.String(); got != want {
+			t.Errorf("%+v renders %q, want %q", term, got, want)
+		}
+	}
+	if NetworkIn.String() != "in" || SwitchOut.String() != "sw-out" {
+		t.Error("kind names wrong")
+	}
+	if Kind(99).String() == "" {
+		t.Error("unknown kind should still render")
+	}
+}
+
+func TestFmtSet(t *testing.T) {
+	if got := fmtSet(map[int]bool{3: true}); got != "{3}" {
+		t.Errorf("singleton: %s", got)
+	}
+	if got := fmtSet(map[int]bool{1: true, 2: true, 3: true}); got != "{1..3}" {
+		t.Errorf("range: %s", got)
+	}
+	if got := fmtSet(map[int]bool{1: true, 5: true}); got != "{1..5:2}" {
+		t.Errorf("sparse: %s", got)
+	}
+}

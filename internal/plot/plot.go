@@ -1,0 +1,192 @@
+// Package plot renders the experiment results as terminal-friendly ASCII
+// charts, aligned tables and CSV, so the cmd/ tools can regenerate every
+// figure of the paper without any graphics dependency.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Series is one named curve.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Chart is a collection of curves over a shared axis.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	LogX   bool // plot x on a log10 axis (the paper's figures do)
+	Width  int  // plot area columns (default 72)
+	Height int  // plot area rows (default 20)
+	Series []Series
+}
+
+// markers cycles per series; chosen to stay readable when curves overlap.
+var markers = []byte{'+', 'x', 'o', '*', '#', '@', '%', '&'}
+
+// Render draws the chart. Series points are plotted individually (no
+// interpolation); overlapping points show the later series' marker.
+func (c Chart) Render() string {
+	w, h := c.Width, c.Height
+	if w <= 0 {
+		w = 72
+	}
+	if h <= 0 {
+		h = 20
+	}
+
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range c.Series {
+		for i := range s.X {
+			x := c.xval(s.X[i])
+			if math.IsInf(x, 0) || math.IsNaN(x) {
+				continue
+			}
+			xmin, xmax = math.Min(xmin, x), math.Max(xmax, x)
+			ymin, ymax = math.Min(ymin, s.Y[i]), math.Max(ymax, s.Y[i])
+		}
+	}
+	if xmin > xmax { // no data
+		return c.Title + "\n(no data)\n"
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+
+	grid := make([][]byte, h)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", w))
+	}
+	for si, s := range c.Series {
+		m := markers[si%len(markers)]
+		for i := range s.X {
+			x := c.xval(s.X[i])
+			if math.IsInf(x, 0) || math.IsNaN(x) {
+				continue
+			}
+			col := int(math.Round((x - xmin) / (xmax - xmin) * float64(w-1)))
+			row := h - 1 - int(math.Round((s.Y[i]-ymin)/(ymax-ymin)*float64(h-1)))
+			if col >= 0 && col < w && row >= 0 && row < h {
+				grid[row][col] = m
+			}
+		}
+	}
+
+	var sb strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&sb, "%s\n", c.Title)
+	}
+	for r, line := range grid {
+		yTick := ymax - (ymax-ymin)*float64(r)/float64(h-1)
+		fmt.Fprintf(&sb, "%8.3f |%s|\n", yTick, string(line))
+	}
+	fmt.Fprintf(&sb, "%8s +%s+\n", "", strings.Repeat("-", w))
+	left := c.formatX(xmin)
+	right := c.formatX(xmax)
+	pad := w - len(left) - len(right)
+	if pad < 1 {
+		pad = 1
+	}
+	fmt.Fprintf(&sb, "%8s  %s%s%s\n", "", left, strings.Repeat(" ", pad), right)
+	if c.XLabel != "" || c.YLabel != "" {
+		fmt.Fprintf(&sb, "%8s  x: %s   y: %s\n", "", c.XLabel, c.YLabel)
+	}
+	for si, s := range c.Series {
+		fmt.Fprintf(&sb, "%8s  %c %s\n", "", markers[si%len(markers)], s.Name)
+	}
+	return sb.String()
+}
+
+func (c Chart) xval(x float64) float64 {
+	if c.LogX {
+		if x <= 0 {
+			return math.Inf(-1)
+		}
+		return math.Log10(x)
+	}
+	return x
+}
+
+func (c Chart) formatX(v float64) string {
+	if c.LogX {
+		return fmt.Sprintf("1e%+.0f", v)
+	}
+	return fmt.Sprintf("%.3g", v)
+}
+
+// WriteCSV emits the chart data in long form: series,x,y. Rows appear in
+// series order, points in input order, so output is deterministic.
+func (c Chart) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "series,x,y"); err != nil {
+		return err
+	}
+	for _, s := range c.Series {
+		for i := range s.X {
+			if _, err := fmt.Fprintf(w, "%s,%g,%g\n", csvEscape(s.Name), s.X[i], s.Y[i]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+// Table renders rows under headers with aligned columns, for the cost
+// tables and experiment summaries.
+func Table(headers []string, rows [][]string) string {
+	widths := make([]int, len(headers))
+	for i, hdr := range headers {
+		widths[i] = len(hdr)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var sb strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], cell)
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(headers)
+	rule := make([]string, len(headers))
+	for i := range rule {
+		rule[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(rule)
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return sb.String()
+}
+
+// SortSeriesByName orders chart series alphabetically for deterministic
+// legends when series are assembled from maps.
+func (c *Chart) SortSeriesByName() {
+	sort.Slice(c.Series, func(i, j int) bool { return c.Series[i].Name < c.Series[j].Name })
+}

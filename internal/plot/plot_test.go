@@ -1,0 +1,97 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderContainsMarkersAndLegend(t *testing.T) {
+	c := Chart{
+		Title:  "test chart",
+		XLabel: "inputs",
+		YLabel: "PA",
+		Series: []Series{
+			{Name: "alpha", X: []float64{1, 2, 3}, Y: []float64{0.1, 0.5, 0.9}},
+			{Name: "beta", X: []float64{1, 2, 3}, Y: []float64{0.9, 0.5, 0.2}},
+		},
+	}
+	out := c.Render()
+	for _, want := range []string{"test chart", "alpha", "beta", "+", "x", "inputs", "PA"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendering missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	c := Chart{Title: "empty"}
+	out := c.Render()
+	if !strings.Contains(out, "no data") {
+		t.Errorf("empty chart should say so:\n%s", out)
+	}
+}
+
+func TestRenderLogXSkipsNonPositive(t *testing.T) {
+	c := Chart{
+		LogX: true,
+		Series: []Series{
+			{Name: "s", X: []float64{0, 10, 100, 1000}, Y: []float64{0.5, 0.4, 0.3, 0.2}},
+		},
+	}
+	out := c.Render()
+	if !strings.Contains(out, "1e+1") {
+		t.Errorf("log axis labels missing:\n%s", out)
+	}
+}
+
+func TestRenderConstantSeries(t *testing.T) {
+	c := Chart{
+		Series: []Series{{Name: "flat", X: []float64{5}, Y: []float64{1}}},
+	}
+	if out := c.Render(); !strings.Contains(out, "+") {
+		t.Errorf("single point not plotted:\n%s", out)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	c := Chart{
+		Series: []Series{
+			{Name: "a,b", X: []float64{1}, Y: []float64{2}},
+			{Name: "plain", X: []float64{3}, Y: []float64{4}},
+		},
+	}
+	var sb strings.Builder
+	if err := c.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	want := "series,x,y\n\"a,b\",1,2\nplain,3,4\n"
+	if got != want {
+		t.Errorf("CSV = %q, want %q", got, want)
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	out := Table([]string{"name", "value"}, [][]string{
+		{"short", "1"},
+		{"a-much-longer-name", "22"},
+	})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines, want 4:\n%s", len(lines), out)
+	}
+	if len(lines[0]) != len(lines[1]) {
+		t.Errorf("header and rule misaligned:\n%s", out)
+	}
+	if !strings.HasPrefix(lines[3], "a-much-longer-name") {
+		t.Errorf("row content wrong:\n%s", out)
+	}
+}
+
+func TestSortSeriesByName(t *testing.T) {
+	c := Chart{Series: []Series{{Name: "z"}, {Name: "a"}, {Name: "m"}}}
+	c.SortSeriesByName()
+	if c.Series[0].Name != "a" || c.Series[2].Name != "z" {
+		t.Errorf("series not sorted: %v", []string{c.Series[0].Name, c.Series[1].Name, c.Series[2].Name})
+	}
+}

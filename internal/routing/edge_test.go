@@ -1,0 +1,98 @@
+package routing
+
+import (
+	"testing"
+
+	"edn/internal/topology"
+)
+
+// edge_test.go covers panic guards and error paths of the routing layer.
+
+func TestTagDigitPanics(t *testing.T) {
+	cfg := mustCfg(t, 16, 4, 4, 2)
+	tag, err := Encode(cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertPanics(t, "Digit(-1)", func() { tag.Digit(-1) })
+	assertPanics(t, "Digit(l)", func() { tag.Digit(cfg.L) })
+	assertPanics(t, "DigitForStage(0)", func() { tag.DigitForStage(0) })
+	assertPanics(t, "DigitForStage(l+2)", func() { tag.DigitForStage(cfg.L + 2) })
+}
+
+func TestRetirementOrderDigitForStage(t *testing.T) {
+	cfg := mustCfg(t, 16, 4, 4, 2)
+	ro := ReversedOrder(cfg)
+	tag, err := Encode(cfg, 54) // d1=3 d0=1 x=2
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reversed: stage 1 retires d0, stage 2 retires d1, stage 3 retires x.
+	if got := ro.DigitForStage(tag, 1); got != 1 {
+		t.Errorf("stage 1 digit = %d, want d0=1", got)
+	}
+	if got := ro.DigitForStage(tag, 2); got != 3 {
+		t.Errorf("stage 2 digit = %d, want d1=3", got)
+	}
+	if got := ro.DigitForStage(tag, 3); got != 2 {
+		t.Errorf("stage 3 digit = %d, want x=2", got)
+	}
+	assertPanics(t, "DigitForStage(0)", func() { ro.DigitForStage(tag, 0) })
+}
+
+func TestTraceRouteWithOrderErrors(t *testing.T) {
+	cfg := mustCfg(t, 16, 4, 4, 2)
+	ro := ReversedOrder(cfg)
+	if _, err := TraceRouteWithOrder(topology.Config{A: 7}, 0, 0, nil, ro); err == nil {
+		t.Error("expected config validation error")
+	}
+	if _, err := TraceRouteWithOrder(cfg, 0, -1, nil, ro); err == nil {
+		t.Error("expected destination error")
+	}
+	if _, err := TraceRouteWithOrder(cfg, -1, 0, nil, ro); err == nil {
+		t.Error("expected source error")
+	}
+}
+
+func TestFErrors(t *testing.T) {
+	cfg := mustCfg(t, 16, 4, 4, 2)
+	ro := StandardOrder(cfg)
+	if _, err := ro.F(-1); err == nil {
+		t.Error("expected range error from F")
+	}
+	if _, err := ro.FInverse(cfg.Outputs()); err == nil {
+		t.Error("expected range error from FInverse")
+	}
+}
+
+func TestPermReturnsCopy(t *testing.T) {
+	cfg := mustCfg(t, 16, 4, 4, 2)
+	ro := StandardOrder(cfg)
+	p := ro.Perm()
+	p[0] = 99
+	if ro.Perm()[0] == 99 {
+		t.Error("Perm leaked internal state")
+	}
+	if ro.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestEncodeInvalidConfig(t *testing.T) {
+	if _, err := Encode(topology.Config{A: 7, B: 2, C: 1, L: 1}, 0); err == nil {
+		t.Error("expected config validation error")
+	}
+	if _, err := NewRetirementOrder(topology.Config{A: 7, B: 2, C: 1, L: 1}, []int{0}); err == nil {
+		t.Error("expected config validation error")
+	}
+}
+
+func assertPanics(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	f()
+}

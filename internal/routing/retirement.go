@@ -1,0 +1,170 @@
+package routing
+
+import (
+	"fmt"
+
+	"edn/internal/topology"
+)
+
+// RetirementOrder captures Corollary 2: the network may retire the base-b
+// digits of the destination tag in any order. Entry Perm[s] names the
+// original digit index d_j fed to hyperbar stage s+1 (the standard order
+// is Perm = [l-1, l-2, ..., 0]). The crossbar digit x is always retired
+// last — it is the only base-c digit, so it cannot trade places with a
+// base-b digit unless b == c, and the paper keeps it fixed.
+//
+// Feeding digits out of order delivers the message to F(D) instead of D,
+// where F rearranges the digits of D. Following the network with the
+// fixed output permutation F^-1 (an extra wiring stage, as in Figure 6)
+// restores every destination while changing which *internal* paths carry
+// which tags — the trick the paper uses to make EDN(64,16,4,2) perform
+// the identity permutation in one pass.
+type RetirementOrder struct {
+	cfg  topology.Config
+	perm []int // perm[s] = original digit index retired at stage s+1
+}
+
+// StandardOrder returns the paper's default order: d_(l-i) at stage i.
+func StandardOrder(cfg topology.Config) RetirementOrder {
+	perm := make([]int, cfg.L)
+	for s := range perm {
+		perm[s] = cfg.L - 1 - s
+	}
+	return RetirementOrder{cfg: cfg, perm: perm}
+}
+
+// NewRetirementOrder validates perm (a permutation of [0, l)) and returns
+// the corresponding order.
+func NewRetirementOrder(cfg topology.Config, perm []int) (RetirementOrder, error) {
+	if err := cfg.Validate(); err != nil {
+		return RetirementOrder{}, err
+	}
+	if len(perm) != cfg.L {
+		return RetirementOrder{}, fmt.Errorf("routing: retirement order has %d entries, want %d", len(perm), cfg.L)
+	}
+	seen := make([]bool, cfg.L)
+	for s, j := range perm {
+		if j < 0 || j >= cfg.L || seen[j] {
+			return RetirementOrder{}, fmt.Errorf("routing: retirement order %v is not a permutation of [0,%d)", perm, cfg.L)
+		}
+		seen[j] = true
+		_ = s
+	}
+	return RetirementOrder{cfg: cfg, perm: append([]int(nil), perm...)}, nil
+}
+
+// ReversedOrder retires d_0 first and d_(l-1) last — the order used by the
+// Figure 6 construction for EDN(64,16,4,2).
+func ReversedOrder(cfg topology.Config) RetirementOrder {
+	perm := make([]int, cfg.L)
+	for s := range perm {
+		perm[s] = s
+	}
+	ro, err := NewRetirementOrder(cfg, perm)
+	if err != nil {
+		panic(err) // perm is a permutation by construction
+	}
+	return ro
+}
+
+// IsStandard reports whether the order is the paper's default.
+func (ro RetirementOrder) IsStandard() bool {
+	for s, j := range ro.perm {
+		if j != ro.cfg.L-1-s {
+			return false
+		}
+	}
+	return true
+}
+
+// DigitForStage returns the digit of tag retired at stage s under this
+// order (stage l+1 always retires x).
+func (ro RetirementOrder) DigitForStage(tag Tag, s int) int {
+	if s == ro.cfg.L+1 {
+		return tag.CrossbarDigit()
+	}
+	if s < 1 || s > ro.cfg.L {
+		panic(fmt.Sprintf("routing: stage %d out of range [1,%d]", s, ro.cfg.L+1))
+	}
+	return tag.Digit(ro.perm[s-1])
+}
+
+// F maps a destination label to the label the network actually delivers
+// it to when tags are retired under this order (Corollary 2's digit
+// rearrangement): the digit retired at stage s lands in positional slot
+// l-s of the delivered label.
+func (ro RetirementOrder) F(dst int) (int, error) {
+	tag, err := Encode(ro.cfg, dst)
+	if err != nil {
+		return 0, err
+	}
+	v := 0
+	for s := 1; s <= ro.cfg.L; s++ {
+		v = v*ro.cfg.B + tag.Digit(ro.perm[s-1])
+	}
+	return v*ro.cfg.C + tag.CrossbarDigit(), nil
+}
+
+// FInverse maps a delivered label back to the requested destination:
+// FInverse(F(d)) == d for every d.
+func (ro RetirementOrder) FInverse(y int) (int, error) {
+	tag, err := Encode(ro.cfg, y)
+	if err != nil {
+		return 0, err
+	}
+	// Delivered digit at positional index l-s came from original index
+	// perm[s-1]; invert that placement.
+	orig := make([]int, ro.cfg.L)
+	for s := 1; s <= ro.cfg.L; s++ {
+		orig[ro.perm[s-1]] = tag.Digit(ro.cfg.L - s)
+	}
+	v := 0
+	for i := ro.cfg.L - 1; i >= 0; i-- {
+		v = v*ro.cfg.B + orig[i]
+	}
+	return v*ro.cfg.C + tag.CrossbarDigit(), nil
+}
+
+// OutputPermutation returns the table of the compensating permutation
+// stage appended to the network in Figure 6: table[y] = FInverse(y), so
+// that network-then-table delivers every message to its original
+// destination D.
+func (ro RetirementOrder) OutputPermutation() ([]int, error) {
+	table := make([]int, ro.cfg.Outputs())
+	for y := range table {
+		v, err := ro.FInverse(y)
+		if err != nil {
+			return nil, err
+		}
+		table[y] = v
+	}
+	return table, nil
+}
+
+// Perm returns a copy of the underlying digit-order permutation.
+func (ro RetirementOrder) Perm() []int { return append([]int(nil), ro.perm...) }
+
+// String renders the order as the digit sequence retired stage by stage.
+func (ro RetirementOrder) String() string {
+	return fmt.Sprintf("retire %v then x", ro.perm)
+}
+
+// TraceRouteWithOrder walks a message like TraceRoute but retires digits
+// under the given order. The message arrives at F(dst), not dst; the
+// returned trace's Destination field records the *delivered* label.
+func TraceRouteWithOrder(cfg topology.Config, src, dst int, choices []int, order RetirementOrder) (Trace, error) {
+	if err := cfg.Validate(); err != nil {
+		return Trace{}, err
+	}
+	delivered, err := order.F(dst)
+	if err != nil {
+		return Trace{}, err
+	}
+	// Feeding digit perm[s-1] at stage s is the same as standard-routing
+	// to F(dst): reuse the standard walk against the delivered label.
+	tr, err := TraceRoute(cfg, src, delivered, choices)
+	if err != nil {
+		return Trace{}, err
+	}
+	return tr, nil
+}

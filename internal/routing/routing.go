@@ -1,0 +1,105 @@
+// Package routing implements the digit-controlled routing machinery of
+// Expanded Delta Networks: destination-tag encoding and decoding, the
+// constructive source-to-destination walk of Lemma 1 with full per-stage
+// detail, and the retirement-order transformations of Corollary 2 together
+// with the compensating output permutation of Figure 6.
+//
+// At every source a (l*log2(b) + log2(c))-bit destination tag
+// D = d_(l-1) d_(l-2) ... d_0 x is used for routing: hyperbar stage i
+// "retires" digit d_(l-i) (base b), and the final c x c crossbar stage
+// retires x (base c).
+package routing
+
+import (
+	"fmt"
+	"strings"
+
+	"edn/internal/topology"
+)
+
+// Tag is a decoded destination tag for a particular network geometry.
+type Tag struct {
+	cfg topology.Config
+	d   []int // d[i] = digit d_i, base-b
+	x   int   // base-c crossbar digit
+}
+
+// Encode decodes destination label dst into its routing tag
+// D = d_(l-1) ... d_0 x, where dst = (d_(l-1)...d_0)_base-b * c + x.
+func Encode(cfg topology.Config, dst int) (Tag, error) {
+	if err := cfg.Validate(); err != nil {
+		return Tag{}, err
+	}
+	if dst < 0 || dst >= cfg.Outputs() {
+		return Tag{}, fmt.Errorf("routing: destination %d out of range [0,%d)", dst, cfg.Outputs())
+	}
+	t := Tag{cfg: cfg, d: make([]int, cfg.L), x: dst % cfg.C}
+	rest := dst / cfg.C
+	for i := 0; i < cfg.L; i++ {
+		t.d[i] = rest % cfg.B
+		rest /= cfg.B
+	}
+	return t, nil
+}
+
+// Dest returns the destination label the tag encodes.
+func (t Tag) Dest() int {
+	v := 0
+	for i := t.cfg.L - 1; i >= 0; i-- {
+		v = v*t.cfg.B + t.d[i]
+	}
+	return v*t.cfg.C + t.x
+}
+
+// Digit returns d_i (0 <= i < l), the base-b digit with positional weight
+// b^i in the destination label.
+func (t Tag) Digit(i int) int {
+	if i < 0 || i >= t.cfg.L {
+		panic(fmt.Sprintf("routing: digit index %d out of range [0,%d)", i, t.cfg.L))
+	}
+	return t.d[i]
+}
+
+// CrossbarDigit returns x, the base-c digit retired at stage l+1.
+func (t Tag) CrossbarDigit() int { return t.x }
+
+// DigitForStage returns the digit retired at stage s under the standard
+// retirement order: d_(l-s) for hyperbar stages 1..l and x for stage l+1.
+func (t Tag) DigitForStage(s int) int {
+	if s == t.cfg.L+1 {
+		return t.x
+	}
+	if s < 1 || s > t.cfg.L {
+		panic(fmt.Sprintf("routing: stage %d out of range [1,%d]", s, t.cfg.L+1))
+	}
+	return t.d[t.cfg.L-s]
+}
+
+// String renders the tag in the paper's D = d_(l-1)...d_0 x notation.
+func (t Tag) String() string {
+	var sb strings.Builder
+	sb.WriteString("D=")
+	for i := t.cfg.L - 1; i >= 0; i-- {
+		fmt.Fprintf(&sb, "%d.", t.d[i])
+	}
+	fmt.Fprintf(&sb, "x%d", t.x)
+	return sb.String()
+}
+
+// SourceDigits decomposes a source label per the Lemma 1 proof:
+// S = s_(l-1) s_(l-2) ... s_0 x', the s_i base-(a/c) and x' base-c.
+// The returned slice holds s[i] = s_i; xPrime is x'.
+func SourceDigits(cfg topology.Config, src int) (s []int, xPrime int, err error) {
+	if src < 0 || src >= cfg.Inputs() {
+		return nil, 0, fmt.Errorf("routing: source %d out of range [0,%d)", src, cfg.Inputs())
+	}
+	xPrime = src % cfg.C
+	rest := src / cfg.C
+	q := cfg.A / cfg.C
+	s = make([]int, cfg.L)
+	for i := 0; i < cfg.L; i++ {
+		s[i] = rest % q
+		rest /= q
+	}
+	return s, xPrime, nil
+}

@@ -1,0 +1,100 @@
+package routing
+
+import (
+	"fmt"
+	"strings"
+
+	"edn/internal/topology"
+)
+
+// Hop records what happens to a message at one stage of the network.
+type Hop struct {
+	Stage    int  // 1-based stage number; stage l+1 is the crossbar stage
+	InLine   int  // wire label entering the stage
+	Switch   int  // switch index within the stage
+	Port     int  // switch-local input port
+	Digit    int  // tag digit retired at this stage
+	Wire     int  // wire chosen within the bucket (always 0 at the crossbar)
+	OutLine  int  // stage-output wire label (before interstage wiring)
+	NextLine int  // wire label after the interstage permutation
+	Crossbar bool // true for the final stage
+}
+
+// Trace is the full Lemma 1 walk of one message.
+type Trace struct {
+	Config      topology.Config
+	Source      int
+	Destination int
+	Hops        []Hop
+}
+
+// TraceRoute walks a message from src to dst, retiring digits in the
+// standard order and taking choices[i-1] as the free wire choice inside
+// the bucket selected at hyperbar stage i (Theorem 2's c^l multipath
+// freedom). A nil choices slice selects wire 0 everywhere.
+func TraceRoute(cfg topology.Config, src, dst int, choices []int) (Trace, error) {
+	if err := cfg.Validate(); err != nil {
+		return Trace{}, err
+	}
+	if choices == nil {
+		choices = make([]int, cfg.L)
+	}
+	if len(choices) != cfg.L {
+		return Trace{}, fmt.Errorf("routing: got %d wire choices, want %d", len(choices), cfg.L)
+	}
+	tag, err := Encode(cfg, dst)
+	if err != nil {
+		return Trace{}, err
+	}
+	if src < 0 || src >= cfg.Inputs() {
+		return Trace{}, fmt.Errorf("routing: source %d out of range [0,%d)", src, cfg.Inputs())
+	}
+
+	tr := Trace{Config: cfg, Source: src, Destination: dst}
+	line := src
+	for s := 1; s <= cfg.L; s++ {
+		k := choices[s-1]
+		if k < 0 || k >= cfg.C {
+			return Trace{}, fmt.Errorf("routing: stage %d wire choice %d out of range [0,%d)", s, k, cfg.C)
+		}
+		sw, port := cfg.SwitchOfLine(s, line)
+		d := tag.DigitForStage(s)
+		out := cfg.LineOfSwitchOutput(s, sw, d, k)
+		next := cfg.InterstageGamma(s).Apply(out)
+		tr.Hops = append(tr.Hops, Hop{
+			Stage: s, InLine: line, Switch: sw, Port: port,
+			Digit: d, Wire: k, OutLine: out, NextLine: next,
+		})
+		line = next
+	}
+	sw, port := cfg.SwitchOfLine(cfg.L+1, line)
+	out := cfg.LineOfSwitchOutput(cfg.L+1, sw, tag.CrossbarDigit(), 0)
+	tr.Hops = append(tr.Hops, Hop{
+		Stage: cfg.L + 1, InLine: line, Switch: sw, Port: port,
+		Digit: tag.CrossbarDigit(), OutLine: out, NextLine: out, Crossbar: true,
+	})
+	if out != dst {
+		return tr, fmt.Errorf("routing: trace from %d ended at %d, want %d", src, out, dst)
+	}
+	return tr, nil
+}
+
+// String renders the trace as a per-stage table, matching the walk in the
+// Lemma 1 proof.
+func (tr Trace) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%v: route %d -> %d\n", tr.Config, tr.Source, tr.Destination)
+	for _, h := range tr.Hops {
+		kind := "hyperbar"
+		if h.Crossbar {
+			kind = "crossbar"
+		}
+		fmt.Fprintf(&sb, "  stage %d (%s): line %4d -> switch %3d port %2d, digit %d, wire %d -> line %4d",
+			h.Stage, kind, h.InLine, h.Switch, h.Port, h.Digit, h.Wire, h.OutLine)
+		if h.NextLine != h.OutLine {
+			fmt.Fprintf(&sb, " --gamma--> %4d", h.NextLine)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -1,0 +1,168 @@
+// Package simd implements the Section 5 Restricted Access EDN (RA-EDN):
+// a massively parallel SIMD machine in which a *cluster* of q processing
+// elements shares a single input and output port of an EDN(bc,b,c,l) with
+// p = b^l*c ports. Every PE holds one message of a permutation over all
+// N = p*q processors; each network cycle every cluster offers at most one
+// undelivered message, chosen by a schedule, and conflicts inside the
+// network push losers to a later cycle.
+//
+// The paper's schedule is random selection ("a random schedule on a fixed
+// permutation is equivalent to a fixed schedule on a random permutation");
+// FIFO and greedy-distinct schedulers are provided as ablations. The
+// MasPar MP-1 16K router is RA-EDN(16,4,2,16), logically EDN(64,16,4,2).
+package simd
+
+import (
+	"fmt"
+
+	"edn/internal/topology"
+	"edn/internal/xrand"
+)
+
+// System is an RA-EDN(b,c,l,q): a square EDN plus clustering.
+type System struct {
+	Network topology.Config // EDN(bc,b,c,l); must be square
+	Q       int             // processing elements per cluster
+}
+
+// RAEDN builds the RA-EDN(b,c,l,q) system of Section 5.1: the network is
+// EDN(bc,b,c,l) and each of its p = b^l*c ports serves q PEs.
+func RAEDN(b, c, l, q int) (System, error) {
+	cfg, err := topology.New(b*c, b, c, l)
+	if err != nil {
+		return System{}, err
+	}
+	sys := System{Network: cfg, Q: q}
+	if err := sys.Validate(); err != nil {
+		return System{}, err
+	}
+	return sys, nil
+}
+
+// MasParMP1 returns the paper's flagship instance: RA-EDN(16,4,2,16),
+// the 16K-PE MasPar MP-1 router (1024 clusters of 16 PEs over
+// EDN(64,16,4,2)).
+func MasParMP1() System {
+	sys, err := RAEDN(16, 4, 2, 16)
+	if err != nil {
+		panic(err) // fixed parameters; cannot fail
+	}
+	return sys
+}
+
+// Validate checks the system is well formed.
+func (s System) Validate() error {
+	if err := s.Network.Validate(); err != nil {
+		return err
+	}
+	if !s.Network.IsSquare() {
+		return fmt.Errorf("simd: RA-EDN network must be square, got %v", s.Network)
+	}
+	if s.Q < 1 {
+		return fmt.Errorf("simd: cluster size q=%d must be positive", s.Q)
+	}
+	return nil
+}
+
+// P returns the number of clusters (network ports).
+func (s System) P() int { return s.Network.Inputs() }
+
+// N returns the total number of processing elements, p*q.
+func (s System) N() int { return s.P() * s.Q }
+
+// String renders the system in the paper's RA-EDN(b,c,l,q) notation.
+func (s System) String() string {
+	return fmt.Sprintf("RA-EDN(%d,%d,%d,%d)", s.Network.B, s.Network.C, s.Network.L, s.Q)
+}
+
+// Cluster returns the cluster index of global PE label pe (pe = x*q + y
+// for PE y of cluster x).
+func (s System) Cluster(pe int) int { return pe / s.Q }
+
+// Scheduler picks which undelivered message each cluster offers in a
+// network cycle.
+type Scheduler interface {
+	// Pick returns, for every cluster, an index into pending[cluster]
+	// (or -1 when that cluster has nothing left). pending holds the
+	// destination *ports* of undelivered messages per cluster.
+	Pick(pending [][]int, rng *xrand.Rand) []int
+	// Name identifies the schedule in reports.
+	Name() string
+}
+
+// RandomScheduler is the paper's schedule: each cluster picks an
+// undelivered message uniformly at random.
+type RandomScheduler struct{}
+
+// Name implements Scheduler.
+func (RandomScheduler) Name() string { return "random" }
+
+// Pick implements Scheduler.
+func (RandomScheduler) Pick(pending [][]int, rng *xrand.Rand) []int {
+	choice := make([]int, len(pending))
+	for x, msgs := range pending {
+		if len(msgs) == 0 {
+			choice[x] = -1
+			continue
+		}
+		choice[x] = rng.Intn(len(msgs))
+	}
+	return choice
+}
+
+// FIFOScheduler always offers each cluster's oldest undelivered message.
+type FIFOScheduler struct{}
+
+// Name implements Scheduler.
+func (FIFOScheduler) Name() string { return "fifo" }
+
+// Pick implements Scheduler.
+func (FIFOScheduler) Pick(pending [][]int, rng *xrand.Rand) []int {
+	choice := make([]int, len(pending))
+	for x, msgs := range pending {
+		if len(msgs) == 0 {
+			choice[x] = -1
+			continue
+		}
+		choice[x] = 0
+	}
+	return choice
+}
+
+// GreedyDistinctScheduler tries to offer messages with pairwise-distinct
+// destination clusters each cycle (the expensive schedule Section 5
+// mentions and sidesteps): clusters are scanned in random order and each
+// prefers an unclaimed destination if it has one. Conflicts inside the
+// network can still occur — distinct outputs do not guarantee distinct
+// internal wires — but output contention disappears.
+type GreedyDistinctScheduler struct{}
+
+// Name implements Scheduler.
+func (GreedyDistinctScheduler) Name() string { return "greedy-distinct" }
+
+// Pick implements Scheduler.
+func (GreedyDistinctScheduler) Pick(pending [][]int, rng *xrand.Rand) []int {
+	choice := make([]int, len(pending))
+	claimed := make(map[int]bool, len(pending))
+	order := rng.Perm(len(pending))
+	for _, x := range order {
+		msgs := pending[x]
+		if len(msgs) == 0 {
+			choice[x] = -1
+			continue
+		}
+		choice[x] = -2
+		for i, dst := range msgs {
+			if !claimed[dst] {
+				choice[x] = i
+				claimed[dst] = true
+				break
+			}
+		}
+		if choice[x] == -2 {
+			// Every destination already claimed: fall back to random.
+			choice[x] = rng.Intn(len(msgs))
+		}
+	}
+	return choice
+}

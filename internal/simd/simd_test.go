@@ -1,0 +1,231 @@
+package simd
+
+import (
+	"math"
+	"testing"
+
+	"edn/internal/analytic"
+	"edn/internal/xrand"
+)
+
+func TestRAEDNConstruction(t *testing.T) {
+	sys, err := RAEDN(4, 2, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Network.A != 8 || sys.Network.B != 4 || sys.Network.C != 2 || sys.Network.L != 2 {
+		t.Fatalf("network = %v, want EDN(8,4,2,2)", sys.Network)
+	}
+	if sys.P() != 32 || sys.N() != 128 {
+		t.Fatalf("p=%d n=%d, want 32/128", sys.P(), sys.N())
+	}
+	if _, err := RAEDN(3, 2, 2, 4); err == nil {
+		t.Error("expected error for non-power-of-two b")
+	}
+	if _, err := RAEDN(4, 2, 2, 0); err == nil {
+		t.Error("expected error for q=0")
+	}
+}
+
+// TestMasParMP1Dimensions pins the paper's flagship: RA-EDN(16,4,2,16) is
+// 1024 clusters of 16 PEs (16K machine) over EDN(64,16,4,2).
+func TestMasParMP1Dimensions(t *testing.T) {
+	sys := MasParMP1()
+	if sys.P() != 1024 {
+		t.Errorf("p = %d, want 1024", sys.P())
+	}
+	if sys.Q != 16 {
+		t.Errorf("q = %d, want 16", sys.Q)
+	}
+	if sys.N() != 16384 {
+		t.Errorf("N = %d, want 16384 (16K PEs)", sys.N())
+	}
+	if sys.Network.A != 64 || sys.Network.B != 16 || sys.Network.C != 4 || sys.Network.L != 2 {
+		t.Errorf("network = %v, want EDN(64,16,4,2)", sys.Network)
+	}
+	if got := sys.String(); got != "RA-EDN(16,4,2,16)" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestRoutePermutationValidation(t *testing.T) {
+	sys, err := RAEDN(2, 2, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RoutePermutation(sys, make([]int, 3), RouteOptions{}); err == nil {
+		t.Error("expected length error")
+	}
+	bad := make([]int, sys.N())
+	if _, err := RoutePermutation(sys, bad, RouteOptions{}); err == nil {
+		t.Error("expected non-permutation error")
+	}
+}
+
+// TestRoutePermutationDeliversEverything: every message of the
+// permutation is delivered exactly once, and the per-cycle delivery
+// counts sum to N.
+func TestRoutePermutationDeliversEverything(t *testing.T) {
+	sys, err := RAEDN(4, 2, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := xrand.New(31)
+	for trial := 0; trial < 5; trial++ {
+		perm := rng.Perm(sys.N())
+		res, err := RoutePermutation(sys, perm, RouteOptions{Seed: rng.Uint64() | 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := 0
+		for _, d := range res.Delivered {
+			total += d
+		}
+		if total != sys.N() {
+			t.Fatalf("delivered %d messages, want %d", total, sys.N())
+		}
+		if res.Cycles < sys.Q {
+			t.Fatalf("%d cycles is below the q=%d lower bound", res.Cycles, sys.Q)
+		}
+		if res.Cycles != len(res.Delivered) {
+			t.Fatalf("cycle count %d != %d recorded cycles", res.Cycles, len(res.Delivered))
+		}
+	}
+}
+
+// TestIdentityPermutationFastPath: the identity over PEs maps every
+// message to its own cluster, so each cluster sends q messages to its own
+// port: no inter-cluster contention at the outputs, and the run takes
+// close to q cycles (internal multipath absorbs the rest).
+func TestIdentityPermutationFastPath(t *testing.T) {
+	sys, err := RAEDN(4, 2, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perm := make([]int, sys.N())
+	for i := range perm {
+		perm[i] = i
+	}
+	res, err := RoutePermutation(sys, perm, RouteOptions{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identity over the RA-EDN means each cluster talks only to itself;
+	// a cluster can deliver at most one message per cycle, so q is both
+	// the lower bound and - when the network blocks nothing extra - the
+	// achieved time. Conflicts can add a few cycles; bound it loosely.
+	if res.Cycles < sys.Q || res.Cycles > 4*sys.Q {
+		t.Fatalf("identity took %d cycles for q=%d", res.Cycles, sys.Q)
+	}
+}
+
+// TestSection51ModelAgreement compares measured mean permutation time
+// with the analytic q/PA(1)+J estimate on a mid-sized system. The model
+// inherits the independence optimism of Equation 4, so measurement runs
+// somewhat slower; both must agree within 25%.
+func TestSection51ModelAgreement(t *testing.T) {
+	sys, err := RAEDN(4, 4, 2, 8) // EDN(16,4,4,2), p=64, q=8, N=512
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := analytic.ExpectedPermutationTime(sys.Network, sys.Q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := MeasurePermutationTime(sys, 5, RouteOptions{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := acc.Mean() / model.Cycles(); ratio < 0.75 || ratio > 1.25 {
+		t.Errorf("measured %.2f cycles vs model %.2f (ratio %.3f)", acc.Mean(), model.Cycles(), ratio)
+	}
+}
+
+// TestMasParPermutationTimeMeasured runs the paper's flagship system:
+// the measured time for a random permutation on RA-EDN(16,4,2,16) should
+// land in the mid-30s of cycles (paper's estimate: 34.41).
+func TestMasParPermutationTimeMeasured(t *testing.T) {
+	if testing.Short() {
+		t.Skip("16K-PE system run skipped in -short mode")
+	}
+	sys := MasParMP1()
+	acc, err := MeasurePermutationTime(sys, 2, RouteOptions{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc.Mean() < 28 || acc.Mean() > 48 {
+		t.Errorf("measured %.1f cycles, expected in [28,48] (paper: 34.41)", acc.Mean())
+	}
+}
+
+// TestSchedulerAblation: offering distinct destination clusters cannot be
+// slower than the random schedule on average.
+func TestSchedulerAblation(t *testing.T) {
+	sys, err := RAEDN(4, 2, 2, 8) // p=32, q=8
+	if err != nil {
+		t.Fatal(err)
+	}
+	random, err := MeasurePermutationTime(sys, 6, RouteOptions{Seed: 5, Scheduler: RandomScheduler{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	greedy, err := MeasurePermutationTime(sys, 6, RouteOptions{Seed: 5, Scheduler: GreedyDistinctScheduler{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fifo, err := MeasurePermutationTime(sys, 6, RouteOptions{Seed: 5, Scheduler: FIFOScheduler{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if greedy.Mean() > random.Mean()*1.05 {
+		t.Errorf("greedy-distinct %.2f should not lose to random %.2f", greedy.Mean(), random.Mean())
+	}
+	// FIFO on a random permutation behaves like the random schedule
+	// (fixed schedule on a random permutation, as the paper notes).
+	if math.Abs(fifo.Mean()-random.Mean()) > random.Mean()*0.3 {
+		t.Errorf("fifo %.2f deviates wildly from random %.2f", fifo.Mean(), random.Mean())
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	sys, err := RAEDN(2, 2, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perm := xrand.New(1).Perm(sys.N())
+	a, err := RoutePermutation(sys, perm, RouteOptions{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RoutePermutation(sys, perm, RouteOptions{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cycles != b.Cycles {
+		t.Errorf("same seed diverged: %d vs %d cycles", a.Cycles, b.Cycles)
+	}
+}
+
+func TestClusterLabeling(t *testing.T) {
+	sys, err := RAEDN(4, 2, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// PE y of cluster x has global label x*q + y.
+	if got := sys.Cluster(0); got != 0 {
+		t.Errorf("Cluster(0) = %d", got)
+	}
+	if got := sys.Cluster(sys.Q); got != 1 {
+		t.Errorf("Cluster(q) = %d, want 1", got)
+	}
+	if got := sys.Cluster(sys.N() - 1); got != sys.P()-1 {
+		t.Errorf("Cluster(N-1) = %d, want %d", got, sys.P()-1)
+	}
+}
+
+func TestMeasurePermutationTimeValidation(t *testing.T) {
+	sys := MasParMP1()
+	if _, err := MeasurePermutationTime(sys, 0, RouteOptions{}); err == nil {
+		t.Error("expected trials validation error")
+	}
+}

@@ -1,0 +1,81 @@
+package simulate
+
+import (
+	"math"
+	"testing"
+
+	"edn/internal/analytic"
+)
+
+func TestParallelMatchesSerialDistribution(t *testing.T) {
+	cfg := mustCfg(t, 16, 4, 4, 2)
+	serial, err := MeasureUniformPA(cfg, 1, Options{Cycles: 800, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := MeasureUniformPAParallel(cfg, 1, Options{Cycles: 800, Seed: 5}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Different substreams, same distribution: agree within joint noise.
+	if math.Abs(serial.PA-parallel.PA) > 3*(serial.PACI+parallel.PACI)+0.01 {
+		t.Errorf("serial %.4f vs parallel %.4f beyond noise", serial.PA, parallel.PA)
+	}
+	if parallel.Cycles != 800 {
+		t.Errorf("merged cycle count %d", parallel.Cycles)
+	}
+	if parallel.OfferedRate < 0.95 {
+		t.Errorf("offered rate %.4f at r=1", parallel.OfferedRate)
+	}
+	// Both track the analytic model from below.
+	want := analytic.PA(cfg, 1)
+	if parallel.PA > want+0.02 || parallel.PA < want*0.9 {
+		t.Errorf("parallel PA %.4f vs model %.4f", parallel.PA, want)
+	}
+	blocked := 0
+	for _, b := range parallel.BlockedPerStage {
+		blocked += b
+	}
+	if blocked == 0 {
+		t.Error("full load must block somewhere")
+	}
+}
+
+func TestParallelDeterministicForFixedWorkers(t *testing.T) {
+	cfg := mustCfg(t, 16, 4, 4, 2)
+	a, err := MeasureUniformPAParallel(cfg, 0.8, Options{Cycles: 400, Seed: 9}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MeasureUniformPAParallel(cfg, 0.8, Options{Cycles: 400, Seed: 9}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.PA != b.PA || a.Bandwidth != b.Bandwidth || a.PACI != b.PACI {
+		t.Errorf("parallel run not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestParallelDegenerateWorkerCounts(t *testing.T) {
+	cfg := mustCfg(t, 16, 4, 4, 2)
+	// One worker falls back to the serial path, bit for bit.
+	serial, err := MeasureUniformPA(cfg, 1, Options{Cycles: 100, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, err := MeasureUniformPAParallel(cfg, 1, Options{Cycles: 100, Seed: 3}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.PA != one.PA {
+		t.Errorf("one-worker parallel diverged: %.6f vs %.6f", one.PA, serial.PA)
+	}
+	// More workers than cycles clamps.
+	res, err := MeasureUniformPAParallel(cfg, 1, Options{Cycles: 3, Seed: 3}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles != 3 {
+		t.Errorf("clamped run cycles = %d", res.Cycles)
+	}
+}

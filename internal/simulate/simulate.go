@@ -1,0 +1,133 @@
+// Package simulate drives Monte-Carlo experiments over the cycle-level
+// network of internal/core. The paper evaluates EDNs purely with closed
+// forms; this package provides the independent measurement side, so every
+// analytical figure in EXPERIMENTS.md can be cross-checked against a
+// discrete-event run with the identical switch semantics.
+package simulate
+
+import (
+	"fmt"
+
+	"edn/internal/core"
+	"edn/internal/stats"
+	"edn/internal/topology"
+	"edn/internal/traffic"
+	"edn/internal/xrand"
+)
+
+// Options configures a measurement run.
+type Options struct {
+	Cycles  int                 // number of network cycles to simulate (default 1000)
+	Warmup  int                 // cycles discarded before measuring (default 0)
+	Seed    uint64              // RNG seed for the traffic source (default 1)
+	Factory core.ArbiterFactory // switch arbitration (default: paper's priority rule)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Cycles <= 0 {
+		o.Cycles = 1000
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// Result aggregates a measurement run.
+type Result struct {
+	Config  topology.Config
+	Pattern string
+	Cycles  int
+	// PA is the measured probability of acceptance: total delivered over
+	// total offered.
+	PA float64
+	// PACI is the 95% confidence half-width of the per-cycle PA mean.
+	PACI float64
+	// Bandwidth is the mean number of requests delivered per cycle.
+	Bandwidth float64
+	// OfferedRate is the measured per-input request probability.
+	OfferedRate float64
+	// BlockedPerStage[s-1] is the total number of requests dropped at
+	// stage s across the run.
+	BlockedPerStage []int
+
+	// paAcc retains the per-cycle PA accumulator so parallel runs can
+	// merge confidence intervals exactly.
+	paAcc *stats.Accumulator
+}
+
+// String renders the headline numbers.
+func (r Result) String() string {
+	return fmt.Sprintf("%v %s: PA=%.4f (+-%.4f), BW=%.1f req/cycle over %d cycles",
+		r.Config, r.Pattern, r.PA, r.PACI, r.Bandwidth, r.Cycles)
+}
+
+// MeasurePA runs pattern through the network for the configured number of
+// cycles and reports acceptance statistics. Fresh requests are drawn each
+// cycle; rejected requests are discarded, matching the Section 3.2
+// assumption that blocked requests do not influence later cycles.
+func MeasurePA(cfg topology.Config, pattern traffic.Pattern, opts Options) (Result, error) {
+	res, _, err := measurePA(cfg, pattern, opts)
+	return res, err
+}
+
+// measurePA is MeasurePA plus the raw per-cycle accumulator, which the
+// parallel harness merges across workers.
+func measurePA(cfg topology.Config, pattern traffic.Pattern, opts Options) (Result, *stats.Accumulator, error) {
+	opts = opts.withDefaults()
+	net, err := core.NewNetwork(cfg, opts.Factory)
+	if err != nil {
+		return Result{}, nil, err
+	}
+	res := Result{
+		Config:          cfg,
+		Pattern:         pattern.Name(),
+		Cycles:          opts.Cycles,
+		BlockedPerStage: make([]int, cfg.Stages()),
+	}
+	var paAcc stats.Accumulator
+	offered, delivered := 0, 0
+	for cycle := 0; cycle < opts.Warmup+opts.Cycles; cycle++ {
+		dest := pattern.Generate(cfg.Inputs(), cfg.Outputs())
+		_, cs, err := net.RouteCycle(dest)
+		if err != nil {
+			return Result{}, nil, err
+		}
+		if cycle < opts.Warmup {
+			continue
+		}
+		offered += cs.Offered
+		delivered += cs.Delivered
+		if cs.Offered > 0 {
+			paAcc.Add(cs.PA())
+		}
+		for s, b := range cs.Blocked {
+			res.BlockedPerStage[s] += b
+		}
+	}
+	if offered > 0 {
+		res.PA = float64(delivered) / float64(offered)
+	} else {
+		res.PA = 1
+	}
+	res.PACI = paAcc.CI95()
+	res.Bandwidth = float64(delivered) / float64(opts.Cycles)
+	res.OfferedRate = float64(offered) / float64(opts.Cycles*cfg.Inputs())
+	return res, &paAcc, nil
+}
+
+// MeasureUniformPA is the common case: Section 3.2 uniform traffic at
+// offered rate r.
+func MeasureUniformPA(cfg topology.Config, r float64, opts Options) (Result, error) {
+	opts = opts.withDefaults()
+	rng := xrand.New(opts.Seed)
+	return MeasurePA(cfg, traffic.Uniform{Rate: r, Rng: rng}, opts)
+}
+
+// MeasurePermutationPA measures acceptance under fresh random
+// permutations each cycle (the Section 3.2.1 regime).
+func MeasurePermutationPA(cfg topology.Config, opts Options) (Result, error) {
+	opts = opts.withDefaults()
+	rng := xrand.New(opts.Seed)
+	return MeasurePA(cfg, traffic.RandomPermutation{Rng: rng}, opts)
+}

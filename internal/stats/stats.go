@@ -1,0 +1,119 @@
+// Package stats provides the small set of statistics the simulation
+// harness needs: streaming mean/variance (Welford), confidence intervals
+// and simple summaries. It exists so experiment code states its intent
+// ("mean with a 95% CI") instead of inlining accumulators.
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Accumulator tracks a stream of observations with Welford's online
+// algorithm: numerically stable single-pass mean and variance.
+type Accumulator struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add records one observation.
+func (a *Accumulator) Add(x float64) {
+	a.n++
+	if a.n == 1 {
+		a.min, a.max = x, x
+	} else {
+		if x < a.min {
+			a.min = x
+		}
+		if x > a.max {
+			a.max = x
+		}
+	}
+	delta := x - a.mean
+	a.mean += delta / float64(a.n)
+	a.m2 += delta * (x - a.mean)
+}
+
+// N returns the number of observations.
+func (a *Accumulator) N() int { return a.n }
+
+// Mean returns the sample mean (0 for an empty accumulator).
+func (a *Accumulator) Mean() float64 { return a.mean }
+
+// Min returns the smallest observation (0 for an empty accumulator).
+func (a *Accumulator) Min() float64 { return a.min }
+
+// Max returns the largest observation (0 for an empty accumulator).
+func (a *Accumulator) Max() float64 { return a.max }
+
+// Variance returns the unbiased sample variance; it is 0 with fewer than
+// two observations.
+func (a *Accumulator) Variance() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	return a.m2 / float64(a.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (a *Accumulator) StdDev() float64 { return math.Sqrt(a.Variance()) }
+
+// StdErr returns the standard error of the mean.
+func (a *Accumulator) StdErr() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	return a.StdDev() / math.Sqrt(float64(a.n))
+}
+
+// CI95 returns the half-width of a normal-approximation 95% confidence
+// interval on the mean.
+func (a *Accumulator) CI95() float64 { return 1.96 * a.StdErr() }
+
+// Merge folds another accumulator into this one, as if every observation
+// of b had been Added here (Chan et al.'s parallel variance update). It
+// lets independent workers accumulate privately and combine exactly.
+func (a *Accumulator) Merge(b *Accumulator) {
+	if b.n == 0 {
+		return
+	}
+	if a.n == 0 {
+		*a = *b
+		return
+	}
+	na, nb := float64(a.n), float64(b.n)
+	delta := b.mean - a.mean
+	total := na + nb
+	a.m2 += b.m2 + delta*delta*na*nb/total
+	a.mean += delta * nb / total
+	a.n += b.n
+	if b.min < a.min {
+		a.min = b.min
+	}
+	if b.max > a.max {
+		a.max = b.max
+	}
+}
+
+// String summarizes the accumulator for reports.
+func (a *Accumulator) String() string {
+	return fmt.Sprintf("n=%d mean=%.6g +-%.2g [%.6g, %.6g]", a.n, a.Mean(), a.CI95(), a.min, a.max)
+}
+
+// Mean returns the mean of xs (0 for an empty slice).
+func Mean(xs []float64) float64 {
+	var a Accumulator
+	for _, x := range xs {
+		a.Add(x)
+	}
+	return a.Mean()
+}
+
+// WithinCI reports whether got is within halfWidth of want, used by
+// simulation-vs-model assertions.
+func WithinCI(got, want, halfWidth float64) bool {
+	return math.Abs(got-want) <= halfWidth
+}

@@ -1,0 +1,154 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyAccumulator(t *testing.T) {
+	var a Accumulator
+	if a.N() != 0 || a.Mean() != 0 || a.Variance() != 0 || a.StdErr() != 0 {
+		t.Fatalf("empty accumulator not zeroed: %+v", a)
+	}
+}
+
+func TestKnownValues(t *testing.T) {
+	var a Accumulator
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		a.Add(x)
+	}
+	if a.Mean() != 5 {
+		t.Errorf("mean = %g, want 5", a.Mean())
+	}
+	// Sample variance of the classic dataset is 32/7.
+	if want := 32.0 / 7; math.Abs(a.Variance()-want) > 1e-12 {
+		t.Errorf("variance = %g, want %g", a.Variance(), want)
+	}
+	if a.Min() != 2 || a.Max() != 9 {
+		t.Errorf("min/max = %g/%g", a.Min(), a.Max())
+	}
+	if a.N() != 8 {
+		t.Errorf("n = %d", a.N())
+	}
+}
+
+func TestSingleObservation(t *testing.T) {
+	var a Accumulator
+	a.Add(3.5)
+	if a.Mean() != 3.5 || a.Variance() != 0 || a.Min() != 3.5 || a.Max() != 3.5 {
+		t.Fatalf("single observation: %+v", a)
+	}
+}
+
+func TestCI95ShrinksWithN(t *testing.T) {
+	var small, large Accumulator
+	for i := 0; i < 10; i++ {
+		small.Add(float64(i % 2))
+	}
+	for i := 0; i < 1000; i++ {
+		large.Add(float64(i % 2))
+	}
+	if large.CI95() >= small.CI95() {
+		t.Errorf("CI did not shrink: %g vs %g", large.CI95(), small.CI95())
+	}
+}
+
+func TestMeanHelper(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %g, want 2", got)
+	}
+}
+
+func TestWithinCI(t *testing.T) {
+	if !WithinCI(1.0, 1.05, 0.1) {
+		t.Error("should be within")
+	}
+	if WithinCI(1.0, 1.2, 0.1) {
+		t.Error("should be outside")
+	}
+}
+
+func TestStringNonEmpty(t *testing.T) {
+	var a Accumulator
+	a.Add(1)
+	if a.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestMergeMatchesSingleStream(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8, 9, 7}
+	var whole Accumulator
+	for _, x := range xs {
+		whole.Add(x)
+	}
+	var left, right Accumulator
+	for i, x := range xs {
+		if i < 5 {
+			left.Add(x)
+		} else {
+			right.Add(x)
+		}
+	}
+	left.Merge(&right)
+	if left.N() != whole.N() {
+		t.Fatalf("merged n = %d, want %d", left.N(), whole.N())
+	}
+	if math.Abs(left.Mean()-whole.Mean()) > 1e-12 {
+		t.Errorf("merged mean %g vs %g", left.Mean(), whole.Mean())
+	}
+	if math.Abs(left.Variance()-whole.Variance()) > 1e-12 {
+		t.Errorf("merged variance %g vs %g", left.Variance(), whole.Variance())
+	}
+	if left.Min() != whole.Min() || left.Max() != whole.Max() {
+		t.Errorf("merged min/max %g/%g vs %g/%g", left.Min(), left.Max(), whole.Min(), whole.Max())
+	}
+}
+
+func TestMergeEmptySides(t *testing.T) {
+	var empty, full Accumulator
+	full.Add(2)
+	full.Add(4)
+	cp := full
+	full.Merge(&empty) // no-op
+	if full != cp {
+		t.Error("merging empty changed the accumulator")
+	}
+	empty.Merge(&full)
+	if empty.N() != 2 || empty.Mean() != 3 {
+		t.Errorf("empty.Merge(full) = %+v", empty)
+	}
+}
+
+// Property: Welford agrees with the two-pass mean/variance.
+func TestQuickAgainstTwoPass(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v) / 997
+		}
+		var a Accumulator
+		sum := 0.0
+		for _, x := range xs {
+			a.Add(x)
+			sum += x
+		}
+		mean := sum / float64(len(xs))
+		ss := 0.0
+		for _, x := range xs {
+			ss += (x - mean) * (x - mean)
+		}
+		variance := ss / float64(len(xs)-1)
+		return math.Abs(a.Mean()-mean) < 1e-9 && math.Abs(a.Variance()-variance) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

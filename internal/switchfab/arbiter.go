@@ -1,0 +1,66 @@
+package switchfab
+
+// Arbiter chooses the order in which a switch considers its inputs when a
+// bucket is oversubscribed. Inputs earlier in the order win ties.
+//
+// The paper's running example (Figure 2) prioritizes inputs by label
+// (0, 1, 2, ..., a-1); that is PriorityArbiter. RoundRobinArbiter and
+// RandomArbiter are fairness ablations: the closed-form performance model
+// of Section 3.2 is arbitration-agnostic (it only counts winners), so all
+// three must produce statistically identical acceptance rates — a property
+// the simulator test suite checks.
+type Arbiter interface {
+	// Order returns a permutation of [0, n): the arbitration order for one
+	// cycle of a switch with n inputs.
+	Order(n int) []int
+}
+
+// PriorityArbiter grants competing inputs in increasing input-label order,
+// matching the paper's Figure 2 worked example.
+type PriorityArbiter struct{}
+
+// Order returns 0, 1, ..., n-1.
+func (PriorityArbiter) Order(n int) []int {
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	return order
+}
+
+// RoundRobinArbiter rotates the starting input every cycle so no input is
+// persistently favored. It is stateful and not safe for concurrent use by
+// multiple goroutines.
+type RoundRobinArbiter struct {
+	next int
+}
+
+// Order returns next, next+1, ..., wrapping mod n, then advances next.
+func (r *RoundRobinArbiter) Order(n int) []int {
+	order := make([]int, n)
+	if n == 0 {
+		return order
+	}
+	start := r.next % n
+	for i := range order {
+		order[i] = (start + i) % n
+	}
+	r.next = (start + 1) % n
+	return order
+}
+
+// RandomArbiter draws a fresh uniform arbitration order each cycle from a
+// caller-supplied permutation source, keeping the package free of any RNG
+// dependency. It is not safe for concurrent use.
+type RandomArbiter struct {
+	// Perm returns a uniform random permutation of [0, n).
+	Perm func(n int) []int
+}
+
+// Order returns Perm(n).
+func (r RandomArbiter) Order(n int) []int {
+	if r.Perm == nil {
+		return PriorityArbiter{}.Order(n)
+	}
+	return r.Perm(n)
+}

@@ -1,0 +1,133 @@
+// Package traffic generates the request patterns used throughout the
+// paper's evaluation: the uniform independent traffic of Section 3.2, the
+// random permutations of Sections 3.2.1 and 5, and the structured
+// permutations and hot-spot ("NUTS", after Lang & Kurisaki) patterns used
+// by the extended test and benchmark suites.
+//
+// A pattern is a slice dest with dest[i] = destination label requested by
+// input i, or None when input i is idle this cycle.
+package traffic
+
+import (
+	"fmt"
+
+	"edn/internal/xrand"
+)
+
+// None marks an idle input.
+const None = -1
+
+// Pattern produces one request vector per call. Implementations may be
+// stateful (e.g. draw fresh randomness each cycle).
+type Pattern interface {
+	// Generate fills dest[i] with the destination requested by input i or
+	// None. The returned slice has length inputs and destinations in
+	// [0, outputs).
+	Generate(inputs, outputs int) []int
+	// Name identifies the pattern in reports.
+	Name() string
+}
+
+// Uniform is the Section 3.2 reference workload: each input independently
+// carries a request with probability Rate, destined to a uniformly random
+// output.
+type Uniform struct {
+	Rate float64
+	Rng  *xrand.Rand
+}
+
+// Name implements Pattern.
+func (u Uniform) Name() string { return fmt.Sprintf("uniform(r=%.3g)", u.Rate) }
+
+// Generate implements Pattern.
+func (u Uniform) Generate(inputs, outputs int) []int {
+	dest := make([]int, inputs)
+	for i := range dest {
+		if u.Rng.Bool(u.Rate) {
+			dest[i] = u.Rng.Intn(outputs)
+		} else {
+			dest[i] = None
+		}
+	}
+	return dest
+}
+
+// RandomPermutation draws a fresh uniform permutation each cycle
+// (Section 3.2.1 and the SIMD analysis assume square networks; for
+// rectangular ones it draws an injection into the outputs).
+type RandomPermutation struct {
+	Rng *xrand.Rand
+}
+
+// Name implements Pattern.
+func (RandomPermutation) Name() string { return "random-permutation" }
+
+// Generate implements Pattern.
+func (p RandomPermutation) Generate(inputs, outputs int) []int {
+	perm := p.Rng.Perm(outputs)
+	if inputs <= outputs {
+		return perm[:inputs]
+	}
+	// More inputs than outputs: the first `outputs` inputs get a
+	// permutation, the rest stay idle — the densest conflict-free load.
+	dest := make([]int, inputs)
+	copy(dest, perm)
+	for i := outputs; i < inputs; i++ {
+		dest[i] = None
+	}
+	return dest
+}
+
+// PartialPermutation draws a permutation and then keeps each entry with
+// probability Rate: conflict-free traffic at reduced load.
+type PartialPermutation struct {
+	Rate float64
+	Rng  *xrand.Rand
+}
+
+// Name implements Pattern.
+func (p PartialPermutation) Name() string {
+	return fmt.Sprintf("partial-permutation(r=%.3g)", p.Rate)
+}
+
+// Generate implements Pattern.
+func (p PartialPermutation) Generate(inputs, outputs int) []int {
+	dest := RandomPermutation{Rng: p.Rng}.Generate(inputs, outputs)
+	for i := range dest {
+		if dest[i] != None && !p.Rng.Bool(p.Rate) {
+			dest[i] = None
+		}
+	}
+	return dest
+}
+
+// HotSpot models a Non-Uniform Traffic Spot: with probability Fraction a
+// request targets the single hot output; otherwise it is uniform. Rate
+// controls the per-input offered load.
+type HotSpot struct {
+	Rate     float64
+	Fraction float64
+	Hot      int
+	Rng      *xrand.Rand
+}
+
+// Name implements Pattern.
+func (h HotSpot) Name() string {
+	return fmt.Sprintf("hotspot(r=%.3g,f=%.3g,hot=%d)", h.Rate, h.Fraction, h.Hot)
+}
+
+// Generate implements Pattern.
+func (h HotSpot) Generate(inputs, outputs int) []int {
+	dest := make([]int, inputs)
+	for i := range dest {
+		switch {
+		case !h.Rng.Bool(h.Rate):
+			dest[i] = None
+		case h.Rng.Bool(h.Fraction):
+			dest[i] = h.Hot % outputs
+		default:
+			dest[i] = h.Rng.Intn(outputs)
+		}
+	}
+	return dest
+}

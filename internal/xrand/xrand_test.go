@@ -1,0 +1,174 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+	c := New(43)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if New(42).Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d/1000 equal draws", same)
+	}
+}
+
+func TestIntnBoundsAndUniformity(t *testing.T) {
+	r := New(7)
+	const n, draws = 8, 80000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		v := r.Intn(n)
+		if v < 0 || v >= n {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		counts[v]++
+	}
+	want := float64(draws) / n
+	for v, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("bucket %d count %d deviates from %g", v, c, want)
+		}
+	}
+}
+
+func TestIntnPanicsOnBadN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(11)
+	sum := 0.0
+	const draws = 50000
+	for i := 0; i < draws; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %g", f)
+		}
+		sum += f
+	}
+	if mean := sum / draws; math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("mean = %g, want ~0.5", mean)
+	}
+}
+
+func TestBoolEdges(t *testing.T) {
+	r := New(3)
+	if r.Bool(0) {
+		t.Error("Bool(0) returned true")
+	}
+	if !r.Bool(1) {
+		t.Error("Bool(1) returned false")
+	}
+	hits := 0
+	for i := 0; i < 10000; i++ {
+		if r.Bool(0.25) {
+			hits++
+		}
+	}
+	if hits < 2200 || hits > 2800 {
+		t.Errorf("Bool(0.25) hit %d/10000", hits)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	f := func(seed uint64, rawN uint8) bool {
+		n := int(rawN%64) + 1
+		p := New(seed).Perm(n)
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPermUniformFirstElement(t *testing.T) {
+	r := New(5)
+	const n, draws = 5, 50000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[r.Perm(n)[0]]++
+	}
+	want := float64(draws) / n
+	for v, c := range counts {
+		if math.Abs(float64(c)-want) > 6*math.Sqrt(want) {
+			t.Errorf("Perm first element %d count %d deviates from %g", v, c, want)
+		}
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(99)
+	child := parent.Split()
+	// The child stream must differ from the parent's continuation.
+	same := 0
+	for i := 0; i < 100; i++ {
+		if parent.Uint64() == child.Uint64() {
+			same++
+		}
+	}
+	if same > 1 {
+		t.Errorf("parent and child agreed on %d/100 draws", same)
+	}
+}
+
+func TestMul64AgainstBig(t *testing.T) {
+	cases := [][2]uint64{
+		{0, 0}, {1, 1}, {math.MaxUint64, math.MaxUint64},
+		{0xdeadbeefcafebabe, 0x123456789abcdef0},
+		{1 << 63, 2}, {math.MaxUint64, 1},
+	}
+	for _, c := range cases {
+		hi, lo := mul64(c[0], c[1])
+		// Verify via 32-bit long multiplication done independently.
+		wantHi, wantLo := refMul(c[0], c[1])
+		if hi != wantHi || lo != wantLo {
+			t.Errorf("mul64(%#x, %#x) = (%#x,%#x), want (%#x,%#x)", c[0], c[1], hi, lo, wantHi, wantLo)
+		}
+	}
+}
+
+func refMul(a, b uint64) (hi, lo uint64) {
+	const m = 1<<32 - 1
+	al, ah := a&m, a>>32
+	bl, bh := b&m, b>>32
+	ll := al * bl
+	lh := al * bh
+	hl := ah * bl
+	hh := ah * bh
+	mid := lh + hl
+	carry := uint64(0)
+	if mid < lh {
+		carry = 1 << 32
+	}
+	lo = ll + mid<<32
+	if lo < ll {
+		hh++
+	}
+	hi = hh + mid>>32 + carry
+	return hi, lo
+}
