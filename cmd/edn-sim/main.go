@@ -70,9 +70,9 @@ func run(args []string, w io.Writer) error {
 	case "uniform":
 		pat = edn.Uniform{Rate: *r, Rng: rng}
 	case "permutation":
-		pat = edn.RandomPermutation{Rng: rng}
+		pat = &edn.RandomPermutation{Rng: rng}
 	case "partial":
-		pat = edn.PartialPermutation{Rate: *r, Rng: rng}
+		pat = &edn.PartialPermutation{Rate: *r, Rng: rng}
 	case "hotspot":
 		pat = edn.HotSpot{Rate: *r, Fraction: *hotFraction, Hot: 0, Rng: rng}
 	case "identity":

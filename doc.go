@@ -22,7 +22,12 @@
 //     Section 5.1 model.
 //   - Simulation: Network routes cycle-level request batches; the
 //     Measure* helpers, SimulateMIMD and RoutePermutation drive
-//     Monte-Carlo experiments that cross-check every closed form.
+//     Monte-Carlo experiments that cross-check every closed form. The
+//     cycle engine is table driven: interstage gamma permutations are
+//     precomputed as flat lookup tables, destination tags are decomposed
+//     into per-stage digits once per cycle, and RouteCycleInto plus the
+//     traffic IntoGenerator fast path let steady-state measurement loops
+//     run with zero allocations per cycle (see BenchmarkRouteCycleInto).
 //   - Reproduction: Figure7, Figure8, Figure11, CostTable and
 //     MasParCaseStudy regenerate the paper's evaluation artifacts (see
 //     cmd/edn-figures and EXPERIMENTS.md).

@@ -260,6 +260,12 @@ func RoutePermutation(sys RAEDN, perm []int, opts RouteOptions) (RouteResult, er
 // Pattern produces one request vector per cycle.
 type Pattern = traffic.Pattern
 
+// IntoGenerator is a Pattern that can fill a caller-provided request
+// vector in place, the traffic-side half of the allocation-free
+// steady-state loop around Network.RouteCycleInto. All built-in patterns
+// implement it (RandomPermutation and PartialPermutation by pointer).
+type IntoGenerator = traffic.IntoGenerator
+
 // Uniform is iid uniform traffic at a given rate (Section 3.2).
 type Uniform = traffic.Uniform
 

@@ -1,0 +1,3 @@
+module edn
+
+go 1.24

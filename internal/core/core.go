@@ -9,10 +9,18 @@
 // stage by stage; a hyperbar bucket accepts at most c requests; losers
 // are dropped (circuit switched, no buffering); survivors of the final
 // c x c crossbar stage appear on their destination terminals.
+//
+// The cycle engine is table driven and allocation-free in steady state:
+// NewNetwork precomputes every interstage gamma as a flat permutation
+// table, each cycle decomposes every destination into its per-stage
+// routing digits exactly once, and RouteCycleInto reuses all scratch
+// buffers, so the Monte-Carlo harnesses in internal/simulate can run
+// millions of cycles without touching the allocator.
 package core
 
 import (
 	"fmt"
+	"math"
 
 	"edn/internal/switchfab"
 	"edn/internal/topology"
@@ -32,16 +40,53 @@ type ArbiterFactory func() switchfab.Arbiter
 func PriorityArbiters() switchfab.Arbiter { return switchfab.PriorityArbiter{} }
 
 // Network is an instantiated EDN ready to route request batches. It is
-// not safe for concurrent use; build one per goroutine (construction is
-// cheap — switch state is lazily allocated).
+// not safe for concurrent use; build one per goroutine (construction
+// cost is dominated by the interstage tables, a small multiple of one
+// wire-state slice).
 type Network struct {
 	cfg      topology.Config
 	factory  ArbiterFactory
 	arbiters [][]switchfab.Arbiter // [stage-1][switch]
 	workers  int                   // goroutines per stage; <=1 means serial
-	// scratch buffers reused across cycles
-	lineOwner []int
-	digits    []int
+	// fastPriority marks the default nil-factory network: every switch
+	// arbitrates with the stateless input-label priority rule, so the
+	// stage kernel can fuse gather/arbitrate/apply into one pass without
+	// consulting (or even instantiating) per-switch arbiters.
+	fastPriority bool
+
+	// Precomputed routing state, immutable after NewNetwork.
+	gammaTab   [][]int32 // [interstage-1] flat permutation; nil = identity
+	logB, logC int       // log2 of cfg.B / cfg.C
+	maskB      int32     // cfg.B - 1
+	maskC      int32     // cfg.C - 1
+
+	// Scratch reused across cycles. RouteCycleInto owns these; nothing
+	// here survives into caller-visible state except via explicit copies.
+	lineOwner []int   // wire -> input currently holding it, or NoRequest
+	cleared   []int   // NoRequest-filled template; lineOwner resets by copy
+	line      []int   // input -> current wire, or NoRequest once dropped
+	tags      []int32 // [stage][input] routing digit, row-major, L+1 rows
+	blocked   []int   // CycleStats.Blocked backing store
+	scratch   stageScratch
+	wscratch  []stageScratch // per-worker scratch, parallel mode only
+}
+
+// stageScratch is the per-goroutine working set of routeStage: the digit
+// vector presented to one switch plus the switch-level grant buffers.
+type stageScratch struct {
+	digits []int
+	route  switchfab.RouteScratch
+}
+
+func newStageScratch(cfg topology.Config) stageScratch {
+	buckets := cfg.B
+	if cfg.C > buckets {
+		buckets = cfg.C // the output crossbar has C single-wire buckets
+	}
+	return stageScratch{
+		digits: make([]int, cfg.A),
+		route:  *switchfab.NewRouteScratch(cfg.A, buckets),
+	}
 }
 
 // NewNetwork builds a network for cfg. A nil factory selects the paper's
@@ -50,10 +95,11 @@ func NewNetwork(cfg topology.Config, factory ArbiterFactory) (*Network, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	fastPriority := factory == nil
 	if factory == nil {
 		factory = PriorityArbiters
 	}
-	n := &Network{cfg: cfg, factory: factory}
+	n := &Network{cfg: cfg, factory: factory, fastPriority: fastPriority}
 	n.arbiters = make([][]switchfab.Arbiter, cfg.Stages())
 	for s := 1; s <= cfg.Stages(); s++ {
 		n.arbiters[s-1] = make([]switchfab.Arbiter, cfg.SwitchesInStage(s))
@@ -64,8 +110,29 @@ func NewNetwork(cfg topology.Config, factory ArbiterFactory) (*Network, error) {
 			maxW = w
 		}
 	}
+	if maxW > math.MaxInt32 {
+		// The int32 interstage tables (and any realistic memory budget)
+		// cap the simulable geometry well below the topology package's
+		// 40-bit structural limit.
+		return nil, fmt.Errorf("core: %v has %d wires in one stage, beyond the simulable limit", cfg, maxW)
+	}
 	n.lineOwner = make([]int, maxW)
-	n.digits = make([]int, cfg.A)
+	n.cleared = make([]int, maxW)
+	for i := range n.cleared {
+		n.cleared[i] = NoRequest
+	}
+	n.line = make([]int, cfg.Inputs())
+	n.tags = make([]int32, cfg.Stages()*cfg.Inputs())
+	n.blocked = make([]int, cfg.Stages())
+	n.gammaTab = make([][]int32, cfg.L)
+	for s := 1; s <= cfg.L; s++ {
+		n.gammaTab[s-1] = cfg.InterstageTable(s)
+	}
+	n.logB = topology.Log2(cfg.B)
+	n.logC = topology.Log2(cfg.C)
+	n.maskB = int32(cfg.B - 1)
+	n.maskC = int32(cfg.C - 1)
+	n.scratch = newStageScratch(cfg)
 	return n, nil
 }
 
@@ -125,153 +192,214 @@ func (cs CycleStats) PA() float64 {
 // destination tag, the final crossbar stage consumes x. The c-way wire
 // freedom inside each bucket (Theorem 2) is resolved by arbitration
 // order, which is how the MasPar hyperbar behaves.
+//
+// RouteCycle allocates its result slices; steady-state measurement loops
+// should call RouteCycleInto instead.
 func (n *Network) RouteCycle(dest []int) ([]Outcome, CycleStats, error) {
-	cfg := n.cfg
-	if len(dest) != cfg.Inputs() {
-		return nil, CycleStats{}, fmt.Errorf("core: %v got %d requests, want %d inputs", cfg, len(dest), cfg.Inputs())
+	outcomes := make([]Outcome, n.cfg.Inputs())
+	cs, err := n.RouteCycleInto(dest, outcomes)
+	if err != nil {
+		return nil, CycleStats{}, err
 	}
+	cs.Blocked = append([]int(nil), cs.Blocked...)
+	return outcomes, cs, nil
+}
 
-	outcomes := make([]Outcome, len(dest))
-	stats := CycleStats{Blocked: make([]int, cfg.Stages())}
+// RouteCycleInto is RouteCycle with caller-owned memory: outcomes (one
+// slot per input) receives every input's fate, and all engine scratch —
+// wire state, digit tags, grant buffers, the stats' Blocked slice — is
+// reused across calls, so a steady-state loop performs no allocations.
+//
+// The returned CycleStats.Blocked aliases an internal buffer that the
+// next RouteCycleInto call on this network overwrites; callers that keep
+// it across cycles must copy it (RouteCycle does exactly that).
+func (n *Network) RouteCycleInto(dest []int, outcomes []Outcome) (CycleStats, error) {
+	cfg := n.cfg
+	inputs := cfg.Inputs()
+	if len(dest) != inputs {
+		return CycleStats{}, fmt.Errorf("core: %v got %d requests, want %d inputs", cfg, len(dest), inputs)
+	}
+	if len(outcomes) != inputs {
+		return CycleStats{}, fmt.Errorf("core: %v got %d outcome slots, want %d inputs", cfg, len(outcomes), inputs)
+	}
+	for i := range n.blocked {
+		n.blocked[i] = 0
+	}
+	stats := CycleStats{Blocked: n.blocked}
 
 	// Live message bookkeeping: line[i] = current wire of input i's
-	// request, or NoRequest once dropped/idle.
-	line := make([]int, len(dest))
+	// request, or NoRequest once dropped/idle. The destination of every
+	// live request is decomposed into its per-stage routing digits once,
+	// here, instead of re-dividing inside every stage's switch loop:
+	// row s-1 of the tag buffer holds d_(l-s) (the digit stage s
+	// retires), row l holds the crossbar digit x = dest mod c.
+	line := n.line
+	tags := n.tags
+	outputs := cfg.Outputs()
+	lastRow := cfg.L * inputs
 	for i, d := range dest {
 		if d == NoRequest {
 			line[i] = NoRequest
 			outcomes[i] = Outcome{Output: NoRequest}
 			continue
 		}
-		if d < 0 || d >= cfg.Outputs() {
-			return nil, CycleStats{}, fmt.Errorf("core: input %d requests output %d out of range [0,%d)", i, d, cfg.Outputs())
+		if d < 0 || d >= outputs {
+			return CycleStats{}, fmt.Errorf("core: input %d requests output %d out of range [0,%d)", i, d, outputs)
 		}
 		line[i] = i
 		stats.Offered++
+		v := int32(d >> n.logC)
+		for row := (cfg.L - 1) * inputs; row >= 0; row -= inputs {
+			tags[row+i] = v & n.maskB
+			v >>= n.logB
+		}
+		tags[lastRow+i] = int32(d) & n.maskC
 	}
 
-	hb := cfg.Hyperbar()
-	xb := cfg.OutputCrossbar()
-
-	for s := 1; s <= cfg.L; s++ {
+	for s := 1; s <= cfg.L+1; s++ {
+		// Reset wire ownership for the wires feeding this stage; copying
+		// from a NoRequest-filled template is a plain memmove, far
+		// cheaper than a store loop at large wire counts.
 		wires := cfg.WiresAfterStage(s - 1)
-		n.resetOwners(wires)
+		copy(n.lineOwner[:wires], n.cleared[:wires])
 		for i, ln := range line {
 			if ln != NoRequest {
 				n.lineOwner[ln] = i
 			}
 		}
+		var blocked, delivered int
+		var err error
 		if n.workers > 1 {
-			blocked, _, err := n.routeStageParallel(s, dest, line, outcomes)
-			if err != nil {
-				return nil, CycleStats{}, err
-			}
-			stats.Blocked[s-1] = blocked
-			continue
+			blocked, delivered, err = n.routeStageParallel(s, outcomes)
+		} else {
+			blocked, delivered, err = n.routeStage(s, 0, cfg.SwitchesInStage(s), outcomes, &n.scratch)
 		}
-		g := cfg.InterstageGamma(s)
-		switches := cfg.SwitchesInStage(s)
-		for sw := 0; sw < switches; sw++ {
-			base := sw * cfg.A
-			busy := false
-			for p := 0; p < cfg.A; p++ {
-				owner := n.lineOwner[base+p]
+		if err != nil {
+			return CycleStats{}, err
+		}
+		stats.Blocked[s-1] = blocked
+		stats.Delivered += delivered
+	}
+	return stats, nil
+}
+
+// routeStage arbitrates switches [lo, hi) of one stage: it gathers each
+// switch's digit vector from the precomputed tag rows, runs the
+// allocation-free switch arbitration, and applies the grants — advancing
+// winners through the interstage table (hyperbar stages) or recording
+// deliveries (the final crossbar stage). It is the single kernel behind
+// both the serial cycle and the parallel workers; switches within a
+// stage share no wires or arbitration state, so disjoint ranges may run
+// concurrently as long as each goroutine brings its own scratch.
+func (n *Network) routeStage(stage, lo, hi int, outcomes []Outcome, sc *stageScratch) (blocked, delivered int, err error) {
+	cfg := n.cfg
+	inputs := cfg.Inputs()
+	isCrossbar := stage == cfg.L+1
+	width, buckets, capacity := cfg.A, cfg.B, cfg.C
+	var tab []int32
+	var bc int
+	if isCrossbar {
+		width, buckets, capacity = cfg.C, cfg.C, 1
+	} else {
+		tab = n.gammaTab[stage-1]
+		bc = cfg.B * cfg.C
+	}
+	tags := n.tags[(stage-1)*inputs : stage*inputs]
+	lineOwner := n.lineOwner
+	line := n.line
+
+	if n.fastPriority {
+		// Default-arbitration fast path. The priority rule considers
+		// inputs in their natural order, and every tag-buffer digit is
+		// in range by construction (it was masked out of a validated
+		// destination), so the gather, the arbitration and the grant
+		// application fuse into a single pass per switch with no
+		// per-switch arbiter state at all.
+		used := sc.route.Used[:buckets]
+		for sw := lo; sw < hi; sw++ {
+			base := sw * width
+			outBase := sw * bc // hyperbar stage-output wire base
+			for i := range used {
+				used[i] = 0
+			}
+			for p := 0; p < width; p++ {
+				owner := lineOwner[base+p]
 				if owner == NoRequest {
-					n.digits[p] = switchfab.Idle
 					continue
 				}
-				busy = true
-				// Retire d_(l-s): positional digit index l-s of dest/c.
-				n.digits[p] = digitAt(dest[owner]/cfg.C, cfg.B, cfg.L-s)
-			}
-			if !busy {
-				continue
-			}
-			grants, _, err := hb.Route(n.digits[:cfg.A], n.arbiter(s, sw))
-			if err != nil {
-				return nil, CycleStats{}, fmt.Errorf("core: stage %d switch %d: %w", s, sw, err)
-			}
-			for p, o := range grants {
-				owner := n.lineOwner[base+p]
-				if owner == NoRequest {
-					continue
-				}
-				if o == switchfab.Idle {
+				d := int(tags[owner])
+				if used[d] == capacity {
 					line[owner] = NoRequest
-					outcomes[owner] = Outcome{Output: NoRequest, BlockedStage: s}
-					stats.Blocked[s-1]++
+					outcomes[owner] = Outcome{Output: NoRequest, BlockedStage: stage}
+					blocked++
 					continue
 				}
-				line[owner] = g.Apply(sw*(cfg.B*cfg.C) + o)
+				o := d*capacity + used[d]
+				used[d]++
+				switch {
+				case isCrossbar:
+					outcomes[owner] = Outcome{Output: base + o}
+					delivered++
+				case tab != nil:
+					line[owner] = int(tab[outBase+o])
+				default: // identity interstage (the last hyperbar stage)
+					line[owner] = outBase + o
+				}
 			}
 		}
+		return blocked, delivered, nil
 	}
 
-	// Final stage: c x c crossbars, digit x = dest mod c.
-	wires := cfg.WiresAfterStage(cfg.L)
-	n.resetOwners(wires)
-	for i, ln := range line {
-		if ln != NoRequest {
-			n.lineOwner[ln] = i
-		}
-	}
-	lastStage := cfg.L + 1
-	if n.workers > 1 {
-		blocked, delivered, err := n.routeStageParallel(lastStage, dest, line, outcomes)
-		if err != nil {
-			return nil, CycleStats{}, err
-		}
-		stats.Blocked[lastStage-1] = blocked
-		stats.Delivered = delivered
-		return outcomes, stats, nil
-	}
-	for sw := 0; sw < cfg.SwitchesInStage(lastStage); sw++ {
-		base := sw * cfg.C
+	hb := cfg.Hyperbar()
+	xb := cfg.OutputCrossbar()
+	digits := sc.digits[:width]
+	for sw := lo; sw < hi; sw++ {
+		base := sw * width
 		busy := false
-		for p := 0; p < cfg.C; p++ {
-			owner := n.lineOwner[base+p]
+		for p := 0; p < width; p++ {
+			owner := lineOwner[base+p]
 			if owner == NoRequest {
-				n.digits[p] = switchfab.Idle
+				digits[p] = switchfab.Idle
 				continue
 			}
 			busy = true
-			n.digits[p] = dest[owner] % cfg.C
+			digits[p] = int(tags[owner])
 		}
 		if !busy {
 			continue
 		}
-		grants, _, err := xb.Route(n.digits[:cfg.C], n.arbiter(lastStage, sw))
-		if err != nil {
-			return nil, CycleStats{}, fmt.Errorf("core: crossbar %d: %w", sw, err)
+		var grants []int
+		var routeErr error
+		if isCrossbar {
+			grants, _, routeErr = xb.RouteInto(digits, n.arbiter(stage, sw), &sc.route)
+		} else {
+			grants, _, routeErr = hb.RouteInto(digits, n.arbiter(stage, sw), &sc.route)
+		}
+		if routeErr != nil {
+			if isCrossbar {
+				return 0, 0, fmt.Errorf("core: crossbar %d: %w", sw, routeErr)
+			}
+			return 0, 0, fmt.Errorf("core: stage %d switch %d: %w", stage, sw, routeErr)
 		}
 		for p, o := range grants {
-			owner := n.lineOwner[base+p]
+			owner := lineOwner[base+p]
 			if owner == NoRequest {
 				continue
 			}
-			if o == switchfab.Idle {
-				outcomes[owner] = Outcome{Output: NoRequest, BlockedStage: lastStage}
-				stats.Blocked[lastStage-1]++
-				continue
+			switch {
+			case o == switchfab.Idle:
+				line[owner] = NoRequest
+				outcomes[owner] = Outcome{Output: NoRequest, BlockedStage: stage}
+				blocked++
+			case isCrossbar:
+				outcomes[owner] = Outcome{Output: base + o}
+				delivered++
+			case tab != nil:
+				line[owner] = int(tab[sw*bc+o])
+			default: // identity interstage (the last hyperbar stage)
+				line[owner] = sw*bc + o
 			}
-			out := base + o
-			outcomes[owner] = Outcome{Output: out}
-			stats.Delivered++
 		}
 	}
-	return outcomes, stats, nil
-}
-
-func (n *Network) resetOwners(wires int) {
-	for i := 0; i < wires; i++ {
-		n.lineOwner[i] = NoRequest
-	}
-}
-
-// digitAt returns the base-b digit with positional weight b^idx of v.
-func digitAt(v, b, idx int) int {
-	for ; idx > 0; idx-- {
-		v /= b
-	}
-	return v % b
+	return blocked, delivered, nil
 }

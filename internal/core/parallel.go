@@ -1,11 +1,8 @@
 package core
 
 import (
-	"fmt"
 	"runtime"
 	"sync"
-
-	"edn/internal/switchfab"
 )
 
 // SetParallelism configures RouteCycle to arbitrate the switches of each
@@ -14,9 +11,10 @@ import (
 // ownership — so the parallel result is bit-identical to the serial one.
 // n <= 1 restores serial operation; n <= 0 selects GOMAXPROCS.
 //
-// Parallel mode instantiates every per-switch arbiter eagerly (the lazy
-// path would race on the factory), so stateful factories observe all
-// their calls up front, in deterministic stage/switch order.
+// SetParallelism instantiates every per-switch arbiter eagerly (the lazy
+// path would race on the factory when workers > 1), so stateful
+// factories observe all their calls up front, in deterministic
+// stage/switch order, regardless of the worker count that results.
 //
 // Performance note: on the geometries evaluated in this repository
 // (up to 16K ports) stage-level parallelism does NOT pay off — after the
@@ -31,36 +29,27 @@ func (n *Network) SetParallelism(workers int) {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	n.workers = workers
-	if workers > 1 {
-		for s := 1; s <= n.cfg.Stages(); s++ {
-			for sw := range n.arbiters[s-1] {
-				if n.arbiters[s-1][sw] == nil {
-					n.arbiters[s-1][sw] = n.factory()
-				}
+	for s := 1; s <= n.cfg.Stages(); s++ {
+		for sw := range n.arbiters[s-1] {
+			if n.arbiters[s-1][sw] == nil {
+				n.arbiters[s-1][sw] = n.factory()
 			}
+		}
+	}
+	if workers > 1 && len(n.wscratch) < workers {
+		n.wscratch = make([]stageScratch, workers)
+		for w := range n.wscratch {
+			n.wscratch[w] = newStageScratch(n.cfg)
 		}
 	}
 }
 
-// routeStageParallel arbitrates one hyperbar or crossbar stage with the
-// configured worker count. It mirrors the serial loops in RouteCycle;
-// each worker owns a contiguous switch range, a private digit buffer and
-// a private blocked counter, merged after the barrier.
-func (n *Network) routeStageParallel(stage int, dest, line []int, outcomes []Outcome) (blocked, delivered int, err error) {
-	cfg := n.cfg
-	switches := cfg.SwitchesInStage(stage)
-	isCrossbar := stage == cfg.L+1
-	width := cfg.A
-	if isCrossbar {
-		width = cfg.C
-	}
-	var g interface{ Apply(int) int }
-	if !isCrossbar {
-		g = cfg.InterstageGamma(stage)
-	}
-	hb := cfg.Hyperbar()
-	xb := cfg.OutputCrossbar()
-
+// routeStageParallel fans the routeStage kernel out over the configured
+// worker count: each worker owns a contiguous switch range and a private
+// stageScratch, and the per-worker blocked/delivered tallies are merged
+// after the barrier.
+func (n *Network) routeStageParallel(stage int, outcomes []Outcome) (blocked, delivered int, err error) {
+	switches := n.cfg.SwitchesInStage(stage)
 	workers := n.workers
 	if workers > switches {
 		workers = switches
@@ -85,56 +74,8 @@ func (n *Network) routeStageParallel(stage int, dest, line []int, outcomes []Out
 		wg.Add(1)
 		go func(wkr, lo, hi int) {
 			defer wg.Done()
-			digits := make([]int, width)
 			res := &results[wkr]
-			for sw := lo; sw < hi; sw++ {
-				base := sw * width
-				busy := false
-				for p := 0; p < width; p++ {
-					owner := n.lineOwner[base+p]
-					if owner == NoRequest {
-						digits[p] = switchfab.Idle
-						continue
-					}
-					busy = true
-					if isCrossbar {
-						digits[p] = dest[owner] % cfg.C
-					} else {
-						digits[p] = digitAt(dest[owner]/cfg.C, cfg.B, cfg.L-stage)
-					}
-				}
-				if !busy {
-					continue
-				}
-				var grants []int
-				var routeErr error
-				if isCrossbar {
-					grants, _, routeErr = xb.Route(digits, n.arbiters[stage-1][sw])
-				} else {
-					grants, _, routeErr = hb.Route(digits, n.arbiters[stage-1][sw])
-				}
-				if routeErr != nil {
-					res.err = fmt.Errorf("core: stage %d switch %d: %w", stage, sw, routeErr)
-					return
-				}
-				for p, o := range grants {
-					owner := n.lineOwner[base+p]
-					if owner == NoRequest {
-						continue
-					}
-					switch {
-					case o == switchfab.Idle:
-						line[owner] = NoRequest
-						outcomes[owner] = Outcome{Output: NoRequest, BlockedStage: stage}
-						res.blocked++
-					case isCrossbar:
-						outcomes[owner] = Outcome{Output: base + o}
-						res.delivered++
-					default:
-						line[owner] = g.Apply(sw*(cfg.B*cfg.C) + o)
-					}
-				}
-			}
+			res.blocked, res.delivered, res.err = n.routeStage(stage, lo, hi, outcomes, &n.wscratch[wkr])
 		}(wkr, lo, hi)
 	}
 	wg.Wait()

@@ -97,6 +97,7 @@ func Simulate(cfg topology.Config, r float64, opts Options) (Result, error) {
 		waitingDest[i] = core.NoRequest
 	}
 	dest := make([]int, inputs)
+	out := make([]core.Outcome, inputs)
 
 	var offered, accepted, activeCount int
 	var waitAcc stats.Accumulator
@@ -124,7 +125,7 @@ func Simulate(cfg topology.Config, r float64, opts Options) (Result, error) {
 				dest[i] = core.NoRequest
 			}
 		}
-		out, cs, err := net.RouteCycle(dest)
+		cs, err := net.RouteCycleInto(dest, out)
 		if err != nil {
 			return Result{}, err
 		}

@@ -80,6 +80,7 @@ func RoutePermutation(sys System, perm []int, opts RouteOptions) (RouteResult, e
 	res := RouteResult{System: sys, Scheduler: opts.Scheduler.Name()}
 	remaining := sys.N()
 	dest := make([]int, p)
+	out := make([]core.Outcome, p)
 	for cycle := 0; remaining > 0; cycle++ {
 		if cycle >= opts.MaxCycles {
 			return RouteResult{}, fmt.Errorf("simd: %v did not drain after %d cycles (%d messages left)", sys, cycle, remaining)
@@ -98,7 +99,7 @@ func RoutePermutation(sys System, perm []int, opts RouteOptions) (RouteResult, e
 			}
 			dest[x] = pending[x][choice[x]]
 		}
-		out, cs, err := net.RouteCycle(dest)
+		cs, err := net.RouteCycleInto(dest, out)
 		if err != nil {
 			return RouteResult{}, err
 		}

@@ -41,11 +41,12 @@ func RouteMultipass(cfg topology.Config, dest []int, factory core.ArbiterFactory
 		}
 	}
 	res := MultipassResult{Config: cfg}
+	out := make([]core.Outcome, cfg.Inputs())
 	for remaining > 0 {
 		if res.Passes >= maxPasses {
 			return res, fmt.Errorf("simulate: %v did not drain after %d passes (%d left)", cfg, res.Passes, remaining)
 		}
-		out, cs, err := net.RouteCycle(pending)
+		cs, err := net.RouteCycleInto(pending, out)
 		if err != nil {
 			return res, err
 		}

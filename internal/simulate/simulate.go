@@ -73,6 +73,12 @@ func MeasurePA(cfg topology.Config, pattern traffic.Pattern, opts Options) (Resu
 
 // measurePA is MeasurePA plus the raw per-cycle accumulator, which the
 // parallel harness merges across workers.
+//
+// The steady-state loop is allocation-free: the request and outcome
+// vectors are reused every cycle, patterns implementing
+// traffic.IntoGenerator fill the request vector in place (all the
+// built-in patterns do), and RouteCycleInto reuses the network's own
+// scratch.
 func measurePA(cfg topology.Config, pattern traffic.Pattern, opts Options) (Result, *stats.Accumulator, error) {
 	opts = opts.withDefaults()
 	net, err := core.NewNetwork(cfg, opts.Factory)
@@ -87,9 +93,17 @@ func measurePA(cfg topology.Config, pattern traffic.Pattern, opts Options) (Resu
 	}
 	var paAcc stats.Accumulator
 	offered, delivered := 0, 0
+	inputs, outputs := cfg.Inputs(), cfg.Outputs()
+	dest := make([]int, inputs)
+	outcomes := make([]core.Outcome, inputs)
+	gen, inPlace := pattern.(traffic.IntoGenerator)
 	for cycle := 0; cycle < opts.Warmup+opts.Cycles; cycle++ {
-		dest := pattern.Generate(cfg.Inputs(), cfg.Outputs())
-		_, cs, err := net.RouteCycle(dest)
+		if inPlace {
+			gen.GenerateInto(dest, outputs)
+		} else {
+			dest = pattern.Generate(inputs, outputs)
+		}
+		cs, err := net.RouteCycleInto(dest, outcomes)
 		if err != nil {
 			return Result{}, nil, err
 		}
@@ -129,5 +143,5 @@ func MeasureUniformPA(cfg topology.Config, r float64, opts Options) (Result, err
 func MeasurePermutationPA(cfg topology.Config, opts Options) (Result, error) {
 	opts = opts.withDefaults()
 	rng := xrand.New(opts.Seed)
-	return MeasurePA(cfg, traffic.RandomPermutation{Rng: rng}, opts)
+	return MeasurePA(cfg, &traffic.RandomPermutation{Rng: rng}, opts)
 }

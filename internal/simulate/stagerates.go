@@ -34,9 +34,11 @@ func MeasureStageRates(cfg topology.Config, r float64, opts Options) (StageRateR
 	// survivors[i] accumulates messages alive after stage i (stage 0 =
 	// offered).
 	survivors := make([]int64, cfg.Stages()+1)
+	dest := make([]int, cfg.Inputs())
+	outcomes := make([]core.Outcome, cfg.Inputs())
 	for cycle := 0; cycle < opts.Cycles; cycle++ {
-		dest := pattern.Generate(cfg.Inputs(), cfg.Outputs())
-		_, cs, err := net.RouteCycle(dest)
+		pattern.GenerateInto(dest, cfg.Outputs())
+		cs, err := net.RouteCycleInto(dest, outcomes)
 		if err != nil {
 			return StageRateResult{}, err
 		}

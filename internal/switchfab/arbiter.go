@@ -15,6 +15,18 @@ type Arbiter interface {
 	Order(n int) []int
 }
 
+// InPlaceArbiter is an optional extension implemented by arbiters that
+// can write their arbitration order into a caller-provided buffer, which
+// lets the routing hot path (Hyperbar.RouteInto) run allocation-free.
+type InPlaceArbiter interface {
+	Arbiter
+	// OrderInto fills order (whose length is the switch's input count)
+	// with exactly the permutation Order(len(order)) would return,
+	// advancing any internal state identically, so the two entry points
+	// are interchangeable cycle for cycle.
+	OrderInto(order []int)
+}
+
 // PriorityArbiter grants competing inputs in increasing input-label order,
 // matching the paper's Figure 2 worked example.
 type PriorityArbiter struct{}
@@ -22,10 +34,15 @@ type PriorityArbiter struct{}
 // Order returns 0, 1, ..., n-1.
 func (PriorityArbiter) Order(n int) []int {
 	order := make([]int, n)
+	PriorityArbiter{}.OrderInto(order)
+	return order
+}
+
+// OrderInto implements InPlaceArbiter.
+func (PriorityArbiter) OrderInto(order []int) {
 	for i := range order {
 		order[i] = i
 	}
-	return order
 }
 
 // RoundRobinArbiter rotates the starting input every cycle so no input is
@@ -38,15 +55,21 @@ type RoundRobinArbiter struct {
 // Order returns next, next+1, ..., wrapping mod n, then advances next.
 func (r *RoundRobinArbiter) Order(n int) []int {
 	order := make([]int, n)
+	r.OrderInto(order)
+	return order
+}
+
+// OrderInto implements InPlaceArbiter.
+func (r *RoundRobinArbiter) OrderInto(order []int) {
+	n := len(order)
 	if n == 0 {
-		return order
+		return
 	}
 	start := r.next % n
 	for i := range order {
 		order[i] = (start + i) % n
 	}
 	r.next = (start + 1) % n
-	return order
 }
 
 // RandomArbiter draws a fresh uniform arbitration order each cycle from a

@@ -136,6 +136,26 @@ func (cfg Config) InterstageGamma(i int) gamma.Gamma {
 	return gamma.Gamma{J: log2(cfg.C), K: log2(cfg.A / cfg.C), N: n}
 }
 
+// InterstageTable materializes InterstageGamma(i) as a flat permutation
+// table t with t[y] = gamma(y) over the W_i stage-output labels. Entries
+// are int32 to halve the table's cache footprint in routing hot loops;
+// Validate's 40-bit size cap is far beyond what a table (or a simulator)
+// can hold in memory, so construction-time callers must bound the wire
+// count themselves (core.NewNetwork does). The identity interstage
+// (i == l, and any gamma that degenerates to the identity) returns nil,
+// which callers treat as the identity map without a table lookup.
+func (cfg Config) InterstageTable(i int) []int32 {
+	g := cfg.InterstageGamma(i)
+	if g.IsIdentity() {
+		return nil
+	}
+	t := make([]int32, cfg.WiresAfterStage(i))
+	for y := range t {
+		t[y] = int32(g.Apply(y))
+	}
+	return t
+}
+
 // PathCount returns c^l, the number of distinct paths between any input
 // and any output (Theorem 2).
 func (cfg Config) PathCount() int { return pow(cfg.C, cfg.L) }

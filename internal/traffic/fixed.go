@@ -16,15 +16,23 @@ func (f Fixed) Name() string { return f.Label }
 // Generate implements Pattern. It panics if the stored vector does not
 // match the requested geometry — a harness bug, not a runtime condition.
 func (f Fixed) Generate(inputs, outputs int) []int {
-	if len(f.Dest) != inputs {
-		panic(fmt.Sprintf("traffic: fixed pattern %q has %d entries, want %d", f.Label, len(f.Dest), inputs))
+	dest := make([]int, inputs)
+	f.GenerateInto(dest, outputs)
+	return dest
+}
+
+// GenerateInto implements IntoGenerator, with the same panics as
+// Generate on geometry mismatches.
+func (f Fixed) GenerateInto(dest []int, outputs int) {
+	if len(f.Dest) != len(dest) {
+		panic(fmt.Sprintf("traffic: fixed pattern %q has %d entries, want %d", f.Label, len(f.Dest), len(dest)))
 	}
 	for i, d := range f.Dest {
 		if d != None && (d < 0 || d >= outputs) {
 			panic(fmt.Sprintf("traffic: fixed pattern %q entry %d = %d out of range [0,%d)", f.Label, i, d, outputs))
 		}
 	}
-	return append([]int(nil), f.Dest...)
+	copy(dest, f.Dest)
 }
 
 // Identity returns the identity permutation on n ports: input i requests

@@ -28,6 +28,20 @@ type Pattern interface {
 	Name() string
 }
 
+// IntoGenerator is an optional extension implemented by patterns that
+// can fill a caller-provided request vector, letting steady-state
+// Monte-Carlo loops (simulate.MeasurePA and friends) run allocation-free.
+// GenerateInto must draw exactly the same randomness as Generate would
+// for the same geometry, so the two entry points produce bit-identical
+// traffic streams and measured results never depend on which one the
+// harness picked.
+type IntoGenerator interface {
+	Pattern
+	// GenerateInto fills dest (len = network inputs) with one cycle's
+	// requests, destinations in [0, outputs) or None.
+	GenerateInto(dest []int, outputs int)
+}
+
 // Uniform is the Section 3.2 reference workload: each input independently
 // carries a request with probability Rate, destined to a uniformly random
 // output.
@@ -42,6 +56,12 @@ func (u Uniform) Name() string { return fmt.Sprintf("uniform(r=%.3g)", u.Rate) }
 // Generate implements Pattern.
 func (u Uniform) Generate(inputs, outputs int) []int {
 	dest := make([]int, inputs)
+	u.GenerateInto(dest, outputs)
+	return dest
+}
+
+// GenerateInto implements IntoGenerator.
+func (u Uniform) GenerateInto(dest []int, outputs int) {
 	for i := range dest {
 		if u.Rng.Bool(u.Rate) {
 			dest[i] = u.Rng.Intn(outputs)
@@ -49,14 +69,17 @@ func (u Uniform) Generate(inputs, outputs int) []int {
 			dest[i] = None
 		}
 	}
-	return dest
 }
 
 // RandomPermutation draws a fresh uniform permutation each cycle
 // (Section 3.2.1 and the SIMD analysis assume square networks; for
-// rectangular ones it draws an injection into the outputs).
+// rectangular ones it draws an injection into the outputs). Use it by
+// pointer to get the allocation-free GenerateInto fast path; the value
+// form still implements Pattern.
 type RandomPermutation struct {
 	Rng *xrand.Rand
+
+	perm []int // scratch for GenerateInto on rectangular geometries
 }
 
 // Name implements Pattern.
@@ -64,25 +87,40 @@ func (RandomPermutation) Name() string { return "random-permutation" }
 
 // Generate implements Pattern.
 func (p RandomPermutation) Generate(inputs, outputs int) []int {
-	perm := p.Rng.Perm(outputs)
-	if inputs <= outputs {
-		return perm[:inputs]
-	}
-	// More inputs than outputs: the first `outputs` inputs get a
-	// permutation, the rest stay idle — the densest conflict-free load.
 	dest := make([]int, inputs)
+	(&p).GenerateInto(dest, outputs)
+	return dest
+}
+
+// GenerateInto implements IntoGenerator. Square networks permute straight
+// into dest; rectangular ones go through a scratch permutation retained
+// across cycles.
+func (p *RandomPermutation) GenerateInto(dest []int, outputs int) {
+	inputs := len(dest)
+	if inputs == outputs {
+		p.Rng.PermInto(dest)
+		return
+	}
+	if cap(p.perm) < outputs {
+		p.perm = make([]int, outputs)
+	}
+	perm := p.perm[:outputs]
+	p.Rng.PermInto(perm)
 	copy(dest, perm)
 	for i := outputs; i < inputs; i++ {
 		dest[i] = None
 	}
-	return dest
 }
 
 // PartialPermutation draws a permutation and then keeps each entry with
-// probability Rate: conflict-free traffic at reduced load.
+// probability Rate: conflict-free traffic at reduced load. As with
+// RandomPermutation, the pointer form adds the allocation-free
+// GenerateInto fast path.
 type PartialPermutation struct {
 	Rate float64
 	Rng  *xrand.Rand
+
+	rp RandomPermutation // scratch-bearing delegate for GenerateInto
 }
 
 // Name implements Pattern.
@@ -92,13 +130,20 @@ func (p PartialPermutation) Name() string {
 
 // Generate implements Pattern.
 func (p PartialPermutation) Generate(inputs, outputs int) []int {
-	dest := RandomPermutation{Rng: p.Rng}.Generate(inputs, outputs)
+	dest := make([]int, inputs)
+	(&p).GenerateInto(dest, outputs)
+	return dest
+}
+
+// GenerateInto implements IntoGenerator.
+func (p *PartialPermutation) GenerateInto(dest []int, outputs int) {
+	p.rp.Rng = p.Rng
+	p.rp.GenerateInto(dest, outputs)
 	for i := range dest {
 		if dest[i] != None && !p.Rng.Bool(p.Rate) {
 			dest[i] = None
 		}
 	}
-	return dest
 }
 
 // HotSpot models a Non-Uniform Traffic Spot: with probability Fraction a
@@ -119,6 +164,12 @@ func (h HotSpot) Name() string {
 // Generate implements Pattern.
 func (h HotSpot) Generate(inputs, outputs int) []int {
 	dest := make([]int, inputs)
+	h.GenerateInto(dest, outputs)
+	return dest
+}
+
+// GenerateInto implements IntoGenerator.
+func (h HotSpot) GenerateInto(dest []int, outputs int) {
 	for i := range dest {
 		switch {
 		case !h.Rng.Bool(h.Rate):
@@ -129,5 +180,4 @@ func (h HotSpot) Generate(inputs, outputs int) []int {
 			dest[i] = h.Rng.Intn(outputs)
 		}
 	}
-	return dest
 }

@@ -66,11 +66,21 @@ func (r *Rand) Bool(p float64) bool {
 // Perm returns a uniform random permutation of [0, n).
 func (r *Rand) Perm(n int) []int {
 	p := make([]int, n)
+	r.PermInto(p)
+	return p
+}
+
+// PermInto fills p with a uniform random permutation of [0, len(p))
+// without allocating. It draws exactly the same stream as Perm(len(p)),
+// so the two are interchangeable in reproducible experiments.
+func (r *Rand) PermInto(p []int) {
 	for i := range p {
 		p[i] = i
 	}
-	r.Shuffle(n, func(i, j int) { p[i], p[j] = p[j], p[i] })
-	return p
+	for i := len(p) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
 }
 
 // Shuffle performs a Fisher-Yates shuffle over n elements.
