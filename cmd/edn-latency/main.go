@@ -1,0 +1,245 @@
+// Command edn-latency sweeps offered load over the buffered packet-level
+// queueing simulator and emits the latency-vs-load curve — throughput
+// plus P50/P95/P99 delivery latency per load point — as a table, CSV or
+// JSON:
+//
+//	edn-latency -a 64 -b 16 -c 4 -l 2 -loads 0.1,0.3,0.5,0.7,0.9
+//	edn-latency -a 16 -b 4 -c 4 -l 2 -depth 16 -traffic onoff -burst 32 -format csv
+//	edn-latency -a 4 -b 4 -c 2 -l 3 -depth 1 -policy drop -shards 8 -format json
+//	edn-latency -a 64 -b 16 -c 4 -l 2 -drain 16 -depth 0
+//
+// With -drain q the command instead runs the closed-loop permutation
+// drain (q packets per input) and compares the measured cycle count
+// against the Section 5.1 closed form ExpectedPermutationTime.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+
+	"edn"
+	"edn/internal/switchfab"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "edn-latency:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("edn-latency", flag.ContinueOnError)
+	a := fs.Int("a", 64, "hyperbar inputs")
+	b := fs.Int("b", 16, "hyperbar output buckets")
+	c := fs.Int("c", 4, "bucket capacity")
+	l := fs.Int("l", 2, "hyperbar stages")
+	depth := fs.Int("depth", 4, "per-wire FIFO depth (-1 unbounded, 0 unbuffered resubmission)")
+	policy := fs.String("policy", "backpressure", "blocked-packet policy: backpressure, drop")
+	loadsFlag := fs.String("loads", "0.1,0.2,0.3,0.4,0.5,0.6,0.7,0.8,0.9,1.0", "comma-separated offered loads to sweep")
+	pattern := fs.String("traffic", "uniform", "traffic: uniform, onoff, hotspot")
+	burst := fs.Float64("burst", 16, "mean burst length for onoff traffic")
+	hotFraction := fs.Float64("hot-fraction", 0.1, "fraction of requests aimed at output 0 (hotspot traffic)")
+	cycles := fs.Int("cycles", 2000, "measured cycles per load point (split across shards)")
+	warmup := fs.Int("warmup", 500, "warmup cycles discarded per shard")
+	shards := fs.Int("shards", 0, "parallel shards per load point (0 = GOMAXPROCS)")
+	seed := fs.Uint64("seed", 1, "RNG seed")
+	arb := fs.String("arb", "priority", "arbitration: priority, roundrobin, random")
+	format := fs.String("format", "table", "output: table, csv, json")
+	drain := fs.Int("drain", 0, "instead of a sweep, drain this many permutation packets per input")
+	fs.SetOutput(w)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg, err := edn.New(*a, *b, *c, *l)
+	if err != nil {
+		return err
+	}
+	qopts := edn.QueueOptions{Depth: *depth}
+	switch *policy {
+	case "backpressure":
+		qopts.Policy = edn.QueueBackpressure
+	case "drop":
+		qopts.Policy = edn.QueueDrop
+	default:
+		return fmt.Errorf("unknown policy %q", *policy)
+	}
+	switch *arb {
+	case "priority":
+		// default fused fast path
+	case "roundrobin":
+		qopts.Factory = func() switchfab.Arbiter { return &switchfab.RoundRobinArbiter{} }
+	case "random":
+		// The factory is called lazily from every shard's goroutine, so
+		// the shared seed source must be serialized. Each switch still
+		// gets its own independent stream; with shards > 1 the
+		// stream-to-switch assignment depends on scheduling, so random
+		// arbitration is statistically but not bit-for-bit reproducible.
+		var mu sync.Mutex
+		rng := edn.NewRand(*seed + 0x9e37)
+		qopts.Factory = func() switchfab.Arbiter {
+			mu.Lock()
+			s := rng.Split()
+			mu.Unlock()
+			return switchfab.RandomArbiter{Perm: s.Perm}
+		}
+	default:
+		return fmt.Errorf("unknown arbitration %q", *arb)
+	}
+	opts := edn.SimOptions{Cycles: *cycles, Warmup: *warmup, Seed: *seed}
+
+	if *drain > 0 {
+		return runDrain(w, cfg, *drain, qopts, opts)
+	}
+
+	loads, err := parseLoads(*loadsFlag)
+	if err != nil {
+		return err
+	}
+	var src edn.LoadPattern
+	switch *pattern {
+	case "uniform":
+		src = nil
+	case "onoff":
+		src = edn.BurstyLoad(*burst)
+	case "hotspot":
+		f := *hotFraction
+		src = func(load float64, rng *edn.Rand) edn.Pattern {
+			return edn.HotSpot{Rate: load, Fraction: f, Hot: 0, Rng: rng}
+		}
+	default:
+		return fmt.Errorf("unknown traffic %q", *pattern)
+	}
+	results, err := edn.SaturationSweep(cfg, loads, src, qopts, opts, *shards)
+	if err != nil {
+		return err
+	}
+
+	switch *format {
+	case "table":
+		fmt.Fprintf(w, "%v — %d inputs, %d outputs, depth=%d, policy=%s, traffic=%s\n",
+			cfg, cfg.Inputs(), cfg.Outputs(), *depth, *policy, *pattern)
+		fmt.Fprintf(w, "%8s %10s %9s %8s %8s %8s %8s %9s %9s\n",
+			"load", "thr/cycle", "accepted", "p50", "p95", "p99", "mean", "refused", "dropped")
+		for i, r := range results {
+			fmt.Fprintf(w, "%8.3f %10.2f %9.4f %8.0f %8.0f %8.0f %8.2f %9d %9d\n",
+				loads[i], r.Throughput, r.AcceptedFraction,
+				r.LatencyP50, r.LatencyP95, r.LatencyP99, r.LatencyMean,
+				r.Refused, r.Dropped)
+		}
+	case "csv":
+		fmt.Fprintln(w, "load,throughput,accepted_fraction,latency_p50,latency_p95,latency_p99,latency_mean,latency_max,avg_queued,injected,refused,delivered,dropped")
+		for i, r := range results {
+			fmt.Fprintf(w, "%g,%g,%g,%g,%g,%g,%g,%g,%g,%d,%d,%d,%d\n",
+				loads[i], r.Throughput, r.AcceptedFraction,
+				r.LatencyP50, r.LatencyP95, r.LatencyP99, r.LatencyMean, r.LatencyMax,
+				r.AvgQueued, r.Injected, r.Refused, r.Delivered, r.Dropped)
+		}
+	case "json":
+		report := sweepReport{
+			Network: cfg.String(),
+			Inputs:  cfg.Inputs(),
+			Outputs: cfg.Outputs(),
+			Depth:   *depth,
+			Policy:  *policy,
+			Traffic: *pattern,
+			Seed:    *seed,
+		}
+		for i, r := range results {
+			report.Points = append(report.Points, sweepPoint{
+				Load:             loads[i],
+				Throughput:       r.Throughput,
+				AcceptedFraction: r.AcceptedFraction,
+				LatencyP50:       r.LatencyP50,
+				LatencyP95:       r.LatencyP95,
+				LatencyP99:       r.LatencyP99,
+				LatencyMean:      r.LatencyMean,
+				LatencyMax:       r.LatencyMax,
+				AvgQueued:        r.AvgQueued,
+				Injected:         r.Injected,
+				Refused:          r.Refused,
+				Delivered:        r.Delivered,
+				Dropped:          r.Dropped,
+			})
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(report)
+	default:
+		return fmt.Errorf("unknown format %q", *format)
+	}
+	return nil
+}
+
+func runDrain(w io.Writer, cfg edn.Config, q int, qopts edn.QueueOptions, opts edn.SimOptions) error {
+	res, err := edn.DrainPermutations(cfg, q, qopts, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%v closed-loop drain of %d permutation packets per input (depth=%d)\n",
+		cfg, q, qopts.Depth)
+	fmt.Fprintf(w, "  measured   %d cycles, mean latency %.2f, P95 %.0f\n",
+		res.Cycles, res.LatencyMean, res.LatencyP95)
+	if model, err := edn.ExpectedPermutationTime(cfg, q); err == nil {
+		fmt.Fprintf(w, "  Section 5.1 model  q/PA(1) + J = %.2f cycles (PA(1)=%.4f, J=%d)\n",
+			model.Cycles(), model.PA1, model.J)
+	}
+	return nil
+}
+
+func parseLoads(s string) ([]float64, error) {
+	var loads []float64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(part, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad load %q: %w", part, err)
+		}
+		if v < 0 || v > 1 {
+			return nil, fmt.Errorf("load %g out of [0,1]", v)
+		}
+		loads = append(loads, v)
+	}
+	if len(loads) == 0 {
+		return nil, fmt.Errorf("no loads to sweep")
+	}
+	return loads, nil
+}
+
+// sweepReport is the machine-readable form of one sweep.
+type sweepReport struct {
+	Network string       `json:"network"`
+	Inputs  int          `json:"inputs"`
+	Outputs int          `json:"outputs"`
+	Depth   int          `json:"depth"`
+	Policy  string       `json:"policy"`
+	Traffic string       `json:"traffic"`
+	Seed    uint64       `json:"seed"`
+	Points  []sweepPoint `json:"points"`
+}
+
+type sweepPoint struct {
+	Load             float64 `json:"load"`
+	Throughput       float64 `json:"throughputPerCycle"`
+	AcceptedFraction float64 `json:"acceptedFraction"`
+	LatencyP50       float64 `json:"latencyP50"`
+	LatencyP95       float64 `json:"latencyP95"`
+	LatencyP99       float64 `json:"latencyP99"`
+	LatencyMean      float64 `json:"latencyMean"`
+	LatencyMax       float64 `json:"latencyMax"`
+	AvgQueued        float64 `json:"avgQueued"`
+	Injected         int64   `json:"injected"`
+	Refused          int64   `json:"refused"`
+	Delivered        int64   `json:"delivered"`
+	Dropped          int64   `json:"dropped"`
+}

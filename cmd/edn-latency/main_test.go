@@ -1,0 +1,139 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRunTableSweep(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-a", "16", "-b", "4", "-c", "4", "-l", "2",
+		"-loads", "0.2,0.8", "-cycles", "200", "-warmup", "50", "-shards", "2"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"EDN(16,4,4,2)", "thr/cycle", "p99"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if got := strings.Count(out, "\n"); got != 4 { // header x2 + 2 load rows
+		t.Errorf("expected 4 lines, got %d:\n%s", got, out)
+	}
+}
+
+func TestRunCSV(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-a", "16", "-b", "4", "-c", "4", "-l", "2",
+		"-loads", "0.5", "-cycles", "100", "-warmup", "20", "-shards", "1", "-format", "csv"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("want header + 1 row, got %d lines:\n%s", len(lines), sb.String())
+	}
+	header := strings.Split(lines[0], ",")
+	row := strings.Split(lines[1], ",")
+	if len(header) != len(row) {
+		t.Errorf("csv row has %d fields for %d columns", len(row), len(header))
+	}
+	if header[0] != "load" || !strings.Contains(lines[0], "latency_p99") {
+		t.Errorf("unexpected csv header %q", lines[0])
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-a", "16", "-b", "4", "-c", "4", "-l", "2",
+		"-loads", "0.3,0.9", "-cycles", "150", "-warmup", "30", "-shards", "2", "-format", "json"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report struct {
+		Network string `json:"network"`
+		Points  []struct {
+			Load       float64 `json:"load"`
+			Throughput float64 `json:"throughputPerCycle"`
+			LatencyP99 float64 `json:"latencyP99"`
+		} `json:"points"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &report); err != nil {
+		t.Fatalf("bad json: %v\n%s", err, sb.String())
+	}
+	if report.Network != "EDN(16,4,4,2)" || len(report.Points) != 2 {
+		t.Errorf("unexpected report: %+v", report)
+	}
+	if report.Points[0].Throughput <= 0 || report.Points[0].LatencyP99 <= 0 {
+		t.Errorf("empty measurement: %+v", report.Points[0])
+	}
+}
+
+func TestRunEveryTrafficPolicyArb(t *testing.T) {
+	for _, traffic := range []string{"uniform", "onoff", "hotspot"} {
+		for _, policy := range []string{"backpressure", "drop"} {
+			var sb strings.Builder
+			err := run([]string{"-a", "8", "-b", "2", "-c", "4", "-l", "2",
+				"-loads", "0.5", "-cycles", "60", "-warmup", "10", "-shards", "1",
+				"-traffic", traffic, "-policy", policy}, &sb)
+			if err != nil {
+				t.Errorf("traffic %s policy %s: %v", traffic, policy, err)
+			}
+		}
+	}
+	for _, arb := range []string{"priority", "roundrobin", "random"} {
+		var sb strings.Builder
+		err := run([]string{"-a", "8", "-b", "2", "-c", "4", "-l", "2",
+			"-loads", "0.5", "-cycles", "60", "-warmup", "10", "-shards", "1", "-arb", arb}, &sb)
+		if err != nil {
+			t.Errorf("arb %s: %v", arb, err)
+		}
+	}
+}
+
+func TestRunRandomArbiterSharded(t *testing.T) {
+	// The random-arbiter factory is invoked lazily from every shard's
+	// goroutine; its shared seed source must be serialized. Run it under
+	// the CI race job (-race over this package) with real parallelism.
+	var sb strings.Builder
+	err := run([]string{"-a", "8", "-b", "2", "-c", "4", "-l", "2",
+		"-loads", "0.5,0.8", "-cycles", "200", "-warmup", "20", "-shards", "8", "-arb", "random"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunDrainMode(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-a", "16", "-b", "4", "-c", "4", "-l", "2",
+		"-drain", "4", "-depth", "0"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"closed-loop drain", "measured", "Section 5.1 model"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("drain output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	cases := [][]string{
+		{"-loads", "1.5"},
+		{"-loads", ""},
+		{"-policy", "teleport"},
+		{"-traffic", "fractal"},
+		{"-format", "xml"},
+		{"-arb", "coinflip"},
+		{"-a", "3"},
+	}
+	for _, args := range cases {
+		var sb strings.Builder
+		if err := run(args, &sb); err == nil {
+			t.Errorf("args %v should fail", args)
+		}
+	}
+}

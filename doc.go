@@ -28,6 +28,19 @@
 //     into per-stage digits once per cycle, and RouteCycleInto plus the
 //     traffic IntoGenerator fast path let steady-state measurement loops
 //     run with zero allocations per cycle (see BenchmarkRouteCycleInto).
+//   - Queueing: QueueNetwork is the buffered packet-level simulator the
+//     paper's memoryless model cannot express — per-wire FIFOs of
+//     configurable depth at every stage input, head-of-line arbitration,
+//     one hop per cycle, and per-packet injection timestamps feeding
+//     latency Histograms. MeasureLatency and SaturationSweep produce
+//     throughput and P50/P95/P99 latency-vs-load curves (with run-level
+//     parallel sharding), DrainPermutations measures the Section 5.1
+//     permutation time against ExpectedPermutationTime, and the bursty
+//     MarkovOnOff / MovingHotSpot sources supply the temporally
+//     correlated load that makes queues interesting. The depth-1 Drop
+//     configuration is pinned bit-for-bit to the unbuffered Network;
+//     the advance loop is allocation-free for bounded depths
+//     (BenchmarkQueueCycle). See cmd/edn-latency for the CLI.
 //   - Reproduction: Figure7, Figure8, Figure11, CostTable and
 //     MasParCaseStudy regenerate the paper's evaluation artifacts (see
 //     cmd/edn-figures and EXPERIMENTS.md).

@@ -7,9 +7,11 @@ import (
 	"edn/internal/dilated"
 	"edn/internal/mimd"
 	"edn/internal/netlist"
+	"edn/internal/queuesim"
 	"edn/internal/routing"
 	"edn/internal/simd"
 	"edn/internal/simulate"
+	"edn/internal/stats"
 	"edn/internal/switchfab"
 	"edn/internal/topology"
 	"edn/internal/traffic"
@@ -218,6 +220,85 @@ func SimulateMIMD(cfg Config, r float64, opts MIMDOptions) (MIMDMeasured, error)
 }
 
 // ---------------------------------------------------------------------------
+// Buffered packet-level queueing simulation
+
+// QueueNetwork is an instantiated buffered EDN: per-wire FIFOs at every
+// stage input, head-of-line arbitration per switch, one hop per cycle,
+// and per-packet latency measurement. See internal/queuesim for the
+// depth and policy semantics (depth-1 Drop reproduces Network exactly;
+// depth 0 is the unbuffered closed-loop resubmission corner).
+type QueueNetwork = queuesim.Network
+
+// QueueOptions configures a queueing network (FIFO depth, blocked-packet
+// policy, arbitration, latency histogram shape).
+type QueueOptions = queuesim.Options
+
+// QueuePolicy selects the blocked-packet discipline.
+type QueuePolicy = queuesim.Policy
+
+// QueueBackpressure retains blocked packets at their FIFO head (lossless
+// store-and-forward); QueueDrop discards them (circuit-switched).
+const (
+	QueueBackpressure = queuesim.Backpressure
+	QueueDrop         = queuesim.Drop
+)
+
+// QueueUnbounded selects per-wire FIFOs that grow without limit.
+const QueueUnbounded = queuesim.Unbounded
+
+// QueueTotals are a queueing network's lifetime packet counters; they
+// satisfy Injected == Refused + Delivered + Dropped + Queued() after
+// every cycle.
+type QueueTotals = queuesim.Totals
+
+// NewQueueNetwork builds a buffered packet-level network over cfg.
+func NewQueueNetwork(cfg Config, opts QueueOptions) (*QueueNetwork, error) {
+	return queuesim.New(cfg, opts)
+}
+
+// LatencyResult aggregates one queueing measurement: throughput plus
+// P50/P95/P99 delivery latency.
+type LatencyResult = simulate.LatencyResult
+
+// MeasureLatency runs pattern through a queueing network and reports
+// throughput and the latency distribution after warmup.
+func MeasureLatency(cfg Config, pattern Pattern, qopts QueueOptions, opts SimOptions) (LatencyResult, error) {
+	return simulate.MeasureLatency(cfg, pattern, qopts, opts)
+}
+
+// LoadPattern builds the traffic source for one offered-load point of a
+// sweep; nil selects uniform iid traffic.
+type LoadPattern = simulate.LoadPattern
+
+// BurstyLoad returns a LoadPattern of Markov on/off sources with the
+// given mean burst length and a long-run load matching the sweep axis.
+func BurstyLoad(meanBurst float64) LoadPattern { return simulate.BurstyLoad(meanBurst) }
+
+// SaturationSweep measures the latency-vs-load curve: one LatencyResult
+// per offered load, each load's cycle budget split across parallel
+// shards and merged exactly. shards <= 0 selects GOMAXPROCS.
+func SaturationSweep(cfg Config, loads []float64, src LoadPattern, qopts QueueOptions, opts SimOptions, shards int) ([]LatencyResult, error) {
+	return simulate.SaturationSweep(cfg, loads, src, qopts, opts, shards)
+}
+
+// DrainResult reports a closed-loop drain of q preloaded permutations
+// per input, the measured counterpart of ExpectedPermutationTime.
+type DrainResult = simulate.DrainResult
+
+// DrainPermutations preloads q permutation packets per input and runs
+// the network closed-loop until all are delivered.
+func DrainPermutations(cfg Config, q int, qopts QueueOptions, opts SimOptions) (DrainResult, error) {
+	return simulate.DrainPermutations(cfg, q, qopts, opts)
+}
+
+// Histogram is the fixed-bucket streaming latency histogram with
+// nearest-rank quantiles and exact shard merging.
+type Histogram = stats.Histogram
+
+// NewHistogram returns a histogram of `buckets` bins of the given width.
+func NewHistogram(buckets int, width float64) *Histogram { return stats.NewHistogram(buckets, width) }
+
+// ---------------------------------------------------------------------------
 // SIMD clustering (Section 5)
 
 // RAEDN is a Restricted-Access EDN: p = b^l*c clusters of q PEs sharing
@@ -277,6 +358,14 @@ type PartialPermutation = traffic.PartialPermutation
 
 // HotSpot concentrates a fraction of requests on one output (NUTS).
 type HotSpot = traffic.HotSpot
+
+// MarkovOnOff is the two-state bursty source: geometrically distributed
+// ON bursts and OFF silences with long-run load Rate*POn/(POn+POff).
+type MarkovOnOff = traffic.MarkovOnOff
+
+// MovingHotSpot is a hotspot whose hot output advances by Stride every
+// Period cycles — congestion that re-aims before queues drain.
+type MovingHotSpot = traffic.MovingHotSpot
 
 // FixedPattern replays a static request vector every cycle.
 type FixedPattern = traffic.Fixed

@@ -1,0 +1,684 @@
+// Package queuesim is the buffered, packet-level counterpart of the
+// circuit-switched cycle engine in internal/core. Where core's
+// RouteCycle resolves a whole request batch in one memoryless network
+// cycle (losers vanish, matching the paper's Section 3.2 model), this
+// package gives every stage-input wire a FIFO: packets advance one
+// stage per cycle, losers wait (or drop), and each packet carries its
+// injection timestamp so the simulator measures what the closed forms
+// cannot — queueing delay, tail latency and saturation throughput under
+// temporally correlated load.
+//
+// The simulator is built from the same precomputed machinery as core:
+// the interstage gamma permutations are the flat int32 tables of
+// topology.InterstageTable, per-stage routing digits come from the same
+// shift/mask decomposition, and head-of-line arbitration per switch
+// uses the switchfab arbiter orders (the nil-factory default takes the
+// fused priority fast path). All FIFO storage is ring buffers sized at
+// construction, so the per-cycle advance is allocation-free in steady
+// state for bounded depths (BenchmarkQueueCycle pins this at 0
+// allocs/op).
+//
+// Depth semantics tie the family together:
+//
+//   - Depth >= 1: bounded per-wire FIFOs. A packet advances only onto an
+//     output wire whose downstream FIFO has room (at most one packet per
+//     wire per cycle); under Backpressure blocked packets wait at their
+//     FIFO head, under Drop they are discarded.
+//   - Depth == Unbounded: FIFOs grow without limit — the infinite
+//     buffering idealization.
+//   - Depth == 0: no interstage buffering at all. The network degenerates
+//     to the unbuffered single-cycle engine (each offered packet
+//     traverses every stage within one cycle via core.RouteCycleInto);
+//     Backpressure then means a blocked packet is resubmitted from its
+//     input next cycle — exactly the Section 4/5.1 closed-loop regime —
+//     and Drop reproduces the memoryless Section 3.2 model packet for
+//     packet.
+//
+// The depth-1 Drop configuration is the bridge between the two worlds:
+// batches march through the pipeline in lockstep, one stage per cycle,
+// without ever interacting, so its per-batch grant decisions — and
+// therefore its bandwidth and per-stage blocking — are bit-identical to
+// core's, just time-shifted by the pipeline fill. The equivalence test
+// pins this.
+package queuesim
+
+import (
+	"fmt"
+	"math"
+
+	"edn/internal/core"
+	"edn/internal/stats"
+	"edn/internal/switchfab"
+	"edn/internal/topology"
+)
+
+// NoRequest marks an idle input in an injection vector.
+const NoRequest = core.NoRequest
+
+// Unbounded selects per-wire FIFOs that grow without limit.
+const Unbounded = -1
+
+// Policy selects what happens to a head-of-line packet that cannot
+// advance this cycle (it lost arbitration, or every wire of its bucket
+// leads to a full downstream FIFO).
+type Policy int
+
+const (
+	// Backpressure retains blocked packets at the head of their FIFO to
+	// retry next cycle — the lossless store-and-forward discipline.
+	Backpressure Policy = iota
+	// Drop discards blocked packets, the circuit-switched discipline of
+	// the unbuffered engine.
+	Drop
+)
+
+// String renders the policy for reports.
+func (p Policy) String() string {
+	switch p {
+	case Backpressure:
+		return "backpressure"
+	case Drop:
+		return "drop"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// Options configures a queueing network.
+type Options struct {
+	// Depth is the per-wire FIFO depth: >= 1 bounded, Unbounded (-1) for
+	// infinite buffers, 0 for the unbuffered single-cycle corner.
+	Depth int
+	// Policy is the blocked-packet discipline (default Backpressure).
+	Policy Policy
+	// Factory builds one arbiter per physical switch; nil selects the
+	// paper's input-label priority rule via the fused fast path.
+	Factory core.ArbiterFactory
+	// LatencyBuckets and LatencyBucketWidth shape the latency histogram
+	// (defaults: 1024 buckets of 1 cycle). Latencies beyond the last
+	// bucket are still counted exactly in mean and max but degrade the
+	// top quantiles toward the maximum.
+	LatencyBuckets     int
+	LatencyBucketWidth float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.LatencyBuckets <= 0 {
+		o.LatencyBuckets = 1024
+	}
+	if o.LatencyBucketWidth <= 0 {
+		o.LatencyBucketWidth = 1
+	}
+	return o
+}
+
+// Totals are lifetime packet counters. They never reset, so the
+// conservation invariant
+//
+//	Injected == Refused + Delivered + Dropped + Queued()
+//
+// holds after every cycle — the property test in queuesim_test.go
+// asserts it across geometries, depths and policies.
+type Totals struct {
+	Injected  int64 // packets offered at the inputs
+	Refused   int64 // injections rejected at the input (FIFO or slot full)
+	Delivered int64 // packets retired at their destination terminal
+	Dropped   int64 // packets discarded mid-network (Policy Drop only)
+}
+
+// CycleStats are the Totals deltas of a single Cycle call.
+type CycleStats struct {
+	Injected  int
+	Refused   int
+	Delivered int
+	Dropped   int
+}
+
+// ring is one per-wire FIFO of packed packets. Buffers are power-of-two
+// sized so indexing is a mask; bounded networks preallocate every
+// buffer at construction, unbounded ones grow by doubling on demand.
+type ring struct {
+	buf  []uint64
+	head int32
+	n    int32
+}
+
+func (r *ring) peek() uint64 { return r.buf[r.head] }
+
+func (r *ring) pop() uint64 {
+	p := r.buf[r.head]
+	r.head = (r.head + 1) & int32(len(r.buf)-1)
+	r.n--
+	return p
+}
+
+// hasSpace reports whether the ring can accept a packet under the given
+// depth (Unbounded always can).
+func (r *ring) hasSpace(depth int) bool {
+	return depth == Unbounded || int(r.n) < depth
+}
+
+// push appends a packet; the caller has already checked hasSpace.
+func (r *ring) push(p uint64) {
+	if int(r.n) == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(int(r.head)+int(r.n))&(len(r.buf)-1)] = p
+	r.n++
+}
+
+func (r *ring) grow() {
+	nb := make([]uint64, max(4, 2*len(r.buf)))
+	for i := 0; i < int(r.n); i++ {
+		nb[i] = r.buf[(int(r.head)+i)&(len(r.buf)-1)]
+	}
+	r.buf = nb
+	r.head = 0
+}
+
+// Packets are packed as inject-cycle (high 32 bits) | destination (low
+// 32 bits). Destinations fit: core caps simulable wire counts at
+// MaxInt32. Cycle counts wrap at 2^32; latency extraction uses uint32
+// arithmetic, so individual latencies stay correct as long as no packet
+// waits more than 2^32 cycles.
+func pack(dest int, now int64) uint64 {
+	return uint64(uint32(now))<<32 | uint64(uint32(dest))
+}
+
+func packetDest(p uint64) int { return int(uint32(p)) }
+
+func latency(p uint64, now int64) float64 {
+	return float64(uint32(now) - uint32(p>>32))
+}
+
+// Network is an instantiated queueing EDN. It is not safe for
+// concurrent use; the sweep harness builds one per shard.
+type Network struct {
+	cfg    topology.Config
+	opts   Options
+	stages int
+	inputs int
+
+	// Pipelined state (Depth != 0). rings holds one FIFO per stage-input
+	// wire across all boundaries: boundary s-1 (rings[base[s-1]:]) feeds
+	// stage s; boundary 0 is the injection row.
+	rings    []ring
+	base     []int     // base[i] = first ring of boundary i, i in [0, L]
+	gammaTab [][]int32 // [hyperbar stage-1]; nil = identity interstage
+	shift    []uint    // per hyperbar stage: right-shift to its digit
+	maskB    uint32
+	maskC    uint32
+
+	factory      core.ArbiterFactory
+	fastPriority bool
+	arbiters     [][]switchfab.Arbiter // [stage-1][switch], lazily built
+	used         []int32               // per-bucket wires consumed this cycle
+	digits       []int                 // arbiter-path digit gather
+	order        []int                 // arbiter-path arbitration order
+
+	// Unbuffered state (Depth == 0): one in-flight slot per input over a
+	// wrapped core.Network.
+	net     *core.Network
+	pending []int   // destination held by input i, or NoRequest
+	pendAt  []int64 // injection cycle of the pending packet
+	destBuf []int
+	outBuf  []core.Outcome
+
+	now       int64
+	queued    int64
+	totals    Totals
+	perStage  []int64 // drops per stage (Policy Drop)
+	lat       *stats.Histogram
+	idleBatch []int // all-NoRequest injection vector for Drain
+}
+
+// New builds a queueing network over cfg. See Options for the depth and
+// policy semantics.
+func New(cfg topology.Config, opts Options) (*Network, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Depth < Unbounded {
+		return nil, fmt.Errorf("queuesim: depth %d invalid (want >= 1, 0, or Unbounded)", opts.Depth)
+	}
+	switch opts.Policy {
+	case Backpressure, Drop:
+	default:
+		return nil, fmt.Errorf("queuesim: unknown policy %d", int(opts.Policy))
+	}
+	opts = opts.withDefaults()
+	n := &Network{
+		cfg:          cfg,
+		opts:         opts,
+		stages:       cfg.Stages(),
+		inputs:       cfg.Inputs(),
+		factory:      opts.Factory,
+		fastPriority: opts.Factory == nil,
+		perStage:     make([]int64, cfg.Stages()),
+		lat:          stats.NewHistogram(opts.LatencyBuckets, opts.LatencyBucketWidth),
+	}
+	if n.factory == nil {
+		n.factory = core.PriorityArbiters
+	}
+
+	if opts.Depth == 0 {
+		// The unbuffered corner delegates routing to the core engine.
+		net, err := core.NewNetwork(cfg, opts.Factory)
+		if err != nil {
+			return nil, err
+		}
+		n.net = net
+		n.pending = make([]int, n.inputs)
+		for i := range n.pending {
+			n.pending[i] = NoRequest
+		}
+		n.pendAt = make([]int64, n.inputs)
+		n.destBuf = make([]int, n.inputs)
+		n.outBuf = make([]core.Outcome, n.inputs)
+		return n, nil
+	}
+
+	// Boundary wire counts; reuse core's int32 cap for the gamma tables.
+	total := 0
+	n.base = make([]int, cfg.L+1)
+	for i := 0; i <= cfg.L; i++ {
+		n.base[i] = total
+		w := cfg.WiresAfterStage(i)
+		if w > math.MaxInt32 {
+			return nil, fmt.Errorf("queuesim: %v has %d wires in one stage, beyond the simulable limit", cfg, w)
+		}
+		total += w
+	}
+	n.rings = make([]ring, total)
+	if opts.Depth >= 1 {
+		// One flat backing array, power-of-two slots per ring, so the
+		// steady state never allocates and neighbors share cache lines.
+		slot := 1
+		for slot < opts.Depth {
+			slot <<= 1
+		}
+		backing := make([]uint64, total*slot)
+		for i := range n.rings {
+			n.rings[i].buf = backing[i*slot : (i+1)*slot]
+		}
+	}
+	n.gammaTab = make([][]int32, cfg.L)
+	n.shift = make([]uint, cfg.L)
+	logB, logC := topology.Log2(cfg.B), topology.Log2(cfg.C)
+	for s := 1; s <= cfg.L; s++ {
+		n.gammaTab[s-1] = cfg.InterstageTable(s)
+		n.shift[s-1] = uint(logC + (cfg.L-s)*logB)
+	}
+	n.maskB = uint32(cfg.B - 1)
+	n.maskC = uint32(cfg.C - 1)
+	n.arbiters = make([][]switchfab.Arbiter, n.stages)
+	for s := 1; s <= n.stages; s++ {
+		n.arbiters[s-1] = make([]switchfab.Arbiter, cfg.SwitchesInStage(s))
+	}
+	width := cfg.A
+	if cfg.C > width {
+		width = cfg.C
+	}
+	buckets := cfg.B
+	if cfg.C > buckets {
+		buckets = cfg.C
+	}
+	n.used = make([]int32, buckets)
+	n.digits = make([]int, width)
+	n.order = make([]int, width)
+	return n, nil
+}
+
+// Config returns the network's configuration.
+func (n *Network) Config() topology.Config { return n.cfg }
+
+// Depth returns the configured FIFO depth.
+func (n *Network) Depth() int { return n.opts.Depth }
+
+// Policy returns the configured blocked-packet discipline.
+func (n *Network) Policy() Policy { return n.opts.Policy }
+
+// Now returns the number of cycles simulated so far.
+func (n *Network) Now() int64 { return n.now }
+
+// Queued returns the number of packets currently inside the network.
+func (n *Network) Queued() int64 { return n.queued }
+
+// Totals returns the lifetime packet counters.
+func (n *Network) Totals() Totals { return n.totals }
+
+// DroppedPerStage returns a copy of the per-stage drop counters
+// (1-based stage s at index s-1; all zeros under Backpressure).
+func (n *Network) DroppedPerStage() []int64 {
+	return append([]int64(nil), n.perStage...)
+}
+
+// Latency returns the live delivery-latency histogram. Latency is
+// measured in cycles from injection to retirement at the destination
+// terminal: the pipelined network's floor is Stages() (one hop per
+// cycle); the unbuffered corner's floor is 1 (whole-network transit in
+// the injection cycle). The histogram keeps accumulating as the network
+// runs; ResetLatency starts a fresh measurement window.
+func (n *Network) Latency() *stats.Histogram { return n.lat }
+
+// ResetLatency clears the latency histogram — typically called after
+// warmup so measured quantiles exclude the fill transient. Queue state
+// and lifetime totals are unaffected.
+func (n *Network) ResetLatency() { n.lat.Reset() }
+
+// InputFree reports whether input i can accept an injection this cycle:
+// its stage-1 FIFO has room (pipelined) or its in-flight slot is empty
+// (unbuffered). Closed-loop drivers poll it to offer exactly when the
+// network can accept.
+func (n *Network) InputFree(i int) bool {
+	if n.opts.Depth == 0 {
+		return n.pending[i] == NoRequest
+	}
+	return n.rings[i].hasSpace(n.opts.Depth)
+}
+
+// Cycle advances the network by one cycle and then injects dest:
+// dest[i] is the destination terminal for a new packet entering input
+// i, or NoRequest. Stages advance downstream-first, so a buffer slot
+// freed this cycle is usable by the upstream stage in the same cycle
+// and packets sustain one hop per cycle at full throughput. Injections
+// that find their input full are counted as Refused and lost (an open
+// loop drops at the source; closed-loop drivers use InputFree to offer
+// only what fits).
+func (n *Network) Cycle(dest []int) (CycleStats, error) {
+	if len(dest) != n.inputs {
+		return CycleStats{}, fmt.Errorf("queuesim: %v got %d injections, want %d inputs", n.cfg, len(dest), n.inputs)
+	}
+	// Validate the whole injection vector before touching any state: a
+	// mid-cycle abort would leave the lifetime Totals out of step with
+	// the queue contents and break the conservation invariant forever.
+	outputs := n.cfg.Outputs()
+	for i, d := range dest {
+		if d != NoRequest && (d < 0 || d >= outputs) {
+			return CycleStats{}, fmt.Errorf("queuesim: input %d requests output %d out of range [0,%d)", i, d, outputs)
+		}
+	}
+	n.now++
+	var cs CycleStats
+	if n.opts.Depth == 0 {
+		if err := n.cycleUnbuffered(dest, &cs); err != nil {
+			return CycleStats{}, err
+		}
+	} else {
+		for s := n.stages; s >= 1; s-- {
+			n.advanceStage(s, &cs)
+		}
+		depth := n.opts.Depth
+		for i, d := range dest {
+			if d == NoRequest {
+				continue
+			}
+			cs.Injected++
+			r := &n.rings[i]
+			if !r.hasSpace(depth) {
+				cs.Refused++
+				continue
+			}
+			r.push(pack(d, n.now))
+			n.queued++
+		}
+	}
+	n.totals.Injected += int64(cs.Injected)
+	n.totals.Refused += int64(cs.Refused)
+	n.totals.Delivered += int64(cs.Delivered)
+	n.totals.Dropped += int64(cs.Dropped)
+	return cs, nil
+}
+
+// Drain runs idle cycles (no injections) until the network empties,
+// returning how many cycles it took. It fails if the network still
+// holds packets after maxCycles — under Backpressure with bounded
+// depth the network always drains, so hitting the cap indicates a
+// deadlocked caller expectation, not a simulator state.
+func (n *Network) Drain(maxCycles int) (int, error) {
+	if n.idleBatch == nil {
+		n.idleBatch = make([]int, n.inputs)
+		for i := range n.idleBatch {
+			n.idleBatch[i] = NoRequest
+		}
+	}
+	for c := 0; c < maxCycles; c++ {
+		if n.queued == 0 {
+			return c, nil
+		}
+		if _, err := n.Cycle(n.idleBatch); err != nil {
+			return c, err
+		}
+	}
+	if n.queued == 0 {
+		return maxCycles, nil
+	}
+	return maxCycles, fmt.Errorf("queuesim: %d packets still queued after %d drain cycles", n.queued, maxCycles)
+}
+
+// retire records one delivery.
+func (n *Network) retire(pkt uint64, cs *CycleStats) {
+	n.lat.Add(latency(pkt, n.now))
+	n.queued--
+	cs.Delivered++
+}
+
+// advanceStage runs one cycle of stage s (1-based): head-of-line
+// arbitration per switch over the boundary s-1 FIFOs, winners crossing
+// the interstage table into the boundary s FIFOs (or retiring at the
+// crossbar), losers retained or dropped per policy. It mirrors
+// core.routeStage's structure — fused priority fast path, arbiter
+// orders otherwise — with the FIFO heads standing in for the wire
+// ownership vector.
+func (n *Network) advanceStage(s int, cs *CycleStats) {
+	cfg := n.cfg
+	isCrossbar := s == n.stages
+	width, buckets, capacity := cfg.A, cfg.B, cfg.C
+	var tab []int32
+	var shift uint
+	var bc int
+	if isCrossbar {
+		width, buckets, capacity = cfg.C, cfg.C, 1
+	} else {
+		tab = n.gammaTab[s-1]
+		shift = n.shift[s-1]
+		bc = cfg.B * cfg.C
+	}
+	inBase := n.base[s-1]
+	var outRings []ring
+	if !isCrossbar {
+		outRings = n.rings[n.base[s]:]
+	}
+	nsw := cfg.SwitchesInStage(s)
+	depth := n.opts.Depth
+	drop := n.opts.Policy == Drop
+	used := n.used[:buckets]
+
+	if n.fastPriority {
+		// Priority arbitration considers inputs in natural wire order, so
+		// gather/arbitrate/advance fuse into one pass per switch.
+		for sw := 0; sw < nsw; sw++ {
+			swIn := inBase + sw*width
+			for i := range used {
+				used[i] = 0
+			}
+			for p := 0; p < width; p++ {
+				r := &n.rings[swIn+p]
+				if r.n == 0 {
+					continue
+				}
+				pkt := r.peek()
+				var d int
+				if isCrossbar {
+					d = int(uint32(pkt) & n.maskC)
+				} else {
+					d = int((uint32(pkt) >> shift) & n.maskB)
+				}
+				if !n.advancePacket(r, pkt, d, sw*bc, capacity, isCrossbar, depth, tab, outRings, cs) && drop {
+					r.pop()
+					n.queued--
+					cs.Dropped++
+					n.perStage[s-1]++
+				}
+			}
+		}
+		return
+	}
+
+	// General-arbiter path: gather each switch's head digits, obtain the
+	// arbitration order (idle switches never consult their arbiter, so
+	// stateful arbiters advance exactly as in core), then advance in
+	// order.
+	digits := n.digits[:width]
+	for sw := 0; sw < nsw; sw++ {
+		swIn := inBase + sw*width
+		busy := false
+		for p := 0; p < width; p++ {
+			r := &n.rings[swIn+p]
+			if r.n == 0 {
+				digits[p] = switchfab.Idle
+				continue
+			}
+			busy = true
+			pkt := r.peek()
+			if isCrossbar {
+				digits[p] = int(uint32(pkt) & n.maskC)
+			} else {
+				digits[p] = int((uint32(pkt) >> shift) & n.maskB)
+			}
+		}
+		if !busy {
+			continue
+		}
+		var order []int // nil = natural order
+		switch a := n.arbiter(s, sw).(type) {
+		case switchfab.PriorityArbiter:
+		case switchfab.InPlaceArbiter:
+			order = n.order[:width]
+			a.OrderInto(order)
+		default:
+			order = a.Order(width)
+		}
+		for i := range used {
+			used[i] = 0
+		}
+		for idx := 0; idx < width; idx++ {
+			p := idx
+			if order != nil {
+				p = order[idx]
+			}
+			d := digits[p]
+			if d == switchfab.Idle {
+				continue
+			}
+			r := &n.rings[swIn+p]
+			if !n.advancePacket(r, r.peek(), d, sw*bc, capacity, isCrossbar, depth, tab, outRings, cs) && drop {
+				r.pop()
+				n.queued--
+				cs.Dropped++
+				n.perStage[s-1]++
+			}
+		}
+	}
+}
+
+// advancePacket tries to move the head packet of r (destination digit
+// d) through its switch: at the crossbar it retires on output bucket d,
+// at a hyperbar it takes the first bucket-d wire whose downstream FIFO
+// has room, crossing the interstage table tab (nil = identity) into the
+// boundary FIFOs outRings. Each output wire carries at most one packet
+// per cycle — used counts both grants and wires skipped as full, so
+// every wire is considered at most once. Returns false if the packet
+// cannot advance this cycle.
+func (n *Network) advancePacket(r *ring, pkt uint64, d, outBase, capacity int, isCrossbar bool, depth int, tab []int32, outRings []ring, cs *CycleStats) bool {
+	if isCrossbar {
+		if n.used[d] != 0 {
+			return false
+		}
+		n.used[d] = 1
+		r.pop()
+		n.retire(pkt, cs)
+		return true
+	}
+	for int(n.used[d]) < capacity {
+		o := outBase + d*capacity + int(n.used[d])
+		n.used[d]++
+		down := o
+		if tab != nil {
+			down = int(tab[o])
+		}
+		dr := &outRings[down]
+		if dr.hasSpace(depth) {
+			r.pop()
+			dr.push(pkt)
+			return true
+		}
+		// This wire leads to a full FIFO: it is consumed for the cycle;
+		// try the bucket's next wire.
+	}
+	return false
+}
+
+func (n *Network) arbiter(stage, sw int) switchfab.Arbiter {
+	if n.arbiters[stage-1][sw] == nil {
+		n.arbiters[stage-1][sw] = n.factory()
+	}
+	return n.arbiters[stage-1][sw]
+}
+
+// cycleUnbuffered is the Depth == 0 cycle: every input's in-flight
+// packet (retained from a blocked attempt, or freshly injected) is
+// offered to the core engine, which resolves the whole batch in one
+// circuit-switched pass. Backpressure resubmits blocked packets from
+// the input next cycle — the Section 4 / Section 5.1 closed-loop
+// regime; Drop discards them, reproducing the memoryless engine.
+// Destinations were validated by Cycle before any state changed.
+func (n *Network) cycleUnbuffered(dest []int, cs *CycleStats) error {
+	for i := range n.destBuf {
+		if n.pending[i] != NoRequest {
+			// Input busy: a retained packet resubmits; any new offer is
+			// refused at the source.
+			if dest[i] != NoRequest {
+				cs.Injected++
+				cs.Refused++
+			}
+			n.destBuf[i] = n.pending[i]
+			continue
+		}
+		d := dest[i]
+		if d == NoRequest {
+			n.destBuf[i] = NoRequest
+			continue
+		}
+		cs.Injected++
+		n.pending[i] = d
+		n.pendAt[i] = n.now
+		n.queued++
+		n.destBuf[i] = d
+	}
+	if _, err := n.net.RouteCycleInto(n.destBuf, n.outBuf); err != nil {
+		return err
+	}
+	drop := n.opts.Policy == Drop
+	for i := range n.outBuf {
+		if n.pending[i] == NoRequest {
+			continue
+		}
+		o := n.outBuf[i]
+		switch {
+		case o.Delivered():
+			// A first-attempt delivery has latency 1: one whole-network
+			// transit inside the injection cycle.
+			n.lat.Add(float64(n.now-n.pendAt[i]) + 1)
+			n.queued--
+			cs.Delivered++
+			n.pending[i] = NoRequest
+		case drop:
+			n.queued--
+			cs.Dropped++
+			n.perStage[o.BlockedStage-1]++
+			n.pending[i] = NoRequest
+		}
+	}
+	return nil
+}

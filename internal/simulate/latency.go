@@ -1,0 +1,366 @@
+package simulate
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"edn/internal/queuesim"
+	"edn/internal/stats"
+	"edn/internal/topology"
+	"edn/internal/traffic"
+	"edn/internal/xrand"
+)
+
+// LatencyResult aggregates one queueing measurement: throughput plus the
+// delivery-latency distribution of the packets retired inside the
+// measurement window.
+type LatencyResult struct {
+	Config  topology.Config
+	Pattern string
+	Depth   int
+	Policy  queuesim.Policy
+	Cycles  int // measured cycles (warmup excluded), summed across shards
+	Shards  int
+
+	// Packet counters over the measurement window.
+	Injected  int64 // packets offered at the inputs
+	Refused   int64 // injections rejected at a full input
+	Delivered int64
+	Dropped   int64 // discarded mid-network (Drop policy only)
+
+	// OfferedRate is offered packets per input per cycle; Throughput is
+	// delivered packets per cycle; AcceptedFraction is delivered over
+	// offered — the queueing analog of PA.
+	OfferedRate      float64
+	Throughput       float64
+	AcceptedFraction float64
+	// AvgQueued is the mean number of in-flight packets, sampled once
+	// per cycle after injection (Little's law: AvgQueued/Throughput
+	// approximates the mean latency at steady state).
+	AvgQueued float64
+
+	// Latency quantiles in cycles, over packets retired in the window.
+	LatencyMean float64
+	LatencyP50  float64
+	LatencyP95  float64
+	LatencyP99  float64
+	LatencyMax  float64
+	// Histogram is the full merged distribution backing the quantiles.
+	Histogram *stats.Histogram
+}
+
+// String renders the headline numbers.
+func (r LatencyResult) String() string {
+	return fmt.Sprintf("%v %s depth=%d %v: offered=%.3f thr=%.1f/cycle lat mean=%.1f p50=%.0f p95=%.0f p99=%.0f",
+		r.Config, r.Pattern, r.Depth, r.Policy, r.OfferedRate, r.Throughput,
+		r.LatencyMean, r.LatencyP50, r.LatencyP95, r.LatencyP99)
+}
+
+// fillQuantiles derives the summary fields from the histogram and
+// counters.
+func (r *LatencyResult) fillQuantiles(inputs int) {
+	h := r.Histogram
+	r.LatencyMean = h.Mean()
+	r.LatencyP50 = h.Quantile(0.50)
+	r.LatencyP95 = h.Quantile(0.95)
+	r.LatencyP99 = h.Quantile(0.99)
+	r.LatencyMax = h.Max()
+	if r.Cycles > 0 {
+		r.Throughput = float64(r.Delivered) / float64(r.Cycles)
+		r.OfferedRate = float64(r.Injected) / float64(r.Cycles*inputs)
+	}
+	if r.Injected > 0 {
+		r.AcceptedFraction = float64(r.Delivered) / float64(r.Injected)
+	} else {
+		r.AcceptedFraction = 1
+	}
+}
+
+// MeasureLatency drives pattern through a queueing network for
+// opts.Warmup + opts.Cycles cycles and reports throughput and the
+// latency distribution of the measurement window. The steady-state loop
+// is allocation-free for bounded depths: IntoGenerator patterns fill
+// the injection vector in place and the queueing engine reuses all ring
+// and histogram storage.
+//
+// Latencies retired during warmup are discarded; packets injected
+// during warmup but retired inside the window do count, as do the
+// window's still-queued survivors not at all — the standard
+// open-loop truncation.
+func MeasureLatency(cfg topology.Config, pattern traffic.Pattern, qopts queuesim.Options, opts Options) (LatencyResult, error) {
+	opts = opts.withDefaults()
+	if qopts.Factory == nil {
+		qopts.Factory = opts.Factory
+	}
+	net, err := queuesim.New(cfg, qopts)
+	if err != nil {
+		return LatencyResult{}, err
+	}
+	res := LatencyResult{
+		Config:  cfg,
+		Pattern: pattern.Name(),
+		Depth:   net.Depth(),
+		Policy:  net.Policy(),
+		Cycles:  opts.Cycles,
+		Shards:  1,
+	}
+	inputs, outputs := cfg.Inputs(), cfg.Outputs()
+	dest := make([]int, inputs)
+	gen, inPlace := pattern.(traffic.IntoGenerator)
+	var queuedSum int64
+	var before queuesim.Totals
+	for cycle := 0; cycle < opts.Warmup+opts.Cycles; cycle++ {
+		if cycle == opts.Warmup {
+			net.ResetLatency()
+			before = net.Totals()
+		}
+		if inPlace {
+			gen.GenerateInto(dest, outputs)
+		} else {
+			dest = pattern.Generate(inputs, outputs)
+		}
+		if _, err := net.Cycle(dest); err != nil {
+			return LatencyResult{}, err
+		}
+		if cycle >= opts.Warmup {
+			queuedSum += net.Queued()
+		}
+	}
+	after := net.Totals()
+	res.Injected = after.Injected - before.Injected
+	res.Refused = after.Refused - before.Refused
+	res.Delivered = after.Delivered - before.Delivered
+	res.Dropped = after.Dropped - before.Dropped
+	res.AvgQueued = float64(queuedSum) / float64(opts.Cycles)
+	res.Histogram = net.Latency().Clone()
+	res.fillQuantiles(inputs)
+	return res, nil
+}
+
+// LoadPattern builds the traffic source for one offered load; the
+// SaturationSweep calls it once per (load, shard) with an independent
+// RNG. Nil selects uniform iid traffic at the given rate.
+type LoadPattern func(load float64, rng *xrand.Rand) traffic.Pattern
+
+// UniformLoad is the default LoadPattern: iid uniform traffic.
+func UniformLoad(load float64, rng *xrand.Rand) traffic.Pattern {
+	return traffic.Uniform{Rate: load, Rng: rng}
+}
+
+// BurstyLoad returns a LoadPattern of Markov on/off sources with the
+// given mean burst length, tuned so the long-run offered load matches
+// the sweep's load axis — the apples-to-apples bursty counterpart of
+// UniformLoad. Near saturation the requested burst length cannot be
+// honored at the requested load (the solved ON-transition probability
+// would exceed 1), so the source pins POn at 1 and lengthens the bursts
+// to load/(1-load) instead — the load axis stays exact, which is what
+// the sweep compares against.
+func BurstyLoad(meanBurst float64) LoadPattern {
+	if meanBurst < 1 {
+		meanBurst = 1
+	}
+	return func(load float64, rng *xrand.Rand) traffic.Pattern {
+		if load >= 1 {
+			return traffic.Uniform{Rate: 1, Rng: rng} // saturated: always on
+		}
+		// duty = pOn/(pOn+pOff) = load (Rate 1 while ON) => pOn solved:
+		pOff := 1 / meanBurst
+		pOn := load * pOff / (1 - load)
+		if pOn > 1 {
+			pOn = 1
+			pOff = (1 - load) / load // keep duty exactly == load
+		}
+		return &traffic.MarkovOnOff{Rate: 1, POn: pOn, POff: pOff, Rng: rng}
+	}
+}
+
+// SaturationSweep measures one LatencyResult per offered load: the
+// latency-vs-load curve whose knee is the network's saturation
+// throughput. Each load point splits opts.Cycles across `shards`
+// fully independent runs — own network, own traffic source, seed
+// derived from opts.Seed — executed in parallel and merged exactly
+// (counter sums and histogram merges), the run-level sharding pattern
+// of MeasureUniformPAParallel. Results are deterministic for a fixed
+// (seed, shards) pair. shards <= 0 selects GOMAXPROCS; src nil selects
+// UniformLoad.
+func SaturationSweep(cfg topology.Config, loads []float64, src LoadPattern, qopts queuesim.Options, opts Options, shards int) ([]LatencyResult, error) {
+	opts = opts.withDefaults()
+	if src == nil {
+		src = UniformLoad
+	}
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	if shards > opts.Cycles {
+		shards = opts.Cycles
+	}
+	results := make([]LatencyResult, 0, len(loads))
+	for _, load := range loads {
+		// Derive shard seeds up front so the assignment does not depend
+		// on scheduling.
+		root := xrand.New(opts.Seed ^ uint64(len(results)+1)*0x9e3779b97f4a7c15)
+		seeds := make([]uint64, shards)
+		for i := range seeds {
+			seeds[i] = root.Uint64() | 1
+		}
+		type partial struct {
+			res LatencyResult
+			err error
+		}
+		parts := make([]partial, shards)
+		var wg sync.WaitGroup
+		per := opts.Cycles / shards
+		extra := opts.Cycles % shards
+		for w := 0; w < shards; w++ {
+			cycles := per
+			if w < extra {
+				cycles++
+			}
+			if cycles == 0 {
+				continue
+			}
+			wg.Add(1)
+			go func(w, cycles int, load float64) {
+				defer wg.Done()
+				sub := opts
+				sub.Cycles = cycles
+				rng := xrand.New(seeds[w])
+				pattern := src(load, rng)
+				parts[w].res, parts[w].err = MeasureLatency(cfg, pattern, qopts, sub)
+			}(w, cycles, load)
+		}
+		wg.Wait()
+
+		var merged LatencyResult
+		var queuedWeighted float64
+		first := true
+		for w := range parts {
+			p := &parts[w]
+			if p.err != nil {
+				return nil, p.err
+			}
+			if p.res.Cycles == 0 && p.res.Histogram == nil {
+				continue
+			}
+			if first {
+				merged = p.res
+				merged.Histogram = p.res.Histogram.Clone()
+				queuedWeighted = p.res.AvgQueued * float64(p.res.Cycles)
+				first = false
+				continue
+			}
+			merged.Cycles += p.res.Cycles
+			merged.Shards++
+			merged.Injected += p.res.Injected
+			merged.Refused += p.res.Refused
+			merged.Delivered += p.res.Delivered
+			merged.Dropped += p.res.Dropped
+			queuedWeighted += p.res.AvgQueued * float64(p.res.Cycles)
+			if err := merged.Histogram.Merge(p.res.Histogram); err != nil {
+				return nil, err
+			}
+		}
+		if merged.Cycles > 0 {
+			merged.AvgQueued = queuedWeighted / float64(merged.Cycles)
+		}
+		merged.fillQuantiles(cfg.Inputs())
+		results = append(results, merged)
+	}
+	return results, nil
+}
+
+// DrainResult reports a closed-loop drain experiment: every input
+// starts loaded with Q packets and the network runs until all are
+// delivered.
+type DrainResult struct {
+	Config topology.Config
+	Q      int   // packets preloaded per input
+	Cycles int64 // cycles until the last delivery
+	// Latency distribution over all delivered packets, measured from
+	// network injection to delivery (time spent waiting in the source
+	// queue is not included).
+	LatencyMean float64
+	LatencyP95  float64
+	Histogram   *stats.Histogram
+}
+
+// DrainPermutations preloads every input with q packets — packet k of
+// every input drawn from an independent random permutation, the
+// Section 5.1 workload of an RA-EDN cluster with q processors per port
+// — and runs the network closed-loop (each input re-offers its next
+// packet as soon as the network can accept it) until everything is
+// delivered. The returned cycle count is the measured counterpart of
+// analytic.ExpectedPermutationTime:
+//
+//   - Depth 0 + Backpressure is exactly the model's regime: an
+//     unbuffered single-cycle network in which blocked messages are
+//     resubmitted until accepted.
+//   - Depth >= 1 / Unbounded quantifies how much interstage buffering
+//     shortens the drain below the unbuffered baseline.
+//
+// The workload needs a square network (permutations over the ports).
+func DrainPermutations(cfg topology.Config, q int, qopts queuesim.Options, opts Options) (DrainResult, error) {
+	if !cfg.IsSquare() {
+		return DrainResult{}, fmt.Errorf("simulate: permutation drain needs a square network, got %v (%d x %d)", cfg, cfg.Inputs(), cfg.Outputs())
+	}
+	if q < 1 {
+		return DrainResult{}, fmt.Errorf("simulate: q=%d packets per input must be positive", q)
+	}
+	opts = opts.withDefaults()
+	if qopts.Policy == queuesim.Drop {
+		return DrainResult{}, fmt.Errorf("simulate: a drain needs the lossless Backpressure policy")
+	}
+	if qopts.Factory == nil {
+		qopts.Factory = opts.Factory
+	}
+	net, err := queuesim.New(cfg, qopts)
+	if err != nil {
+		return DrainResult{}, err
+	}
+	inputs := cfg.Inputs()
+	rng := xrand.New(opts.Seed)
+	// queue[i] holds input i's packets in offer order: one entry from
+	// each of q independent permutations.
+	queue := make([][]int, inputs)
+	perm := make([]int, inputs)
+	for k := 0; k < q; k++ {
+		rng.PermInto(perm)
+		for i, d := range perm {
+			queue[i] = append(queue[i], d)
+		}
+	}
+	next := make([]int, inputs) // next packet index to offer per input
+	dest := make([]int, inputs)
+	total := int64(q) * int64(inputs)
+	// The closed loop cannot take longer than every packet being
+	// serialized through one output, with generous headroom for the
+	// pipeline; use it as the runaway guard.
+	maxCycles := int64(q*inputs)*int64(cfg.Stages()+1) + 1000
+	var cycles int64
+	for net.Totals().Delivered < total {
+		if cycles++; cycles > maxCycles {
+			return DrainResult{}, fmt.Errorf("simulate: drain of %d packets not finished after %d cycles", total, maxCycles)
+		}
+		for i := range dest {
+			if next[i] < len(queue[i]) && net.InputFree(i) {
+				dest[i] = queue[i][next[i]]
+				next[i]++
+			} else {
+				dest[i] = queuesim.NoRequest
+			}
+		}
+		if _, err := net.Cycle(dest); err != nil {
+			return DrainResult{}, err
+		}
+	}
+	h := net.Latency().Clone()
+	return DrainResult{
+		Config:      cfg,
+		Q:           q,
+		Cycles:      cycles,
+		LatencyMean: h.Mean(),
+		LatencyP95:  h.Quantile(0.95),
+		Histogram:   h,
+	}, nil
+}

@@ -1,0 +1,192 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Histogram is a fixed-layout streaming histogram: `buckets` bins of a
+// constant `width`, plus one overflow bin. It answers quantile queries in
+// O(buckets) with a worst-case error of one bucket width, stores values
+// in O(buckets) memory regardless of stream length, and merges exactly
+// with any histogram of the same shape — the three properties the
+// latency-measurement harness needs (P50/P95/P99 over millions of
+// packet latencies, accumulated independently per parallel shard).
+//
+// Add is allocation-free, so a steady-state simulation loop can record
+// one observation per retired packet without touching the allocator.
+// With Width=1 and non-negative integer observations (packet latencies
+// in cycles) every value lands exactly on its bucket's lower edge, so
+// Quantile is exact, not approximate.
+type Histogram struct {
+	width    float64
+	counts   []int64
+	overflow int64 // observations >= width*len(counts)
+	n        int64
+	sum      float64
+	max      float64
+	min      float64
+}
+
+// NewHistogram returns a histogram of `buckets` bins of the given width.
+// Bucket k covers [k*width, (k+1)*width); larger observations land in
+// the overflow bin (still counted exactly in N, Mean, Max and the top
+// quantiles via the tracked maximum). It panics on a non-positive shape,
+// which is a programming error, not a data condition.
+func NewHistogram(buckets int, width float64) *Histogram {
+	if buckets <= 0 || width <= 0 || math.IsNaN(width) || math.IsInf(width, 0) {
+		panic(fmt.Sprintf("stats: histogram shape %d x %g must be positive and finite", buckets, width))
+	}
+	return &Histogram{width: width, counts: make([]int64, buckets)}
+}
+
+// Buckets returns the number of regular (non-overflow) bins.
+func (h *Histogram) Buckets() int { return len(h.counts) }
+
+// Width returns the bin width.
+func (h *Histogram) Width() float64 { return h.width }
+
+// Add records one observation. Negative observations clamp into the
+// first bucket (latencies cannot be negative; clamping keeps the
+// invariant N == sum of bucket counts even on bad input).
+func (h *Histogram) Add(x float64) {
+	if h.n == 0 || x < h.min {
+		h.min = x
+	}
+	if h.n == 0 || x > h.max {
+		h.max = x
+	}
+	h.n++
+	h.sum += x
+	if x >= h.width*float64(len(h.counts)) {
+		h.overflow++
+		return
+	}
+	k := int(x / h.width)
+	if k < 0 {
+		k = 0
+	}
+	if k >= len(h.counts) { // float rounding at the exact top edge
+		h.overflow++
+		return
+	}
+	h.counts[k]++
+}
+
+// N returns the number of observations.
+func (h *Histogram) N() int64 { return h.n }
+
+// Overflow returns the number of observations beyond the last bucket.
+// A caller seeing a material overflow fraction should rebuild with more
+// buckets: quantiles that land in the overflow bin degrade to Max.
+func (h *Histogram) Overflow() int64 { return h.overflow }
+
+// Sum returns the exact sum of all observations.
+func (h *Histogram) Sum() float64 { return h.sum }
+
+// Mean returns the exact sample mean (0 for an empty histogram).
+func (h *Histogram) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.sum / float64(h.n)
+}
+
+// Min returns the exact smallest observation (0 when empty).
+func (h *Histogram) Min() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the exact largest observation (0 when empty).
+func (h *Histogram) Max() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.max
+}
+
+// Quantile returns the nearest-rank p-quantile: the lower edge of the
+// bucket holding the ceil(p*N)-th smallest observation. For integer
+// observations with Width 1 this is the exact nearest-rank quantile;
+// otherwise it under-reports by at most one bucket width. Quantiles
+// falling in the overflow bin return Max. p <= 0 returns Min; p >= 1
+// returns Max; an empty histogram returns 0.
+func (h *Histogram) Quantile(p float64) float64 {
+	if h.n == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return h.Min()
+	}
+	if p >= 1 {
+		return h.Max()
+	}
+	rank := int64(math.Ceil(p * float64(h.n)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for k, c := range h.counts {
+		cum += c
+		if cum >= rank {
+			return float64(k) * h.width
+		}
+	}
+	return h.Max() // rank falls in the overflow bin
+}
+
+// Merge folds another histogram of the identical shape into this one, as
+// if every observation of o had been Added here. Shards of a parallel
+// sweep each keep a private histogram and merge exactly at the end.
+func (h *Histogram) Merge(o *Histogram) error {
+	if o.width != h.width || len(o.counts) != len(h.counts) {
+		return fmt.Errorf("stats: cannot merge histogram %dx%g into %dx%g",
+			len(o.counts), o.width, len(h.counts), h.width)
+	}
+	if o.n == 0 {
+		return nil
+	}
+	if h.n == 0 || o.min < h.min {
+		h.min = o.min
+	}
+	if h.n == 0 || o.max > h.max {
+		h.max = o.max
+	}
+	h.n += o.n
+	h.sum += o.sum
+	h.overflow += o.overflow
+	for k, c := range o.counts {
+		h.counts[k] += c
+	}
+	return nil
+}
+
+// Clone returns an independent copy, so a measurement window can be
+// snapshotted while the live histogram keeps accumulating.
+func (h *Histogram) Clone() *Histogram {
+	c := *h
+	c.counts = append([]int64(nil), h.counts...)
+	return &c
+}
+
+// Reset clears all recorded observations, keeping the shape. The
+// measurement harness calls it to discard warmup-phase latencies.
+func (h *Histogram) Reset() {
+	for i := range h.counts {
+		h.counts[i] = 0
+	}
+	h.overflow, h.n = 0, 0
+	h.sum, h.max, h.min = 0, 0, 0
+}
+
+// Count returns the number of observations in regular bucket k.
+func (h *Histogram) Count(k int) int64 { return h.counts[k] }
+
+// String summarizes the distribution for reports.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("n=%d mean=%.6g p50=%.6g p95=%.6g p99=%.6g max=%.6g",
+		h.n, h.Mean(), h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99), h.Max())
+}

@@ -1,0 +1,185 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"edn/internal/xrand"
+)
+
+// exactQuantile is the nearest-rank quantile over a sorted slice: the
+// ceil(p*n)-th smallest element.
+func exactQuantile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	rank := int(math.Ceil(p * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	return sorted[rank-1]
+}
+
+func TestHistogramIntegerQuantilesExact(t *testing.T) {
+	// Width-1 buckets over integer observations (the latency-in-cycles
+	// case) must reproduce the exact nearest-rank quantile.
+	rng := xrand.New(11)
+	h := NewHistogram(128, 1)
+	var xs []float64
+	for i := 0; i < 10000; i++ {
+		x := float64(rng.Intn(100))
+		xs = append(xs, x)
+		h.Add(x)
+	}
+	sort.Float64s(xs)
+	for _, p := range []float64{0.01, 0.25, 0.50, 0.90, 0.95, 0.99, 0.999} {
+		want := exactQuantile(xs, p)
+		if got := h.Quantile(p); got != want {
+			t.Errorf("Quantile(%g) = %g, want exact %g", p, got, want)
+		}
+	}
+	if got, want := h.Mean(), Mean(xs); math.Abs(got-want) > 1e-9 {
+		t.Errorf("Mean = %g, want %g", got, want)
+	}
+	if h.Min() != xs[0] || h.Max() != xs[len(xs)-1] {
+		t.Errorf("Min/Max = %g/%g, want %g/%g", h.Min(), h.Max(), xs[0], xs[len(xs)-1])
+	}
+}
+
+func TestHistogramFractionalWidthBound(t *testing.T) {
+	// With arbitrary float observations the quantile may under-report by
+	// at most one bucket width.
+	rng := xrand.New(12)
+	const width = 0.25
+	h := NewHistogram(400, width)
+	var xs []float64
+	for i := 0; i < 5000; i++ {
+		x := rng.Float64() * 90
+		xs = append(xs, x)
+		h.Add(x)
+	}
+	sort.Float64s(xs)
+	for _, p := range []float64{0.1, 0.5, 0.95, 0.99} {
+		want := exactQuantile(xs, p)
+		got := h.Quantile(p)
+		if got > want || want-got > width {
+			t.Errorf("Quantile(%g) = %g, want within one width below exact %g", p, got, want)
+		}
+	}
+}
+
+func TestHistogramOverflow(t *testing.T) {
+	h := NewHistogram(10, 1)
+	for i := 0; i < 9; i++ {
+		h.Add(1)
+	}
+	h.Add(1000)
+	if h.Overflow() != 1 {
+		t.Fatalf("Overflow = %d, want 1", h.Overflow())
+	}
+	if got := h.Quantile(0.5); got != 1 {
+		t.Errorf("P50 = %g, want 1", got)
+	}
+	// The top quantile lands in the overflow bin and degrades to Max.
+	if got := h.Quantile(0.999); got != 1000 {
+		t.Errorf("P99.9 = %g, want Max 1000", got)
+	}
+	if h.N() != 10 {
+		t.Errorf("N = %d, want 10", h.N())
+	}
+}
+
+func TestHistogramNegativeClamp(t *testing.T) {
+	h := NewHistogram(4, 1)
+	h.Add(-3)
+	if h.Count(0) != 1 {
+		t.Errorf("negative observation should clamp into bucket 0, counts[0]=%d", h.Count(0))
+	}
+	if h.Min() != -3 {
+		t.Errorf("Min should stay exact: %g", h.Min())
+	}
+}
+
+func TestHistogramMergeMatchesSequential(t *testing.T) {
+	// Adding a stream into one histogram must equal splitting it across
+	// shards and merging — the parallel-sweep correctness property.
+	rng := xrand.New(13)
+	whole := NewHistogram(64, 2)
+	shards := []*Histogram{NewHistogram(64, 2), NewHistogram(64, 2), NewHistogram(64, 2)}
+	for i := 0; i < 6000; i++ {
+		x := float64(rng.Intn(150)) // exercises overflow too
+		whole.Add(x)
+		shards[i%len(shards)].Add(x)
+	}
+	merged := NewHistogram(64, 2)
+	for _, s := range shards {
+		if err := merged.Merge(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if merged.N() != whole.N() || merged.Overflow() != whole.Overflow() ||
+		merged.Sum() != whole.Sum() || merged.Min() != whole.Min() || merged.Max() != whole.Max() {
+		t.Fatalf("merged summary %v != sequential %v", merged, whole)
+	}
+	for k := 0; k < whole.Buckets(); k++ {
+		if merged.Count(k) != whole.Count(k) {
+			t.Fatalf("bucket %d: merged %d != sequential %d", k, merged.Count(k), whole.Count(k))
+		}
+	}
+	for _, p := range []float64{0.5, 0.95, 0.99} {
+		if merged.Quantile(p) != whole.Quantile(p) {
+			t.Errorf("Quantile(%g): merged %g != sequential %g", p, merged.Quantile(p), whole.Quantile(p))
+		}
+	}
+}
+
+func TestHistogramMergeShapeMismatch(t *testing.T) {
+	a := NewHistogram(10, 1)
+	if err := a.Merge(NewHistogram(20, 1)); err == nil {
+		t.Error("merging different bucket counts should fail")
+	}
+	if err := a.Merge(NewHistogram(10, 2)); err == nil {
+		t.Error("merging different widths should fail")
+	}
+}
+
+func TestHistogramResetAndClone(t *testing.T) {
+	h := NewHistogram(8, 1)
+	h.Add(3)
+	h.Add(100)
+	c := h.Clone()
+	h.Reset()
+	if h.N() != 0 || h.Overflow() != 0 || h.Sum() != 0 || h.Quantile(0.5) != 0 {
+		t.Errorf("reset histogram not empty: %v", h)
+	}
+	if c.N() != 2 || c.Overflow() != 1 {
+		t.Errorf("clone lost data after parent reset: %v", c)
+	}
+	c.Add(5)
+	if h.N() != 0 {
+		t.Error("clone shares storage with parent")
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram(4, 1)
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 || h.Max() != 0 || h.Min() != 0 {
+		t.Errorf("empty histogram should answer zeros: %v", h)
+	}
+}
+
+func TestHistogramBadShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewHistogram(0, 1) should panic")
+		}
+	}()
+	NewHistogram(0, 1)
+}

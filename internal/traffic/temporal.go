@@ -1,0 +1,164 @@
+package traffic
+
+import (
+	"fmt"
+
+	"edn/internal/xrand"
+)
+
+// This file holds the temporally correlated sources used by the queueing
+// simulator (internal/queuesim): unlike the memoryless patterns of
+// traffic.go, these carry state from cycle to cycle, which is exactly
+// what makes queueing delay interesting — bursts fill buffers faster
+// than the mean rate suggests, and a drifting hot spot keeps re-aiming
+// the congestion before queues drain. Both are used by pointer so the
+// per-cycle state and the GenerateInto fast path can live on the value.
+
+// MarkovOnOff is the classical two-state bursty source: each input
+// independently alternates between an ON state, in which it offers a
+// request with probability Rate each cycle, and a silent OFF state. The
+// transitions are memoryless — ON->OFF with probability POff, OFF->ON
+// with probability POn — so burst and idle lengths are geometrically
+// distributed with means 1/POff and 1/POn, and the long-run offered
+// load is Rate * POn/(POn+POff). Initial states are drawn from the
+// stationary distribution, so the stream is bursty from cycle one.
+type MarkovOnOff struct {
+	Rate float64 // request probability while ON (1 = a packet every ON cycle)
+	POn  float64 // OFF -> ON transition probability per cycle
+	POff float64 // ON -> OFF transition probability per cycle
+	Rng  *xrand.Rand
+
+	on []bool // per-input state, sized lazily from the request vector
+}
+
+// Name implements Pattern.
+func (m *MarkovOnOff) Name() string {
+	return fmt.Sprintf("markov-onoff(r=%.3g,pOn=%.3g,pOff=%.3g)", m.Rate, m.POn, m.POff)
+}
+
+// OfferedLoad returns the long-run per-input request probability,
+// Rate * POn/(POn+POff) — the value to compare against a memoryless
+// Uniform source of the same mean load.
+func (m *MarkovOnOff) OfferedLoad() float64 {
+	if m.POn+m.POff == 0 {
+		return 0
+	}
+	return m.Rate * m.POn / (m.POn + m.POff)
+}
+
+// duty is the stationary probability of the ON state.
+func (m *MarkovOnOff) duty() float64 {
+	if m.POn+m.POff == 0 {
+		return 0
+	}
+	return m.POn / (m.POn + m.POff)
+}
+
+// Generate implements Pattern. It draws exactly the same stream as
+// GenerateInto for the same geometry.
+func (m *MarkovOnOff) Generate(inputs, outputs int) []int {
+	dest := make([]int, inputs)
+	m.GenerateInto(dest, outputs)
+	return dest
+}
+
+// GenerateInto implements IntoGenerator. Per input: advance the Markov
+// state, then emit. The draw order (state transition, then emission) is
+// fixed so Generate and GenerateInto are bit-identical.
+func (m *MarkovOnOff) GenerateInto(dest []int, outputs int) {
+	if len(m.on) != len(dest) {
+		m.on = make([]bool, len(dest))
+		duty := m.duty()
+		for i := range m.on {
+			m.on[i] = m.Rng.Bool(duty)
+		}
+	}
+	for i := range dest {
+		if m.on[i] {
+			if m.Rng.Bool(m.POff) {
+				m.on[i] = false
+			}
+		} else if m.Rng.Bool(m.POn) {
+			m.on[i] = true
+		}
+		if m.on[i] && m.Rng.Bool(m.Rate) {
+			dest[i] = m.Rng.Intn(outputs)
+		} else {
+			dest[i] = None
+		}
+	}
+}
+
+// MovingHotSpot is the hotspot-over-time variant of HotSpot: with
+// probability Fraction a request targets the current hot output,
+// otherwise it is uniform; every Period cycles the hot output advances
+// by Stride (mod outputs). A queueing network that rides out a static
+// hot spot by filling the buffers in front of it must re-converge every
+// time the spot moves, so this pattern probes drain behavior, not just
+// steady-state saturation.
+type MovingHotSpot struct {
+	Rate     float64 // per-input offered load
+	Fraction float64 // fraction of requests aimed at the hot output
+	Hot      int     // initial hot output
+	Period   int     // cycles between moves (values < 1 behave as 1)
+	Stride   int     // hot-output advance per move (0 behaves as 1)
+	Rng      *xrand.Rand
+
+	cycle int
+}
+
+// Name implements Pattern.
+func (m *MovingHotSpot) Name() string {
+	return fmt.Sprintf("moving-hotspot(r=%.3g,f=%.3g,period=%d,stride=%d)",
+		m.Rate, m.Fraction, m.Period, m.Stride)
+}
+
+// CurrentHot returns the hot output the next generated cycle will aim
+// at, for a network with the given output count.
+func (m *MovingHotSpot) CurrentHot(outputs int) int {
+	period, stride := m.period(), m.stride()
+	moves := m.cycle / period
+	hot := (m.Hot + moves*stride) % outputs
+	if hot < 0 {
+		hot += outputs
+	}
+	return hot
+}
+
+func (m *MovingHotSpot) period() int {
+	if m.Period < 1 {
+		return 1
+	}
+	return m.Period
+}
+
+func (m *MovingHotSpot) stride() int {
+	if m.Stride == 0 {
+		return 1
+	}
+	return m.Stride
+}
+
+// Generate implements Pattern; the stream is bit-identical to
+// GenerateInto's.
+func (m *MovingHotSpot) Generate(inputs, outputs int) []int {
+	dest := make([]int, inputs)
+	m.GenerateInto(dest, outputs)
+	return dest
+}
+
+// GenerateInto implements IntoGenerator.
+func (m *MovingHotSpot) GenerateInto(dest []int, outputs int) {
+	hot := m.CurrentHot(outputs)
+	for i := range dest {
+		switch {
+		case !m.Rng.Bool(m.Rate):
+			dest[i] = None
+		case m.Rng.Bool(m.Fraction):
+			dest[i] = hot
+		default:
+			dest[i] = m.Rng.Intn(outputs)
+		}
+	}
+	m.cycle++
+}
