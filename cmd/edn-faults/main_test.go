@@ -1,0 +1,153 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRunTableSweep(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-a", "4", "-b", "4", "-c", "2", "-l", "2",
+		"-fractions", "0,0.2", "-cycles", "200", "-warmup", "40", "-shards", "2"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"EDN(4,4,2,2)", "thr/input", "reachable", "p99", "mode=wires"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if got := strings.Count(out, "\n"); got != 4 { // title + header + 2 fraction rows
+		t.Errorf("expected 4 lines, got %d:\n%s", got, out)
+	}
+	if strings.Contains(out, "model") {
+		t.Errorf("table shows the model column without -expected:\n%s", out)
+	}
+}
+
+func TestRunExpectedColumn(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-a", "4", "-b", "4", "-c", "2", "-l", "2",
+		"-fractions", "0", "-cycles", "100", "-warmup", "20", "-shards", "1", "-expected"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "model") {
+		t.Errorf("-expected did not surface the model column:\n%s", sb.String())
+	}
+}
+
+func TestRunCSV(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-a", "4", "-b", "4", "-c", "2", "-l", "2",
+		"-fractions", "0.1", "-cycles", "100", "-warmup", "20", "-shards", "1", "-format", "csv"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("want header + 1 row, got %d lines:\n%s", len(lines), sb.String())
+	}
+	header := strings.Split(lines[0], ",")
+	row := strings.Split(lines[1], ",")
+	if len(header) != len(row) {
+		t.Errorf("csv row has %d fields for %d columns", len(row), len(header))
+	}
+	if header[0] != "fraction" || !strings.Contains(lines[0], "reachable_fraction") {
+		t.Errorf("unexpected csv header %q", lines[0])
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-a", "4", "-b", "4", "-c", "2", "-l", "3",
+		"-fractions", "0,0.3", "-cycles", "150", "-warmup", "30", "-shards", "2",
+		"-mode", "mixed", "-format", "json", "-expected"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report struct {
+		Network string `json:"network"`
+		Mode    string `json:"mode"`
+		Points  []struct {
+			Fraction  float64  `json:"faultFraction"`
+			Thr       float64  `json:"throughputPerCycle"`
+			Reachable float64  `json:"reachableFraction"`
+			Expected  *float64 `json:"expectedThroughput"`
+		} `json:"points"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &report); err != nil {
+		t.Fatalf("bad json: %v\n%s", err, sb.String())
+	}
+	if report.Network != "EDN(4,4,2,3)" || report.Mode != "mixed" || len(report.Points) != 2 {
+		t.Errorf("unexpected report: %+v", report)
+	}
+	if report.Points[0].Thr <= 0 || report.Points[0].Reachable != 1 {
+		t.Errorf("fault-free point looks wrong: %+v", report.Points[0])
+	}
+	if report.Points[0].Expected == nil || *report.Points[0].Expected <= 0 {
+		t.Errorf("-expected missing from json: %+v", report.Points[0])
+	}
+	if report.Points[1].Thr > report.Points[0].Thr {
+		t.Errorf("degradation curve rose: %+v", report.Points)
+	}
+}
+
+func TestRunEveryModePolicyArb(t *testing.T) {
+	for _, mode := range []string{"wires", "switches", "mixed"} {
+		for _, policy := range []string{"drop", "backpressure"} {
+			var sb strings.Builder
+			err := run([]string{"-a", "4", "-b", "4", "-c", "2", "-l", "2",
+				"-fractions", "0.1", "-cycles", "60", "-warmup", "10", "-shards", "1",
+				"-mode", mode, "-policy", policy}, &sb)
+			if err != nil {
+				t.Errorf("mode %s policy %s: %v", mode, policy, err)
+			}
+		}
+	}
+	for _, arb := range []string{"priority", "roundrobin", "random"} {
+		var sb strings.Builder
+		err := run([]string{"-a", "4", "-b", "4", "-c", "2", "-l", "2",
+			"-fractions", "0.1", "-cycles", "60", "-warmup", "10", "-shards", "1", "-arb", arb}, &sb)
+		if err != nil {
+			t.Errorf("arb %s: %v", arb, err)
+		}
+	}
+}
+
+func TestRunShardedDeterminism(t *testing.T) {
+	var a, b strings.Builder
+	args := []string{"-a", "4", "-b", "4", "-c", "2", "-l", "3",
+		"-fractions", "0,0.1,0.3", "-cycles", "300", "-warmup", "60", "-shards", "4", "-format", "csv"}
+	if err := run(args, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(args, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Errorf("sweep not deterministic for fixed seed/shards:\n%s\nvs\n%s", a.String(), b.String())
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	cases := [][]string{
+		{"-fractions", "1.5"},
+		{"-fractions", ""},
+		{"-mode", "gremlins"},
+		{"-policy", "teleport"},
+		{"-format", "xml"},
+		{"-arb", "coinflip"},
+		{"-load", "0"},
+		{"-load", "2"},
+		{"-a", "3"},
+	}
+	for _, args := range cases {
+		var sb strings.Builder
+		if err := run(args, &sb); err == nil {
+			t.Errorf("args %v should fail", args)
+		}
+	}
+}

@@ -14,17 +14,13 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
-	"strconv"
-	"strings"
-	"sync"
 
 	"edn"
-	"edn/internal/switchfab"
+	"edn/internal/cliutil"
 )
 
 func main() {
@@ -34,12 +30,27 @@ func main() {
 	}
 }
 
+// sweepColumns is the report schema: the table shows the headline
+// subset, CSV (and the JSON point struct) carry everything.
+var sweepColumns = []cliutil.Column{
+	{Name: "load", Format: "%8.3f"},
+	{Name: "throughput", Head: "thr/cycle", Format: "%10.2f"},
+	{Name: "accepted_fraction", Head: "accepted", Format: "%9.4f"},
+	{Name: "latency_p50", Head: "p50", Format: "%8.0f"},
+	{Name: "latency_p95", Head: "p95", Format: "%8.0f"},
+	{Name: "latency_p99", Head: "p99", Format: "%8.0f"},
+	{Name: "latency_mean", Head: "mean", Format: "%8.2f"},
+	{Name: "latency_max", CSVOnly: true},
+	{Name: "avg_queued", CSVOnly: true},
+	{Name: "injected", CSVOnly: true},
+	{Name: "refused", Format: "%9d"},
+	{Name: "delivered", CSVOnly: true},
+	{Name: "dropped", Format: "%9d"},
+}
+
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("edn-latency", flag.ContinueOnError)
-	a := fs.Int("a", 64, "hyperbar inputs")
-	b := fs.Int("b", 16, "hyperbar output buckets")
-	c := fs.Int("c", 4, "bucket capacity")
-	l := fs.Int("l", 2, "hyperbar stages")
+	a, b, c, l := cliutil.GeometryFlags(fs, 64, 16, 4, 2)
 	depth := fs.Int("depth", 4, "per-wire FIFO depth (-1 unbounded, 0 unbuffered resubmission)")
 	policy := fs.String("policy", "backpressure", "blocked-packet policy: backpressure, drop")
 	loadsFlag := fs.String("loads", "0.1,0.2,0.3,0.4,0.5,0.6,0.7,0.8,0.9,1.0", "comma-separated offered loads to sweep")
@@ -63,35 +74,11 @@ func run(args []string, w io.Writer) error {
 		return err
 	}
 	qopts := edn.QueueOptions{Depth: *depth}
-	switch *policy {
-	case "backpressure":
-		qopts.Policy = edn.QueueBackpressure
-	case "drop":
-		qopts.Policy = edn.QueueDrop
-	default:
-		return fmt.Errorf("unknown policy %q", *policy)
+	if qopts.Policy, err = cliutil.ParsePolicy(*policy); err != nil {
+		return err
 	}
-	switch *arb {
-	case "priority":
-		// default fused fast path
-	case "roundrobin":
-		qopts.Factory = func() switchfab.Arbiter { return &switchfab.RoundRobinArbiter{} }
-	case "random":
-		// The factory is called lazily from every shard's goroutine, so
-		// the shared seed source must be serialized. Each switch still
-		// gets its own independent stream; with shards > 1 the
-		// stream-to-switch assignment depends on scheduling, so random
-		// arbitration is statistically but not bit-for-bit reproducible.
-		var mu sync.Mutex
-		rng := edn.NewRand(*seed + 0x9e37)
-		qopts.Factory = func() switchfab.Arbiter {
-			mu.Lock()
-			s := rng.Split()
-			mu.Unlock()
-			return switchfab.RandomArbiter{Perm: s.Perm}
-		}
-	default:
-		return fmt.Errorf("unknown arbitration %q", *arb)
+	if qopts.Factory, err = cliutil.ArbiterFactory(*arb, *seed); err != nil {
+		return err
 	}
 	opts := edn.SimOptions{Cycles: *cycles, Warmup: *warmup, Seed: *seed}
 
@@ -99,7 +86,7 @@ func run(args []string, w io.Writer) error {
 		return runDrain(w, cfg, *drain, qopts, opts)
 	}
 
-	loads, err := parseLoads(*loadsFlag)
+	loads, err := cliutil.ParseFloatList(*loadsFlag, 0, 1, "load")
 	if err != nil {
 		return err
 	}
@@ -122,26 +109,21 @@ func run(args []string, w io.Writer) error {
 		return err
 	}
 
+	rows := make([][]any, len(results))
+	for i, r := range results {
+		rows[i] = []any{
+			loads[i], r.Throughput, r.AcceptedFraction,
+			r.LatencyP50, r.LatencyP95, r.LatencyP99, r.LatencyMean, r.LatencyMax,
+			r.AvgQueued, r.Injected, r.Refused, r.Delivered, r.Dropped,
+		}
+	}
 	switch *format {
 	case "table":
 		fmt.Fprintf(w, "%v — %d inputs, %d outputs, depth=%d, policy=%s, traffic=%s\n",
 			cfg, cfg.Inputs(), cfg.Outputs(), *depth, *policy, *pattern)
-		fmt.Fprintf(w, "%8s %10s %9s %8s %8s %8s %8s %9s %9s\n",
-			"load", "thr/cycle", "accepted", "p50", "p95", "p99", "mean", "refused", "dropped")
-		for i, r := range results {
-			fmt.Fprintf(w, "%8.3f %10.2f %9.4f %8.0f %8.0f %8.0f %8.2f %9d %9d\n",
-				loads[i], r.Throughput, r.AcceptedFraction,
-				r.LatencyP50, r.LatencyP95, r.LatencyP99, r.LatencyMean,
-				r.Refused, r.Dropped)
-		}
+		return cliutil.WriteTable(w, sweepColumns, rows)
 	case "csv":
-		fmt.Fprintln(w, "load,throughput,accepted_fraction,latency_p50,latency_p95,latency_p99,latency_mean,latency_max,avg_queued,injected,refused,delivered,dropped")
-		for i, r := range results {
-			fmt.Fprintf(w, "%g,%g,%g,%g,%g,%g,%g,%g,%g,%d,%d,%d,%d\n",
-				loads[i], r.Throughput, r.AcceptedFraction,
-				r.LatencyP50, r.LatencyP95, r.LatencyP99, r.LatencyMean, r.LatencyMax,
-				r.AvgQueued, r.Injected, r.Refused, r.Delivered, r.Dropped)
-		}
+		return cliutil.WriteCSV(w, sweepColumns, rows)
 	case "json":
 		report := sweepReport{
 			Network: cfg.String(),
@@ -169,13 +151,10 @@ func run(args []string, w io.Writer) error {
 				Dropped:          r.Dropped,
 			})
 		}
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		return enc.Encode(report)
+		return cliutil.WriteJSON(w, report)
 	default:
 		return fmt.Errorf("unknown format %q", *format)
 	}
-	return nil
 }
 
 func runDrain(w io.Writer, cfg edn.Config, q int, qopts edn.QueueOptions, opts edn.SimOptions) error {
@@ -192,28 +171,6 @@ func runDrain(w io.Writer, cfg edn.Config, q int, qopts edn.QueueOptions, opts e
 			model.Cycles(), model.PA1, model.J)
 	}
 	return nil
-}
-
-func parseLoads(s string) ([]float64, error) {
-	var loads []float64
-	for _, part := range strings.Split(s, ",") {
-		part = strings.TrimSpace(part)
-		if part == "" {
-			continue
-		}
-		v, err := strconv.ParseFloat(part, 64)
-		if err != nil {
-			return nil, fmt.Errorf("bad load %q: %w", part, err)
-		}
-		if v < 0 || v > 1 {
-			return nil, fmt.Errorf("load %g out of [0,1]", v)
-		}
-		loads = append(loads, v)
-	}
-	if len(loads) == 0 {
-		return nil, fmt.Errorf("no loads to sweep")
-	}
-	return loads, nil
 }
 
 // sweepReport is the machine-readable form of one sweep.

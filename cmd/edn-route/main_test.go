@@ -53,3 +53,57 @@ func TestRunErrors(t *testing.T) {
 		t.Error("expected flag parse error")
 	}
 }
+
+func TestRunCustomGeometry(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-a", "4", "-b", "4", "-c", "2", "-l", "3", "-src", "7", "-dst", "100"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"EDN(4,4,2,3)", "16 inputs", "128 outputs", "8 paths", "route 7 -> 100"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("custom geometry trace missing %q:\n%s", want, out)
+		}
+	}
+	// Every hyperbar stage plus the crossbar appears in the walk.
+	for _, stage := range []string{"stage 1", "stage 2", "stage 3", "crossbar"} {
+		if !strings.Contains(out, stage) {
+			t.Errorf("trace missing %q:\n%s", stage, out)
+		}
+	}
+}
+
+func TestRunChoicesValidation(t *testing.T) {
+	// A wire choice outside [0, c) must be rejected, as must more
+	// choices than hyperbar stages.
+	var sb strings.Builder
+	if err := run([]string{"-src", "0", "-dst", "1", "-choices", "9"}, &sb); err == nil {
+		t.Error("out-of-range wire choice accepted")
+	}
+	if err := run([]string{"-src", "0", "-dst", "1", "-choices", "0,0,0,0,0"}, &sb); err == nil {
+		t.Error("too many wire choices accepted")
+	}
+}
+
+func TestRunSourceRangeError(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-src", "99999", "-dst", "0"}, &sb); err == nil {
+		t.Error("out-of-range source accepted")
+	}
+	if err := run([]string{"-src", "-1", "-dst", "0"}, &sb); err == nil {
+		t.Error("negative source accepted")
+	}
+}
+
+func TestRunReversedOrderDeliversToF(t *testing.T) {
+	// With reversed retirement the physical delivery terminal F(dst)
+	// generally differs from dst; the compensation line must name both.
+	var sb strings.Builder
+	if err := run([]string{"-a", "4", "-b", "4", "-c", "2", "-l", "3", "-src", "0", "-dst", "3", "-order", "reversed"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "maps it back to 3") {
+		t.Errorf("reversed order output missing the compensation target:\n%s", out)
+	}
+}

@@ -101,3 +101,50 @@ func TestRunRejectsBadInputs(t *testing.T) {
 		t.Error("expected flag parse error")
 	}
 }
+
+func TestRunOfferedRateHonored(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-a", "16", "-b", "4", "-c", "4", "-l", "2",
+		"-r", "0.5", "-cycles", "400", "-json"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	var report struct {
+		OfferedRate float64 `json:"offeredRate"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &report); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if report.OfferedRate < 0.45 || report.OfferedRate > 0.55 {
+		t.Errorf("offered rate %g, want ~0.5", report.OfferedRate)
+	}
+}
+
+func TestRunCornerGeometries(t *testing.T) {
+	// The crossbar corner EDN(4,4,1,1) and the delta corner EDN(4,4,1,2)
+	// exercise the degenerate switch shapes end to end.
+	for _, args := range [][]string{
+		{"-a", "4", "-b", "4", "-c", "1", "-l", "1", "-cycles", "30"},
+		{"-a", "4", "-b", "4", "-c", "1", "-l", "2", "-cycles", "30"},
+	} {
+		var sb strings.Builder
+		if err := run(args, &sb); err != nil {
+			t.Errorf("args %v: %v", args, err)
+		} else if !strings.Contains(sb.String(), "measured") {
+			t.Errorf("args %v produced no measurement:\n%s", args, sb.String())
+		}
+	}
+}
+
+func TestRunSeedDeterminism(t *testing.T) {
+	args := []string{"-a", "16", "-b", "4", "-c", "4", "-l", "2", "-cycles", "100", "-seed", "7"}
+	var a, b strings.Builder
+	if err := run(args, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(args, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Errorf("same seed, different output:\n%s\nvs\n%s", a.String(), b.String())
+	}
+}

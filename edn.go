@@ -5,6 +5,7 @@ import (
 	"edn/internal/core"
 	"edn/internal/design"
 	"edn/internal/dilated"
+	"edn/internal/faults"
 	"edn/internal/mimd"
 	"edn/internal/netlist"
 	"edn/internal/queuesim"
@@ -297,6 +298,104 @@ type Histogram = stats.Histogram
 
 // NewHistogram returns a histogram of `buckets` bins of the given width.
 func NewHistogram(buckets int, width float64) *Histogram { return stats.NewHistogram(buckets, width) }
+
+// ---------------------------------------------------------------------------
+// Fault injection and degraded-mode operation
+
+// FaultSet is a declarative fault specification: dead switches, dead
+// interstage wires and dead switch output ports. The zero value is the
+// fault-free network.
+type FaultSet = faults.Set
+
+// FaultSwitchID names one switch (1-based stage; stage l+1 is the
+// output crossbars).
+type FaultSwitchID = faults.SwitchID
+
+// FaultWireID names one wire at a stage boundary (boundary 0 is the
+// network inputs).
+type FaultWireID = faults.WireID
+
+// FaultPortID names one switch output port; on the crossbar stage it is
+// a network output terminal.
+type FaultPortID = faults.PortID
+
+// FaultMasks is a compiled fault set: the per-stage availability rows
+// the engines route around. Compile once, share freely.
+type FaultMasks = faults.Masks
+
+// FaultMode selects the failing component population of a sampler.
+type FaultMode = faults.Mode
+
+// FaultWires kills interstage wires (bucket multipath territory);
+// FaultSwitches kills whole switches; FaultMixed does both.
+const (
+	FaultWires    = faults.WireFaults
+	FaultSwitches = faults.SwitchFaults
+	FaultMixed    = faults.MixedFaults
+)
+
+// ParseFaultMode maps a flag value ("wires", "switches", "mixed") onto
+// a FaultMode.
+func ParseFaultMode(s string) (FaultMode, error) { return faults.ParseMode(s) }
+
+// CompileFaults validates a fault set against cfg and folds it into
+// availability masks.
+func CompileFaults(cfg Config, set FaultSet) (*FaultMasks, error) { return faults.Compile(cfg, set) }
+
+// BernoulliFaults samples each component of the mode's population dead
+// independently with probability p.
+func BernoulliFaults(cfg Config, mode FaultMode, p float64, rng *Rand) FaultSet {
+	return faults.Bernoulli(cfg, mode, p, rng)
+}
+
+// BlastFaults kills the switches within radius of center in one stage —
+// the correlated board/cabinet failure pattern.
+func BlastFaults(cfg Config, stage, center, radius int) (FaultSet, error) {
+	return faults.Blast(cfg, stage, center, radius)
+}
+
+// FaultPlan is a nested family of fault sets: At(f1) is a subset of
+// At(f2) whenever f1 <= f2, so sweeps degrade one fixed failure story.
+type FaultPlan = faults.Plan
+
+// NewFaultPlan draws the per-component severities for cfg.
+func NewFaultPlan(cfg Config, mode FaultMode, rng *Rand) *FaultPlan {
+	return faults.NewPlan(cfg, mode, rng)
+}
+
+// ExpectedDegradedBandwidth evaluates the per-wire generalization of
+// the Theorem 3 recursion over the masked topology: the analytic
+// prediction of delivered requests per cycle under uniform traffic at
+// rate r. With an empty compiled mask it equals Bandwidth(cfg, r); m
+// must come from CompileFaults (a nil mask has no topology to walk).
+func ExpectedDegradedBandwidth(m *FaultMasks, r float64) float64 {
+	return faults.ExpectedUniformBandwidth(m, r)
+}
+
+// NewNetworkWithFaults builds a cycle-level network that grants only
+// live wires: requests route around dead components while any sibling
+// bucket wire survives, and are blocked where none does. A nil or
+// empty mask is exactly NewNetwork. The queueing engine takes the same
+// masks via QueueOptions.Faults.
+func NewNetworkWithFaults(cfg Config, factory ArbiterFactory, m *FaultMasks) (*Network, error) {
+	return core.NewNetworkWithFaults(cfg, factory, m)
+}
+
+// AvailabilityOptions configures a degraded-mode sweep (fault-fraction
+// axis, failing population, offered load).
+type AvailabilityOptions = simulate.AvailabilityOptions
+
+// AvailabilityResult is one point of the degradation curve: delivered
+// bandwidth, reachability and latency tail at one fault fraction.
+type AvailabilityResult = simulate.AvailabilityResult
+
+// AvailabilitySweep measures the graceful-degradation curve: one
+// AvailabilityResult per fault fraction, each averaged over parallel
+// shards that grow nested fault plans under identical traffic replays.
+// shards <= 0 selects GOMAXPROCS; src nil selects uniform traffic.
+func AvailabilitySweep(cfg Config, aopts AvailabilityOptions, src LoadPattern, qopts QueueOptions, opts SimOptions, shards int) ([]AvailabilityResult, error) {
+	return simulate.AvailabilitySweep(cfg, aopts, src, qopts, opts, shards)
+}
 
 // ---------------------------------------------------------------------------
 // SIMD clustering (Section 5)

@@ -270,3 +270,75 @@ func TestFigureChartsRenderAndExport(t *testing.T) {
 		}
 	}
 }
+
+// TestDegradationCurveShape pins the PR 3 headline experiment (the
+// shipped examples/degraded run, same parameters): under rising
+// interstage-wire fault fractions the delivered bandwidth of both
+// networks decays monotonically, and the expanded EDN(4,4,2,3) —
+// two wires per bucket, 8 paths per pair — strictly dominates its
+// single-path delta corner EDN(4,4,1,2) in per-input throughput at
+// every fraction, fault-free included. Nested per-shard fault plans
+// with identical traffic replays make the sweep deterministic, so
+// these are exact assertions, not statistical ones.
+func TestDegradationCurveShape(t *testing.T) {
+	expanded, err := New(4, 4, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta, err := New(4, 4, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aopts := AvailabilityOptions{
+		Fractions: []float64{0, 0.02, 0.05, 0.1, 0.2, 0.3, 0.5},
+		Mode:      FaultWires,
+		Load:      1,
+	}
+	qopts := QueueOptions{Depth: 4, Policy: QueueDrop}
+	opts := SimOptions{Cycles: 4000, Warmup: 1000, Seed: 1}
+	const shards = 4
+
+	sweep := func(cfg Config) []AvailabilityResult {
+		res, err := AvailabilitySweep(cfg, aopts, nil, qopts, opts, shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	exp, del := sweep(expanded), sweep(delta)
+
+	for name, res := range map[string][]AvailabilityResult{"expanded": exp, "delta": del} {
+		for i := 1; i < len(res); i++ {
+			if res[i].Throughput > res[i-1].Throughput {
+				t.Errorf("%s: delivered bandwidth rose %.3f -> %.3f at fraction %g",
+					name, res[i-1].Throughput, res[i].Throughput, res[i].FaultFraction)
+			}
+			if res[i].ReachableFraction > res[i-1].ReachableFraction {
+				t.Errorf("%s: reachability rose at fraction %g", name, res[i].FaultFraction)
+			}
+		}
+	}
+	for i := range exp {
+		if exp[i].ThroughputPerInput <= del[i].ThroughputPerInput {
+			t.Errorf("fraction %g: expanded %.3f/input does not dominate delta corner %.3f/input",
+				exp[i].FaultFraction, exp[i].ThroughputPerInput, del[i].ThroughputPerInput)
+		}
+		// Reachability: the expanded network has ~7x the wire population,
+		// so at tiny fractions it absorbs more absolute faults and can
+		// momentarily trail; from 10% on, multipath must dominate.
+		if exp[i].FaultFraction >= 0.1 && exp[i].ReachableFraction < del[i].ReachableFraction {
+			t.Errorf("fraction %g: expanded reaches %.3f of outputs, delta %.3f — multipath should not reach less",
+				exp[i].FaultFraction, exp[i].ReachableFraction, del[i].ReachableFraction)
+		}
+	}
+	// The headline numbers EXPERIMENTS.md quotes: at a 20% wire fault
+	// fraction the expanded network still delivers more per input than
+	// the delta corner does fault-free.
+	if exp[4].FaultFraction != 0.2 {
+		t.Fatalf("fraction axis shifted: %g", exp[4].FaultFraction)
+	}
+	if exp[4].ThroughputPerInput <= del[0].ThroughputPerInput {
+		t.Errorf("expanded at 20%% faults (%.3f/input) should beat the fault-free delta corner (%.3f/input)",
+			exp[4].ThroughputPerInput, del[0].ThroughputPerInput)
+	}
+}

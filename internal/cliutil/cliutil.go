@@ -1,0 +1,199 @@
+// Package cliutil holds the flag-parsing and report-writing helpers the
+// cmd/ sweep tools share: geometry flags, comma-separated float axes,
+// policy/arbitration selection, and the aligned-table / CSV / JSON
+// writers. Each command keeps its own column list (a table is a
+// statement about what matters for that sweep) but renders it through
+// one implementation, so output conventions — header alignment, CSV
+// field naming, JSON indentation — stay identical across tools.
+package cliutil
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+
+	"edn/internal/core"
+	"edn/internal/queuesim"
+	"edn/internal/switchfab"
+	"edn/internal/xrand"
+)
+
+// GeometryFlags registers the four EDN(a,b,c,l) flags with the given
+// defaults and returns their destinations.
+func GeometryFlags(fs *flag.FlagSet, a, b, c, l int) (pa, pb, pc, pl *int) {
+	pa = fs.Int("a", a, "hyperbar inputs")
+	pb = fs.Int("b", b, "hyperbar output buckets")
+	pc = fs.Int("c", c, "bucket capacity")
+	pl = fs.Int("l", l, "hyperbar stages")
+	return pa, pb, pc, pl
+}
+
+// ParseFloatList parses a comma-separated list of floats, requiring
+// every value in [lo, hi] and at least one value. noun names the axis
+// in error messages ("load", "fraction").
+func ParseFloatList(s string, lo, hi float64, noun string) ([]float64, error) {
+	var vals []float64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(part, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad %s %q: %w", noun, part, err)
+		}
+		if v < lo || v > hi {
+			return nil, fmt.Errorf("%s %g out of [%g,%g]", noun, v, lo, hi)
+		}
+		vals = append(vals, v)
+	}
+	if len(vals) == 0 {
+		return nil, fmt.Errorf("no %ss to sweep", noun)
+	}
+	return vals, nil
+}
+
+// ParsePolicy maps a -policy flag value onto the queueing discipline.
+func ParsePolicy(name string) (queuesim.Policy, error) {
+	switch name {
+	case "backpressure":
+		return queuesim.Backpressure, nil
+	case "drop":
+		return queuesim.Drop, nil
+	default:
+		return 0, fmt.Errorf("unknown policy %q (want backpressure or drop)", name)
+	}
+}
+
+// ArbiterFactory maps an -arb flag value onto a switch-arbiter factory;
+// nil selects the fused priority fast path. The random factory draws
+// per-switch streams from one seed source under a mutex, so it is safe
+// to call lazily from shard goroutines; with more than one shard the
+// stream-to-switch assignment depends on scheduling, making random
+// arbitration statistically but not bit-for-bit reproducible.
+func ArbiterFactory(name string, seed uint64) (core.ArbiterFactory, error) {
+	switch name {
+	case "priority":
+		return nil, nil
+	case "roundrobin":
+		return func() switchfab.Arbiter { return &switchfab.RoundRobinArbiter{} }, nil
+	case "random":
+		var mu sync.Mutex
+		rng := xrand.New(seed + 0x9e37)
+		return func() switchfab.Arbiter {
+			mu.Lock()
+			s := rng.Split()
+			mu.Unlock()
+			return switchfab.RandomArbiter{Perm: s.Perm}
+		}, nil
+	default:
+		return nil, fmt.Errorf("unknown arbitration %q (want priority, roundrobin or random)", name)
+	}
+}
+
+// Column describes one value column of a sweep report. Name is the CSV
+// header field; Head overrides it for the aligned table (tables
+// abbreviate, CSV spells out). Format is the table cell verb — its
+// leading width also pads the header — and CSVOnly columns carry data
+// too detailed for the table.
+type Column struct {
+	Name    string
+	Head    string
+	Format  string
+	CSVOnly bool
+}
+
+func (c Column) head() string {
+	if c.Head != "" {
+		return c.Head
+	}
+	return c.Name
+}
+
+// width extracts the leading field width of the column's format verb
+// ("%10.2f" -> 10) for header alignment.
+func (c Column) width() int {
+	w := 0
+	for _, r := range strings.TrimPrefix(c.Format, "%") {
+		if r < '0' || r > '9' {
+			break
+		}
+		w = w*10 + int(r-'0')
+	}
+	return w
+}
+
+// WriteTable renders the non-CSVOnly columns as an aligned table: one
+// header line, one line per row. Rows carry one cell per column of
+// cols, CSVOnly ones included (they are skipped here and used by
+// WriteCSV), so a command builds each row exactly once.
+func WriteTable(w io.Writer, cols []Column, rows [][]any) error {
+	var sb strings.Builder
+	for _, c := range cols {
+		if c.CSVOnly {
+			continue
+		}
+		if sb.Len() > 0 {
+			sb.WriteByte(' ')
+		}
+		fmt.Fprintf(&sb, "%*s", c.width(), c.head())
+	}
+	if _, err := fmt.Fprintln(w, sb.String()); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		if len(row) != len(cols) {
+			return fmt.Errorf("cliutil: row has %d cells for %d columns", len(row), len(cols))
+		}
+		sb.Reset()
+		for i, c := range cols {
+			if c.CSVOnly {
+				continue
+			}
+			if sb.Len() > 0 {
+				sb.WriteByte(' ')
+			}
+			fmt.Fprintf(&sb, c.Format, row[i])
+		}
+		if _, err := fmt.Fprintln(w, sb.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSV renders every column: a header of the Names, then %v-encoded
+// cells (floats print as %g, integers in decimal).
+func WriteCSV(w io.Writer, cols []Column, rows [][]any) error {
+	names := make([]string, len(cols))
+	for i, c := range cols {
+		names[i] = c.Name
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(names, ",")); err != nil {
+		return err
+	}
+	cells := make([]string, len(cols))
+	for _, row := range rows {
+		if len(row) != len(cols) {
+			return fmt.Errorf("cliutil: row has %d cells for %d columns", len(row), len(cols))
+		}
+		for i, v := range row {
+			cells[i] = fmt.Sprintf("%v", v)
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(cells, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON renders v with the cmd-wide two-space indentation.
+func WriteJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"math"
 
+	"edn/internal/faults"
 	"edn/internal/switchfab"
 	"edn/internal/topology"
 )
@@ -60,6 +61,14 @@ type Network struct {
 	maskB      int32     // cfg.B - 1
 	maskC      int32     // cfg.C - 1
 
+	// Fault availability, immutable after NewNetworkWithFaults. liveIn
+	// masks the network inputs; live[s-1] masks stage s's output labels.
+	// nil slices mean fully live, and every unfaulted stage keeps the
+	// original kernels, so a fault-free network is bit-for-bit (and
+	// instruction-for-instruction) identical to one built without masks.
+	liveIn []bool
+	live   [][]bool
+
 	// Scratch reused across cycles. RouteCycleInto owns these; nothing
 	// here survives into caller-visible state except via explicit copies.
 	lineOwner []int   // wire -> input currently holding it, or NoRequest
@@ -92,6 +101,15 @@ func newStageScratch(cfg topology.Config) stageScratch {
 // NewNetwork builds a network for cfg. A nil factory selects the paper's
 // priority arbitration.
 func NewNetwork(cfg topology.Config, factory ArbiterFactory) (*Network, error) {
+	return NewNetworkWithFaults(cfg, factory, nil)
+}
+
+// NewNetworkWithFaults builds a network that routes around the
+// components disabled by m (see internal/faults): grants only go to
+// live candidate wires, a request whose whole bucket is dead is blocked
+// at that stage, and a request arriving on a dead input is blocked at
+// stage 1. A nil or empty mask is exactly NewNetwork.
+func NewNetworkWithFaults(cfg topology.Config, factory ArbiterFactory, m *faults.Masks) (*Network, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -133,8 +151,16 @@ func NewNetwork(cfg topology.Config, factory ArbiterFactory) (*Network, error) {
 	n.maskB = int32(cfg.B - 1)
 	n.maskC = int32(cfg.C - 1)
 	n.scratch = newStageScratch(cfg)
+	var err error
+	if n.liveIn, n.live, err = m.EngineRows(cfg); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
 	return n, nil
 }
+
+// Faulted reports whether the network was built with a non-empty fault
+// mask.
+func (n *Network) Faulted() bool { return n.liveIn != nil || n.live != nil }
 
 // Config returns the network's configuration.
 func (n *Network) Config() topology.Config { return n.cfg }
@@ -246,8 +272,16 @@ func (n *Network) RouteCycleInto(dest []int, outcomes []Outcome) (CycleStats, er
 		if d < 0 || d >= outputs {
 			return CycleStats{}, fmt.Errorf("core: input %d requests output %d out of range [0,%d)", i, d, outputs)
 		}
-		line[i] = i
 		stats.Offered++
+		if n.liveIn != nil && !n.liveIn[i] {
+			// The request enters on a severed input wire (or a dead
+			// stage-1 switch): blocked at stage 1 before any arbitration.
+			line[i] = NoRequest
+			outcomes[i] = Outcome{Output: NoRequest, BlockedStage: 1}
+			stats.Blocked[0]++
+			continue
+		}
+		line[i] = i
 		v := int32(d >> n.logC)
 		for row := (cfg.L - 1) * inputs; row >= 0; row -= inputs {
 			tags[row+i] = v & n.maskB
@@ -277,7 +311,7 @@ func (n *Network) RouteCycleInto(dest []int, outcomes []Outcome) (CycleStats, er
 		if err != nil {
 			return CycleStats{}, err
 		}
-		stats.Blocked[s-1] = blocked
+		stats.Blocked[s-1] += blocked
 		stats.Delivered += delivered
 	}
 	return stats, nil
@@ -292,6 +326,11 @@ func (n *Network) RouteCycleInto(dest []int, outcomes []Outcome) (CycleStats, er
 // stage share no wires or arbitration state, so disjoint ranges may run
 // concurrently as long as each goroutine brings its own scratch.
 func (n *Network) routeStage(stage, lo, hi int, outcomes []Outcome, sc *stageScratch) (blocked, delivered int, err error) {
+	if n.live != nil {
+		if live := n.live[stage-1]; live != nil {
+			return n.routeStageMasked(stage, lo, hi, outcomes, sc, live)
+		}
+	}
 	cfg := n.cfg
 	inputs := cfg.Inputs()
 	isCrossbar := stage == cfg.L+1
@@ -398,6 +437,107 @@ func (n *Network) routeStage(stage, lo, hi int, outcomes []Outcome, sc *stageScr
 				line[owner] = int(tab[sw*bc+o])
 			default: // identity interstage (the last hyperbar stage)
 				line[owner] = sw*bc + o
+			}
+		}
+	}
+	return blocked, delivered, nil
+}
+
+// routeStageMasked is the degraded-mode stage kernel, taken only for
+// stages whose availability row is non-nil: the bucket scan skips dead
+// output wires (a dead wire is unusable forever, so it is consumed from
+// the cursor exactly once), and a request whose bucket has no live wire
+// left is blocked at this stage. It remains a fused single pass with no
+// allocations; unfaulted stages of the same network never reach it, so
+// the empty mask costs nothing.
+func (n *Network) routeStageMasked(stage, lo, hi int, outcomes []Outcome, sc *stageScratch, live []bool) (blocked, delivered int, err error) {
+	cfg := n.cfg
+	inputs := cfg.Inputs()
+	isCrossbar := stage == cfg.L+1
+	width, buckets, capacity := cfg.A, cfg.B, cfg.C
+	var tab []int32
+	bc := cfg.B * cfg.C
+	if isCrossbar {
+		// The crossbar's stage-local output label is sw*c + port, so the
+		// same outBase + d*capacity + k addressing serves both switch
+		// kinds (capacity 1 makes k always 0).
+		width, buckets, capacity = cfg.C, cfg.C, 1
+		bc = cfg.C
+	} else {
+		tab = n.gammaTab[stage-1]
+	}
+	tags := n.tags[(stage-1)*inputs : stage*inputs]
+	lineOwner := n.lineOwner
+	line := n.line
+	used := sc.route.Used[:buckets]
+	digits := sc.digits[:width]
+
+	for sw := lo; sw < hi; sw++ {
+		base := sw * width
+		outBase := sw * bc
+		// Arbitration order: natural for the fused priority default,
+		// otherwise from the switch's arbiter — consulted only when the
+		// switch is busy, so stateful arbiters advance exactly as they do
+		// on the unmasked path.
+		var order []int
+		if !n.fastPriority {
+			busy := false
+			for p := 0; p < width; p++ {
+				owner := lineOwner[base+p]
+				if owner == NoRequest {
+					digits[p] = switchfab.Idle
+					continue
+				}
+				busy = true
+				digits[p] = int(tags[owner])
+			}
+			if !busy {
+				continue
+			}
+			switch a := n.arbiter(stage, sw).(type) {
+			case switchfab.PriorityArbiter:
+				// natural order
+			case switchfab.InPlaceArbiter:
+				order = sc.route.Order[:width]
+				a.OrderInto(order)
+			default:
+				order = a.Order(width)
+			}
+		}
+		for i := range used {
+			used[i] = 0
+		}
+		for idx := 0; idx < width; idx++ {
+			p := idx
+			if order != nil {
+				p = order[idx]
+			}
+			owner := lineOwner[base+p]
+			if owner == NoRequest {
+				continue
+			}
+			d := int(tags[owner])
+			k := used[d]
+			for k < capacity && !live[outBase+d*capacity+k] {
+				k++
+			}
+			if k == capacity {
+				used[d] = capacity
+				line[owner] = NoRequest
+				outcomes[owner] = Outcome{Output: NoRequest, BlockedStage: stage}
+				blocked++
+				continue
+			}
+			o := d*capacity + k
+			used[d] = k + 1
+			switch {
+			case isCrossbar:
+				outcomes[owner] = Outcome{Output: outBase + o}
+				delivered++
+			case tab != nil:
+				line[owner] = int(tab[outBase+o])
+			default: // identity interstage (the last hyperbar stage)
+				line[owner] = outBase + o
 			}
 		}
 	}

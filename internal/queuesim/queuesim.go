@@ -47,6 +47,7 @@ import (
 	"math"
 
 	"edn/internal/core"
+	"edn/internal/faults"
 	"edn/internal/stats"
 	"edn/internal/switchfab"
 	"edn/internal/topology"
@@ -100,6 +101,15 @@ type Options struct {
 	// top quantiles toward the maximum.
 	LatencyBuckets     int
 	LatencyBucketWidth float64
+	// Faults disables network components (see internal/faults): packets
+	// only advance onto live wires, injections at dead inputs are
+	// refused at the source, and a head-of-line packet whose bucket has
+	// no live wire left waits (Backpressure) or dies (Drop). A packet
+	// addressed to a dead output terminal can never retire — under
+	// Backpressure it parks at the crossbar head forever, so degraded-
+	// mode measurements normally pair faults with Drop. Nil or empty
+	// means fully live and changes nothing.
+	Faults *faults.Masks
 }
 
 func (o Options) withDefaults() Options {
@@ -209,6 +219,10 @@ type Network struct {
 	maskB    uint32
 	maskC    uint32
 
+	// Fault availability (nil = fully live); see Options.Faults.
+	liveIn []bool
+	live   [][]bool // [stage-1] stage-local output label availability
+
 	factory      core.ArbiterFactory
 	fastPriority bool
 	arbiters     [][]switchfab.Arbiter // [stage-1][switch], lazily built
@@ -260,10 +274,16 @@ func New(cfg topology.Config, opts Options) (*Network, error) {
 	if n.factory == nil {
 		n.factory = core.PriorityArbiters
 	}
+	var rowErr error
+	if n.liveIn, n.live, rowErr = opts.Faults.EngineRows(cfg); rowErr != nil {
+		return nil, fmt.Errorf("queuesim: %w", rowErr)
+	}
 
 	if opts.Depth == 0 {
-		// The unbuffered corner delegates routing to the core engine.
-		net, err := core.NewNetwork(cfg, opts.Factory)
+		// The unbuffered corner delegates routing to the core engine
+		// (masks included; dead-input refusal happens here at the source,
+		// so core's own input masking never fires).
+		net, err := core.NewNetworkWithFaults(cfg, opts.Factory, opts.Faults)
 		if err != nil {
 			return nil, err
 		}
@@ -368,9 +388,12 @@ func (n *Network) ResetLatency() { n.lat.Reset() }
 
 // InputFree reports whether input i can accept an injection this cycle:
 // its stage-1 FIFO has room (pipelined) or its in-flight slot is empty
-// (unbuffered). Closed-loop drivers poll it to offer exactly when the
-// network can accept.
+// (unbuffered). A dead input is never free. Closed-loop drivers poll it
+// to offer exactly when the network can accept.
 func (n *Network) InputFree(i int) bool {
+	if n.liveIn != nil && !n.liveIn[i] {
+		return false
+	}
 	if n.opts.Depth == 0 {
 		return n.pending[i] == NoRequest
 	}
@@ -414,6 +437,10 @@ func (n *Network) Cycle(dest []int) (CycleStats, error) {
 				continue
 			}
 			cs.Injected++
+			if n.liveIn != nil && !n.liveIn[i] {
+				cs.Refused++ // severed input wire: refused at the source
+				continue
+			}
 			r := &n.rings[i]
 			if !r.hasSpace(depth) {
 				cs.Refused++
@@ -478,11 +505,19 @@ func (n *Network) advanceStage(s int, cs *CycleStats) {
 	var shift uint
 	var bc int
 	if isCrossbar {
+		// bc = c makes outBase + d the crossbar's stage-local output
+		// label (the network output terminal), which is how the fault
+		// row indexes it; the unmasked paths never read outBase here.
 		width, buckets, capacity = cfg.C, cfg.C, 1
+		bc = cfg.C
 	} else {
 		tab = n.gammaTab[s-1]
 		shift = n.shift[s-1]
 		bc = cfg.B * cfg.C
+	}
+	var live []bool
+	if n.live != nil {
+		live = n.live[s-1]
 	}
 	inBase := n.base[s-1]
 	var outRings []ring
@@ -514,7 +549,7 @@ func (n *Network) advanceStage(s int, cs *CycleStats) {
 				} else {
 					d = int((uint32(pkt) >> shift) & n.maskB)
 				}
-				if !n.advancePacket(r, pkt, d, sw*bc, capacity, isCrossbar, depth, tab, outRings, cs) && drop {
+				if !n.advancePacket(r, pkt, d, sw*bc, capacity, isCrossbar, depth, tab, outRings, live, cs) && drop {
 					r.pop()
 					n.queued--
 					cs.Dropped++
@@ -572,7 +607,7 @@ func (n *Network) advanceStage(s int, cs *CycleStats) {
 				continue
 			}
 			r := &n.rings[swIn+p]
-			if !n.advancePacket(r, r.peek(), d, sw*bc, capacity, isCrossbar, depth, tab, outRings, cs) && drop {
+			if !n.advancePacket(r, r.peek(), d, sw*bc, capacity, isCrossbar, depth, tab, outRings, live, cs) && drop {
 				r.pop()
 				n.queued--
 				cs.Dropped++
@@ -584,14 +619,18 @@ func (n *Network) advanceStage(s int, cs *CycleStats) {
 
 // advancePacket tries to move the head packet of r (destination digit
 // d) through its switch: at the crossbar it retires on output bucket d,
-// at a hyperbar it takes the first bucket-d wire whose downstream FIFO
-// has room, crossing the interstage table tab (nil = identity) into the
-// boundary FIFOs outRings. Each output wire carries at most one packet
-// per cycle — used counts both grants and wires skipped as full, so
-// every wire is considered at most once. Returns false if the packet
-// cannot advance this cycle.
-func (n *Network) advancePacket(r *ring, pkt uint64, d, outBase, capacity int, isCrossbar bool, depth int, tab []int32, outRings []ring, cs *CycleStats) bool {
+// at a hyperbar it takes the first *live* bucket-d wire whose
+// downstream FIFO has room, crossing the interstage table tab (nil =
+// identity) into the boundary FIFOs outRings. Each output wire carries
+// at most one packet per cycle — used counts grants, wires skipped as
+// full and dead wires alike, so every wire is considered at most once.
+// Returns false if the packet cannot advance this cycle (a packet aimed
+// at a dead output terminal, or at a fully dead bucket, never can).
+func (n *Network) advancePacket(r *ring, pkt uint64, d, outBase, capacity int, isCrossbar bool, depth int, tab []int32, outRings []ring, live []bool, cs *CycleStats) bool {
 	if isCrossbar {
+		if live != nil && !live[outBase+d] {
+			return false
+		}
 		if n.used[d] != 0 {
 			return false
 		}
@@ -603,6 +642,9 @@ func (n *Network) advancePacket(r *ring, pkt uint64, d, outBase, capacity int, i
 	for int(n.used[d]) < capacity {
 		o := outBase + d*capacity + int(n.used[d])
 		n.used[d]++
+		if live != nil && !live[o] {
+			continue // dead wire: permanently unusable, skip it
+		}
 		down := o
 		if tab != nil {
 			down = int(tab[o])
@@ -651,6 +693,11 @@ func (n *Network) cycleUnbuffered(dest []int, cs *CycleStats) error {
 			continue
 		}
 		cs.Injected++
+		if n.liveIn != nil && !n.liveIn[i] {
+			cs.Refused++ // severed input wire: refused at the source
+			n.destBuf[i] = NoRequest
+			continue
+		}
 		n.pending[i] = d
 		n.pendAt[i] = n.now
 		n.queued++

@@ -1,0 +1,260 @@
+package simulate
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"edn/internal/faults"
+	"edn/internal/queuesim"
+	"edn/internal/stats"
+	"edn/internal/topology"
+	"edn/internal/xrand"
+)
+
+// AvailabilityOptions configures a degraded-mode sweep: which component
+// population fails, how severely, and under what offered load the
+// surviving network is measured.
+type AvailabilityOptions struct {
+	// Fractions is the fault-fraction axis (each component of the mode's
+	// population dies with this marginal probability). Required.
+	Fractions []float64
+	// Mode selects the failing population (default WireFaults, the
+	// regime where Theorem 2's bucket multipath pays off directly).
+	Mode faults.Mode
+	// Load is the offered load per input during measurement (default 1:
+	// saturation, where degradation is starkest).
+	Load float64
+	// WithExpected also evaluates the analytic per-wire degradation
+	// recursion (faults.ExpectedUniformBandwidth) on every sampled fault
+	// set. The recursion models the memoryless circuit-switched cycle,
+	// so it is exact-model for Depth 0/1 Drop and an optimistic bound
+	// for buffered configurations. It is O(switch width^2 * wires) per
+	// sample — cheap for the geometries this repository sweeps, but off
+	// by default.
+	WithExpected bool
+}
+
+func (o AvailabilityOptions) withDefaults() (AvailabilityOptions, error) {
+	if len(o.Fractions) == 0 {
+		return o, fmt.Errorf("simulate: availability sweep needs at least one fault fraction")
+	}
+	for _, f := range o.Fractions {
+		if f < 0 || f > 1 {
+			return o, fmt.Errorf("simulate: fault fraction %g out of [0,1]", f)
+		}
+	}
+	if o.Load <= 0 {
+		o.Load = 1
+	}
+	return o, nil
+}
+
+// AvailabilityResult is one point of the degradation curve: the faulted
+// network's delivered bandwidth, reachability and latency tail at one
+// fault fraction, averaged over the sweep's independent shard samples.
+type AvailabilityResult struct {
+	Config        topology.Config
+	FaultFraction float64
+	Mode          faults.Mode
+	Depth         int
+	Policy        queuesim.Policy
+	Cycles        int // measured cycles summed across shards
+	Shards        int
+
+	// Mean fault census over the shard samples.
+	DeadSwitches float64
+	DeadWires    float64
+	// ReachableFraction is the mean fraction of output terminals still
+	// connected to at least one live input; LiveInputFraction the mean
+	// fraction of inputs that can still inject.
+	ReachableFraction float64
+	LiveInputFraction float64
+
+	// Packet counters over the measurement window, summed across shards.
+	Injected  int64
+	Refused   int64
+	Delivered int64
+	Dropped   int64
+
+	// OfferedRate is offered packets per input per cycle; Throughput is
+	// delivered packets per cycle (ThroughputPerInput normalizes by the
+	// full input count, dead inputs included — the machine's view);
+	// AcceptedFraction is delivered over offered.
+	OfferedRate        float64
+	Throughput         float64
+	ThroughputPerInput float64
+	AcceptedFraction   float64
+
+	// Latency quantiles in cycles over packets retired in the window.
+	LatencyMean float64
+	LatencyP50  float64
+	LatencyP95  float64
+	LatencyP99  float64
+	LatencyMax  float64
+	// ExpectedThroughput is the analytic recursion's prediction (mean
+	// over shard samples); zero unless AvailabilityOptions.WithExpected.
+	ExpectedThroughput float64
+	// Histogram is the full merged latency distribution.
+	Histogram *stats.Histogram
+}
+
+// String renders the headline numbers.
+func (r AvailabilityResult) String() string {
+	return fmt.Sprintf("%v %v f=%.3f: thr=%.2f/cycle (%.3f/input) reach=%.3f p99=%.0f",
+		r.Config, r.Mode, r.FaultFraction, r.Throughput, r.ThroughputPerInput,
+		r.ReachableFraction, r.LatencyP99)
+}
+
+// AvailabilitySweep measures one AvailabilityResult per fault fraction:
+// the graceful-degradation curve of a network as components die. Each
+// shard owns one nested fault Plan — rising fractions grow one fixed
+// failure story per shard instead of resampling the world, and the
+// traffic stream is replayed identically at every fraction — so the
+// sweep is a paired comparison and the delivered-bandwidth curve
+// degrades monotonically up to Monte-Carlo noise. Shards are fully
+// independent runs (own network, own fault sample, own traffic source)
+// executed in parallel and merged exactly, the run-level pattern of
+// SaturationSweep; results are deterministic for a fixed (seed, shards)
+// pair. shards <= 0 selects GOMAXPROCS; src nil selects uniform iid
+// traffic at aopts.Load.
+//
+// qopts picks the engine regime. Fault sets that kill output terminals
+// (SwitchFaults/MixedFaults reaching the crossbar stage) pair naturally
+// with the Drop policy: under Backpressure a packet addressed to a dead
+// terminal parks at the crossbar head forever and head-of-line blocks
+// everything behind it — a real failure mode worth measuring, but a
+// collapsed curve rather than a degradation curve.
+func AvailabilitySweep(cfg topology.Config, aopts AvailabilityOptions, src LoadPattern, qopts queuesim.Options, opts Options, shards int) ([]AvailabilityResult, error) {
+	opts = opts.withDefaults()
+	aopts, err := aopts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if src == nil {
+		src = UniformLoad
+	}
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	if shards > opts.Cycles {
+		shards = opts.Cycles
+	}
+
+	// Per-shard fault plans and traffic seeds, fixed across the whole
+	// fraction axis: fraction f2 > f1 sees a superset of f1's faults
+	// under an identical traffic replay.
+	root := xrand.New(opts.Seed ^ 0xaf63bd4c8601b7df)
+	plans := make([]*faults.Plan, shards)
+	trafficSeeds := make([]uint64, shards)
+	for w := range plans {
+		plans[w] = faults.NewPlan(cfg, aopts.Mode, xrand.New(root.Uint64()|1))
+		trafficSeeds[w] = root.Uint64() | 1
+	}
+
+	results := make([]AvailabilityResult, 0, len(aopts.Fractions))
+	for _, f := range aopts.Fractions {
+		type partial struct {
+			res      LatencyResult
+			masks    *faults.Masks
+			expected float64
+			err      error
+		}
+		parts := make([]partial, shards)
+		var wg sync.WaitGroup
+		per := opts.Cycles / shards
+		extra := opts.Cycles % shards
+		for w := 0; w < shards; w++ {
+			cycles := per
+			if w < extra {
+				cycles++
+			}
+			if cycles == 0 {
+				continue
+			}
+			wg.Add(1)
+			go func(w, cycles int, f float64) {
+				defer wg.Done()
+				p := &parts[w]
+				p.masks, p.err = faults.Compile(cfg, plans[w].At(f))
+				if p.err != nil {
+					return
+				}
+				sq := qopts
+				sq.Faults = p.masks
+				sub := opts
+				sub.Cycles = cycles
+				pattern := src(aopts.Load, xrand.New(trafficSeeds[w]))
+				p.res, p.err = MeasureLatency(cfg, pattern, sq, sub)
+				if p.err == nil && aopts.WithExpected {
+					p.expected = faults.ExpectedUniformBandwidth(p.masks, aopts.Load)
+				}
+			}(w, cycles, f)
+		}
+		wg.Wait()
+
+		merged := AvailabilityResult{
+			Config:        cfg,
+			FaultFraction: f,
+			Mode:          aopts.Mode,
+		}
+		inputs := cfg.Inputs()
+		outputs := cfg.Outputs()
+		used := 0
+		for w := range parts {
+			p := &parts[w]
+			if p.err != nil {
+				return nil, p.err
+			}
+			if p.res.Cycles == 0 && p.res.Histogram == nil {
+				continue
+			}
+			used++
+			merged.Depth = p.res.Depth
+			merged.Policy = p.res.Policy
+			merged.Cycles += p.res.Cycles
+			merged.Injected += p.res.Injected
+			merged.Refused += p.res.Refused
+			merged.Delivered += p.res.Delivered
+			merged.Dropped += p.res.Dropped
+			merged.DeadSwitches += float64(p.masks.DeadSwitches())
+			merged.DeadWires += float64(p.masks.DeadWires())
+			merged.ReachableFraction += float64(p.masks.ReachableOutputs()) / float64(outputs)
+			merged.LiveInputFraction += float64(p.masks.LiveInputCount()) / float64(inputs)
+			merged.ExpectedThroughput += p.expected
+			if merged.Histogram == nil {
+				merged.Histogram = p.res.Histogram.Clone()
+			} else if err := merged.Histogram.Merge(p.res.Histogram); err != nil {
+				return nil, err
+			}
+		}
+		if used > 0 {
+			merged.Shards = used
+			n := float64(used)
+			merged.DeadSwitches /= n
+			merged.DeadWires /= n
+			merged.ReachableFraction /= n
+			merged.LiveInputFraction /= n
+			merged.ExpectedThroughput /= n
+		}
+		if merged.Cycles > 0 {
+			merged.Throughput = float64(merged.Delivered) / float64(merged.Cycles)
+			merged.ThroughputPerInput = merged.Throughput / float64(inputs)
+			merged.OfferedRate = float64(merged.Injected) / float64(merged.Cycles*inputs)
+		}
+		if merged.Injected > 0 {
+			merged.AcceptedFraction = float64(merged.Delivered) / float64(merged.Injected)
+		} else {
+			merged.AcceptedFraction = 1
+		}
+		if merged.Histogram != nil {
+			merged.LatencyMean = merged.Histogram.Mean()
+			merged.LatencyP50 = merged.Histogram.Quantile(0.50)
+			merged.LatencyP95 = merged.Histogram.Quantile(0.95)
+			merged.LatencyP99 = merged.Histogram.Quantile(0.99)
+			merged.LatencyMax = merged.Histogram.Max()
+		}
+		results = append(results, merged)
+	}
+	return results, nil
+}

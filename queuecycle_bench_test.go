@@ -22,12 +22,14 @@ func BenchmarkQueueCycle(b *testing.B) {
 		{"4Kports", 16, 4, 4, 5},  // EDN(16,4,4,5)
 	}
 	configs := []struct {
-		name   string
-		depth  int
-		policy QueuePolicy
+		name    string
+		depth   int
+		policy  QueuePolicy
+		faulted bool
 	}{
-		{"depth1-drop", 1, QueueDrop},                 // the core-equivalent corner
-		{"depth4-backpressure", 4, QueueBackpressure}, // the store-and-forward default
+		{"depth1-drop", 1, QueueDrop, false},                 // the core-equivalent corner
+		{"depth4-backpressure", 4, QueueBackpressure, false}, // the store-and-forward default
+		{"depth4-drop-faulted", 4, QueueDrop, true},          // degraded mode: 5% dead wires
 	}
 	for _, g := range geometries {
 		cfg, err := New(g.a, g.bb, g.c, g.l)
@@ -36,10 +38,26 @@ func BenchmarkQueueCycle(b *testing.B) {
 		}
 		for _, qc := range configs {
 			b.Run(fmt.Sprintf("%s/%s", g.name, qc.name), func(b *testing.B) {
-				benchmarkQueueCycle(b, cfg, QueueOptions{Depth: qc.depth, Policy: qc.policy})
+				qopts := QueueOptions{Depth: qc.depth, Policy: qc.policy}
+				if qc.faulted {
+					qopts.Faults = benchMasks(b, cfg)
+				}
+				benchmarkQueueCycle(b, cfg, qopts)
 			})
 		}
 	}
+}
+
+// benchMasks compiles the shared degraded-mode fixture: 5% of the
+// interstage wires dead, so the masked kernels — which must also stay
+// at 0 allocs/op — sit under the same CI gate as the healthy ones.
+func benchMasks(b *testing.B, cfg Config) *FaultMasks {
+	b.Helper()
+	m, err := CompileFaults(cfg, BernoulliFaults(cfg, FaultWires, 0.05, NewRand(13)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m
 }
 
 func benchmarkQueueCycle(b *testing.B, cfg Config, qopts QueueOptions) {

@@ -26,7 +26,9 @@ func BenchmarkRouteCycleInto(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		for _, pattern := range []string{"fixed", "uniform", "permutation"} {
+		// "faulted" is uniform traffic over a 5%-dead-wire mask: the
+		// masked grant kernel must hold the same 0 allocs/op bar.
+		for _, pattern := range []string{"fixed", "uniform", "permutation", "faulted"} {
 			b.Run(fmt.Sprintf("%s/%s", g.name, pattern), func(b *testing.B) {
 				benchmarkRouteCycleInto(b, cfg, pattern)
 			})
@@ -35,7 +37,11 @@ func BenchmarkRouteCycleInto(b *testing.B) {
 }
 
 func benchmarkRouteCycleInto(b *testing.B, cfg Config, pattern string) {
-	net, err := NewNetwork(cfg, nil)
+	var masks *FaultMasks
+	if pattern == "faulted" {
+		masks = benchMasks(b, cfg)
+	}
+	net, err := NewNetworkWithFaults(cfg, nil, masks)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -48,7 +54,7 @@ func benchmarkRouteCycleInto(b *testing.B, cfg Config, pattern string) {
 		for i := range dest {
 			dest[i] = rng.Intn(cfg.Outputs())
 		}
-	case "uniform":
+	case "uniform", "faulted":
 		gen = Uniform{Rate: 1, Rng: rng}
 	case "permutation":
 		gen = &RandomPermutation{Rng: rng}
