@@ -6,6 +6,15 @@
 //	edn-faults -a 4 -b 4 -c 2 -l 3 -fractions 0,0.05,0.1,0.2,0.4
 //	edn-faults -a 16 -b 4 -c 4 -l 2 -mode switches -policy drop -format csv
 //	edn-faults -a 4 -b 4 -c 2 -l 3 -expected -shards 4 -format json
+//	edn-faults -a 16 -b 4 -c 4 -l 2 -dilated
+//
+// With -dilated the sweep also evaluates the EDN's dilated-delta
+// counterpart (same port count, dilation equal to the bucket capacity)
+// at each fraction: the counterpart's sub-wires die at the same rate
+// (the analytic Binomial capacity-reduction model of internal/dilated)
+// and its degraded throughput per input lands in the `dilated` column —
+// the degraded half of the paper's Section 1 wire-cost comparison,
+// with the wire counts of both networks in the header.
 //
 // Each shard grows one nested fault plan (rising fractions add faults,
 // never retract them) under an identical traffic replay, so curves
@@ -46,6 +55,7 @@ func run(args []string, w io.Writer) error {
 	seed := fs.Uint64("seed", 1, "RNG seed (fault plans and traffic)")
 	arb := fs.String("arb", "priority", "arbitration: priority, roundrobin, random")
 	expected := fs.Bool("expected", false, "also evaluate the analytic degradation recursion per fault sample")
+	dilatedCmp := fs.Bool("dilated", false, "also evaluate the equal-redundancy dilated delta counterpart at each fraction (analytic sub-wire model)")
 	format := fs.String("format", "table", "output: table, csv, json")
 	fs.SetOutput(w)
 	if err := fs.Parse(args); err != nil {
@@ -86,6 +96,25 @@ func run(args []string, w io.Writer) error {
 		return err
 	}
 
+	// The dilated comparison kills the counterpart's sub-wires at the
+	// same fraction the sweep applies to the EDN — the two networks lose
+	// the same share of their path redundancy — and reports the
+	// analytic degraded throughput per input alongside the measurement.
+	var dcfg edn.DilatedDelta
+	dilatedThr := make([]float64, len(results))
+	if *dilatedCmp {
+		if dcfg, err = edn.DilatedCounterpart(cfg); err != nil {
+			return err
+		}
+		for i, r := range results {
+			deg, err := edn.ExpectedDilatedDegraded(dcfg, r.FaultFraction)
+			if err != nil {
+				return err
+			}
+			dilatedThr[i] = deg.PA(*load) * *load
+		}
+	}
+
 	cols := []cliutil.Column{
 		{Name: "fraction", Format: "%9.3f"},
 		{Name: "throughput", Head: "thr/cycle", Format: "%10.2f"},
@@ -101,6 +130,7 @@ func run(args []string, w io.Writer) error {
 		{Name: "latency_mean", CSVOnly: true},
 		{Name: "latency_max", CSVOnly: true},
 		{Name: "expected_throughput", Head: "model", Format: "%8.2f", CSVOnly: !*expected},
+		{Name: "dilated_throughput_per_input", Head: "dilated", Format: "%8.3f", CSVOnly: !*dilatedCmp},
 		{Name: "injected", CSVOnly: true},
 		{Name: "refused", CSVOnly: true},
 		{Name: "delivered", CSVOnly: true},
@@ -112,13 +142,18 @@ func run(args []string, w io.Writer) error {
 			r.FaultFraction, r.Throughput, r.ThroughputPerInput, r.AcceptedFraction,
 			r.ReachableFraction, r.LiveInputFraction, r.DeadSwitches, r.DeadWires,
 			r.LatencyP50, r.LatencyP95, r.LatencyP99, r.LatencyMean, r.LatencyMax,
-			r.ExpectedThroughput, r.Injected, r.Refused, r.Delivered, r.Dropped,
+			r.ExpectedThroughput, dilatedThr[i], r.Injected, r.Refused, r.Delivered, r.Dropped,
 		}
 	}
 	switch *format {
 	case "table":
 		fmt.Fprintf(w, "%v — %d inputs, %d outputs, %d paths/pair, mode=%s, load=%g, depth=%d, policy=%s\n",
 			cfg, cfg.Inputs(), cfg.Outputs(), cfg.PathCount(), faultMode, *load, *depth, *policy)
+		if *dilatedCmp {
+			fmt.Fprintf(w, "dilated counterpart %v — %d ports, %d wires vs EDN %d (%.1fx)\n",
+				dcfg, dcfg.Ports(), dcfg.WireCount(), cfg.WireCount(),
+				float64(dcfg.WireCount())/float64(cfg.WireCount()))
+		}
 		return cliutil.WriteTable(w, cols, rows)
 	case "csv":
 		return cliutil.WriteCSV(w, cols, rows)
@@ -134,7 +169,7 @@ func run(args []string, w io.Writer) error {
 			Policy:  *policy,
 			Seed:    *seed,
 		}
-		for _, r := range results {
+		for i, r := range results {
 			p := faultPoint{
 				Fraction:           r.FaultFraction,
 				Throughput:         r.Throughput,
@@ -157,7 +192,16 @@ func run(args []string, w io.Writer) error {
 				v := r.ExpectedThroughput
 				p.ExpectedThroughput = &v
 			}
+			if *dilatedCmp {
+				v := dilatedThr[i]
+				p.DilatedThroughput = &v
+			}
 			report.Points = append(report.Points, p)
+		}
+		if *dilatedCmp {
+			report.Dilated = dcfg.String()
+			report.DilatedWires = dcfg.WireCount()
+			report.EDNWires = cfg.WireCount()
 		}
 		return cliutil.WriteJSON(w, report)
 	default:
@@ -177,6 +221,10 @@ type faultReport struct {
 	Policy  string       `json:"policy"`
 	Seed    uint64       `json:"seed"`
 	Points  []faultPoint `json:"points"`
+	// Dilated-counterpart comparison, present with -dilated.
+	Dilated      string `json:"dilatedCounterpart,omitempty"`
+	DilatedWires int64  `json:"dilatedWireCount,omitempty"`
+	EDNWires     int64  `json:"ednWireCount,omitempty"`
 }
 
 type faultPoint struct {
@@ -193,6 +241,7 @@ type faultPoint struct {
 	LatencyP99         float64  `json:"latencyP99"`
 	LatencyMean        float64  `json:"latencyMean"`
 	ExpectedThroughput *float64 `json:"expectedThroughput,omitempty"`
+	DilatedThroughput  *float64 `json:"dilatedThroughputPerInput,omitempty"`
 	Injected           int64    `json:"injected"`
 	Refused            int64    `json:"refused"`
 	Delivered          int64    `json:"delivered"`

@@ -95,6 +95,60 @@ func TestRunJSON(t *testing.T) {
 	}
 }
 
+func TestRunDilatedComparison(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-a", "16", "-b", "4", "-c", "4", "-l", "2",
+		"-fractions", "0,0.2", "-cycles", "100", "-warmup", "20", "-shards", "1",
+		"-dilated"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"dilated counterpart 4-dilated delta(b=4,l=3)", "dilated", "wires vs EDN"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+
+	sb.Reset()
+	err = run([]string{"-a", "16", "-b", "4", "-c", "4", "-l", "2",
+		"-fractions", "0,0.2", "-cycles", "100", "-warmup", "20", "-shards", "1",
+		"-dilated", "-format", "json"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report struct {
+		Dilated string `json:"dilatedCounterpart"`
+		Points  []struct {
+			Dilated *float64 `json:"dilatedThroughputPerInput"`
+		} `json:"points"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &report); err != nil {
+		t.Fatalf("bad json: %v\n%s", err, sb.String())
+	}
+	if report.Dilated == "" || len(report.Points) != 2 {
+		t.Fatalf("dilated fields missing: %+v", report)
+	}
+	if report.Points[0].Dilated == nil || *report.Points[0].Dilated <= 0 {
+		t.Errorf("fault-free dilated throughput missing: %+v", report.Points[0])
+	}
+	if *report.Points[1].Dilated >= *report.Points[0].Dilated {
+		t.Errorf("dilated model did not degrade: %+v", report.Points)
+	}
+
+	// No dilated column without the flag (already covered for table by
+	// TestRunTableSweep's line count; check json omits the field).
+	sb.Reset()
+	if err := run([]string{"-a", "4", "-b", "4", "-c", "2", "-l", "2",
+		"-fractions", "0", "-cycles", "60", "-warmup", "10", "-shards", "1",
+		"-format", "json"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "dilated") {
+		t.Errorf("json shows dilated fields without -dilated:\n%s", sb.String())
+	}
+}
+
 func TestRunEveryModePolicyArb(t *testing.T) {
 	for _, mode := range []string{"wires", "switches", "mixed"} {
 		for _, policy := range []string{"drop", "backpressure"} {

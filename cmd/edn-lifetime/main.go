@@ -1,0 +1,230 @@
+// Command edn-lifetime simulates a network's whole service life under
+// continuous failure-and-repair churn and emits the availability time
+// series — delivered bandwidth, output reachability, dead-component
+// census and P99 latency per epoch — plus the lifetime aggregates
+// (lifetime-average bandwidth, time below threshold, recovery
+// half-life) as a table, CSV or JSON:
+//
+//	edn-lifetime -a 4 -b 4 -c 2 -l 3 -epochs 60 -mtbf 40 -mttr 10
+//	edn-lifetime -a 16 -b 4 -c 4 -l 2 -mode switches -policy drop -format csv
+//	edn-lifetime -a 4 -b 4 -c 2 -l 3 -blast-rate 0.05 -blast-radius 2 -format json
+//
+// Components fail and repair per shard-independent lifecycle processes
+// (exponential or deterministic MTBF/MTTR, optional correlated blast
+// arrivals); the running simulator is re-masked in place at every epoch
+// boundary — queue contents and arbiter state survive — so the series
+// is what a deployed machine would measure, not a sequence of cold
+// starts. Runs are deterministic for a fixed (seed, shards) pair,
+// except under -arb random with more than one shard, where the
+// stream-to-switch assignment depends on goroutine scheduling (see
+// cliutil.ArbiterFactory) and reproducibility is statistical only.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"edn"
+	"edn/internal/cliutil"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "edn-lifetime:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("edn-lifetime", flag.ContinueOnError)
+	a, b, c, l := cliutil.GeometryFlags(fs, 4, 4, 2, 3)
+	epochs := fs.Int("epochs", 60, "failure/repair epochs to simulate")
+	epochCycles := fs.Int("epoch-cycles", 200, "network cycles per epoch")
+	mtbf := fs.Float64("mtbf", 40, "mean epochs between failures per component")
+	mttr := fs.Float64("mttr", 10, "mean epochs to repair a component")
+	timing := fs.String("timing", "exponential", "holding times: exponential, deterministic")
+	mode := fs.String("mode", "wires", "churning population: wires, switches, mixed")
+	blastRate := fs.Float64("blast-rate", 0, "per-epoch probability of a correlated switch-block blast")
+	blastRadius := fs.Int("blast-radius", 1, "blast kills switches within this radius of a random center")
+	load := fs.Float64("load", 1, "offered load per input")
+	depth := fs.Int("depth", 4, "per-wire FIFO depth (-1 unbounded, 0 unbuffered resubmission)")
+	policy := fs.String("policy", "drop", "blocked-packet policy: backpressure, drop")
+	threshold := fs.Float64("threshold", 0, "bandwidth/input floor for time-below-threshold (0 = half of healthy)")
+	warmup := fs.Int("warmup", 500, "fault-free warmup cycles per shard")
+	shards := fs.Int("shards", 0, "parallel shards, one independent lifetime each (0 = GOMAXPROCS)")
+	seed := fs.Uint64("seed", 1, "RNG seed (failure processes and traffic)")
+	arb := fs.String("arb", "priority", "arbitration: priority, roundrobin, random")
+	format := fs.String("format", "table", "output: table, csv, json")
+	fs.SetOutput(w)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg, err := edn.New(*a, *b, *c, *l)
+	if err != nil {
+		return err
+	}
+	faultMode, err := edn.ParseFaultMode(*mode)
+	if err != nil {
+		return err
+	}
+	lifeTiming, err := edn.ParseLifecycleTiming(*timing)
+	if err != nil {
+		return err
+	}
+	if *load <= 0 || *load > 1 {
+		return fmt.Errorf("load %g out of (0,1]", *load)
+	}
+	qopts := edn.QueueOptions{Depth: *depth}
+	if qopts.Policy, err = cliutil.ParsePolicy(*policy); err != nil {
+		return err
+	}
+	if qopts.Factory, err = cliutil.ArbiterFactory(*arb, *seed); err != nil {
+		return err
+	}
+	lopts := edn.LifetimeOptions{
+		Epochs:      *epochs,
+		EpochCycles: *epochCycles,
+		Load:        *load,
+		Threshold:   *threshold,
+		Spec: edn.LifecycleSpec{
+			Mode:        faultMode,
+			MTBF:        *mtbf,
+			MTTR:        *mttr,
+			Timing:      lifeTiming,
+			BlastRate:   *blastRate,
+			BlastRadius: *blastRadius,
+		},
+	}
+	opts := edn.SimOptions{Warmup: *warmup, Seed: *seed}
+	res, err := edn.LifetimeSweep(cfg, lopts, nil, qopts, opts, *shards)
+	if err != nil {
+		return err
+	}
+
+	cols := []cliutil.Column{
+		{Name: "epoch", Format: "%5d"},
+		{Name: "dead_fraction", Head: "deadfrac", Format: "%9.3f"},
+		{Name: "throughput_per_input", Head: "thr/input", Format: "%10.3f"},
+		{Name: "throughput_ci95", CSVOnly: true},
+		{Name: "reachable_fraction", Head: "reachable", Format: "%10.3f"},
+		{Name: "latency_p99", Head: "p99", Format: "%8.0f"},
+		{Name: "parked_per_cycle", Head: "parked", Format: "%7.1f"},
+	}
+	rows := make([][]any, res.Epochs)
+	for e := 0; e < res.Epochs; e++ {
+		rows[e] = []any{
+			e, res.DeadFraction.Mean(e), res.Bandwidth.Mean(e), res.Bandwidth.CI95(e),
+			res.Reachable.Mean(e), res.LatencyP99.Mean(e), res.Parked.Mean(e),
+		}
+	}
+	halfLife := res.RecoveryHalfLife
+	switch *format {
+	case "table":
+		fmt.Fprintf(w, "%v — %d inputs, %d paths/pair, mode=%s, mtbf=%g, mttr=%g (steady-state dead %.1f%%), timing=%s, load=%g, depth=%d, policy=%s\n",
+			cfg, cfg.Inputs(), cfg.PathCount(), faultMode, *mtbf, *mttr,
+			100*lopts.Spec.DeadFractionSteadyState(), lifeTiming, *load, *depth, *policy)
+		if err := cliutil.WriteTable(w, cols, rows); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "lifetime: thr=%.3f/input delivered=%.1f%% below-threshold(%.3f)=%.1f%% of epochs",
+			res.LifetimeBandwidth, 100*res.DeliveredFraction, res.Threshold, 100*res.TimeBelowThreshold)
+		if !math.IsNaN(halfLife) {
+			fmt.Fprintf(w, " recovery-half-life=%.1f epochs", halfLife)
+		}
+		fmt.Fprintln(w)
+		if res.Stranded > 0 {
+			fmt.Fprintf(w, "stranded: %d packets died on wires that failed under them\n", res.Stranded)
+		}
+		return nil
+	case "csv":
+		return cliutil.WriteCSV(w, cols, rows)
+	case "json":
+		report := lifetimeReport{
+			Network:            cfg.String(),
+			Inputs:             cfg.Inputs(),
+			Outputs:            cfg.Outputs(),
+			Paths:              cfg.PathCount(),
+			Mode:               faultMode.String(),
+			MTBF:               *mtbf,
+			MTTR:               *mttr,
+			Timing:             lifeTiming.String(),
+			BlastRate:          *blastRate,
+			Load:               *load,
+			Depth:              *depth,
+			Policy:             *policy,
+			Seed:               *seed,
+			Shards:             res.Shards,
+			EpochCycles:        res.EpochCycles,
+			Threshold:          res.Threshold,
+			LifetimeBandwidth:  res.LifetimeBandwidth,
+			DeliveredFraction:  res.DeliveredFraction,
+			TimeBelowThreshold: res.TimeBelowThreshold,
+			Injected:           res.Injected,
+			Refused:            res.Refused,
+			Delivered:          res.Delivered,
+			Dropped:            res.Dropped,
+			Stranded:           res.Stranded,
+		}
+		if !math.IsNaN(halfLife) {
+			report.RecoveryHalfLife = &halfLife
+		}
+		for e := 0; e < res.Epochs; e++ {
+			report.Epochs = append(report.Epochs, lifetimeEpoch{
+				Epoch:              e,
+				DeadFraction:       res.DeadFraction.Mean(e),
+				ThroughputPerInput: res.Bandwidth.Mean(e),
+				ThroughputCI95:     res.Bandwidth.CI95(e),
+				ReachableFraction:  res.Reachable.Mean(e),
+				LatencyP99:         res.LatencyP99.Mean(e),
+				ParkedPerCycle:     res.Parked.Mean(e),
+			})
+		}
+		return cliutil.WriteJSON(w, report)
+	default:
+		return fmt.Errorf("unknown format %q", *format)
+	}
+}
+
+// lifetimeReport is the machine-readable form of one lifetime run.
+type lifetimeReport struct {
+	Network            string          `json:"network"`
+	Inputs             int             `json:"inputs"`
+	Outputs            int             `json:"outputs"`
+	Paths              int             `json:"pathsPerPair"`
+	Mode               string          `json:"mode"`
+	MTBF               float64         `json:"mtbf"`
+	MTTR               float64         `json:"mttr"`
+	Timing             string          `json:"timing"`
+	BlastRate          float64         `json:"blastRate"`
+	Load               float64         `json:"load"`
+	Depth              int             `json:"depth"`
+	Policy             string          `json:"policy"`
+	Seed               uint64          `json:"seed"`
+	Shards             int             `json:"shards"`
+	EpochCycles        int             `json:"epochCycles"`
+	Threshold          float64         `json:"threshold"`
+	LifetimeBandwidth  float64         `json:"lifetimeBandwidthPerInput"`
+	DeliveredFraction  float64         `json:"deliveredFraction"`
+	TimeBelowThreshold float64         `json:"timeBelowThreshold"`
+	RecoveryHalfLife   *float64        `json:"recoveryHalfLifeEpochs,omitempty"`
+	Injected           int64           `json:"injected"`
+	Refused            int64           `json:"refused"`
+	Delivered          int64           `json:"delivered"`
+	Dropped            int64           `json:"dropped"`
+	Stranded           int64           `json:"stranded"`
+	Epochs             []lifetimeEpoch `json:"epochs"`
+}
+
+type lifetimeEpoch struct {
+	Epoch              int     `json:"epoch"`
+	DeadFraction       float64 `json:"deadFraction"`
+	ThroughputPerInput float64 `json:"throughputPerInput"`
+	ThroughputCI95     float64 `json:"throughputCI95"`
+	ReachableFraction  float64 `json:"reachableFraction"`
+	LatencyP99         float64 `json:"latencyP99"`
+	ParkedPerCycle     float64 `json:"parkedPerCycle"`
+}

@@ -41,6 +41,15 @@
 //     configuration is pinned bit-for-bit to the unbuffered Network;
 //     the advance loop is allocation-free for bounded depths
 //     (BenchmarkQueueCycle). See cmd/edn-latency for the CLI.
+//   - Fault tolerance and lifecycle: FaultSet/CompileFaults turn dead
+//     switches, wires and ports into per-stage availability masks both
+//     engines route around (NewNetworkWithFaults, QueueOptions.Faults);
+//     AvailabilitySweep measures frozen degradation curves, and the
+//     lifecycle layer makes the masks a function of time — a
+//     LifecycleSpec's failure/repair process drives running engines
+//     through UpdateFaults (in-place, allocation-free mask swaps) and
+//     LifetimeSweep records bandwidth/reachability/latency per epoch
+//     with lifetime aggregates. See cmd/edn-faults and cmd/edn-lifetime.
 //   - Reproduction: Figure7, Figure8, Figure11, CostTable and
 //     MasParCaseStudy regenerate the paper's evaluation artifacts (see
 //     cmd/edn-figures and EXPERIMENTS.md).

@@ -6,6 +6,7 @@ import (
 	"edn/internal/design"
 	"edn/internal/dilated"
 	"edn/internal/faults"
+	"edn/internal/lifecycle"
 	"edn/internal/mimd"
 	"edn/internal/netlist"
 	"edn/internal/queuesim"
@@ -398,6 +399,61 @@ func AvailabilitySweep(cfg Config, aopts AvailabilityOptions, src LoadPattern, q
 }
 
 // ---------------------------------------------------------------------------
+// Lifecycle simulation: time-varying faults, repair and availability
+
+// LifecycleSpec describes a failure/repair process: per-component MTBF
+// and MTTR (exponential or deterministic holding times) plus optional
+// correlated blast arrivals. See internal/lifecycle.
+type LifecycleSpec = lifecycle.Spec
+
+// LifecycleProcess is an instantiated failure/repair process; each Step
+// advances one epoch and returns the fault set now in effect.
+type LifecycleProcess = lifecycle.Process
+
+// LifecycleTiming selects the holding-time distribution.
+type LifecycleTiming = lifecycle.Timing
+
+// LifecycleExponential draws geometric (memoryless) holding times;
+// LifecycleDeterministic uses fixed staggered maintenance periods.
+const (
+	LifecycleExponential   = lifecycle.Exponential
+	LifecycleDeterministic = lifecycle.Deterministic
+)
+
+// ParseLifecycleTiming maps a flag value ("exponential", "deterministic")
+// onto a LifecycleTiming.
+func ParseLifecycleTiming(s string) (LifecycleTiming, error) { return lifecycle.ParseTiming(s) }
+
+// NewLifecycleProcess validates spec and instantiates the process over
+// cfg with phases drawn from rng.
+func NewLifecycleProcess(cfg Config, spec LifecycleSpec, rng *Rand) (*LifecycleProcess, error) {
+	return lifecycle.New(cfg, spec, rng)
+}
+
+// TimeSeries is the per-epoch accumulator behind lifetime results: one
+// streaming mean/CI per epoch with exact cross-shard merging.
+type TimeSeries = stats.TimeSeries
+
+// LifetimeOptions configures a lifetime simulation (epoch count, dwell
+// cycles per epoch, the failure/repair spec, offered load).
+type LifetimeOptions = simulate.LifetimeOptions
+
+// LifetimeResult is the availability-over-time view: per-epoch
+// bandwidth/reachability/latency series plus lifetime aggregates
+// (lifetime-average bandwidth, time below threshold, recovery
+// half-life).
+type LifetimeResult = simulate.LifetimeResult
+
+// LifetimeSweep simulates a network's whole service life under
+// failure/repair churn: running engines are re-masked in place between
+// epochs (no rebuilds; queue and arbiter state survive every swap) and
+// each epoch's metrics are recorded into exact-merge time series.
+// shards <= 0 selects GOMAXPROCS; src nil selects uniform traffic.
+func LifetimeSweep(cfg Config, lopts LifetimeOptions, src LoadPattern, qopts QueueOptions, opts SimOptions, shards int) (LifetimeResult, error) {
+	return simulate.LifetimeSweep(cfg, lopts, src, qopts, opts, shards)
+}
+
+// ---------------------------------------------------------------------------
 // SIMD clustering (Section 5)
 
 // RAEDN is a Restricted-Access EDN: p = b^l*c clusters of q PEs sharing
@@ -490,6 +546,40 @@ type DilatedDelta = dilated.Config
 
 // NewDilatedDelta builds a d-dilated radix-b delta of l stages.
 func NewDilatedDelta(b, d, l int) (DilatedDelta, error) { return dilated.New(b, d, l) }
+
+// DilatedCounterpart returns the dilated delta comparable to an EDN:
+// same input port count, dilation equal to the EDN's bucket capacity.
+func DilatedCounterpart(cfg Config) (DilatedDelta, error) { return dilated.Counterpart(cfg) }
+
+// DilatedFaultSet names dead dilated sub-wires; the zero value is the
+// fault-free network.
+type DilatedFaultSet = dilated.FaultSet
+
+// DilatedSubWireID names one sub-wire of a dilated link group.
+type DilatedSubWireID = dilated.SubWireID
+
+// DilatedDegraded is a compiled dilated fault state: per-stage group
+// capacity histograms feeding the degraded acceptance recursion.
+type DilatedDegraded = dilated.Degraded
+
+// CompileDilatedFaults folds dead sub-wires into per-stage capacity
+// reductions.
+func CompileDilatedFaults(cfg DilatedDelta, set DilatedFaultSet) (*DilatedDegraded, error) {
+	return cfg.CompileFaults(set)
+}
+
+// BernoulliDilatedSubWires kills each dilated sub-wire independently
+// with probability p.
+func BernoulliDilatedSubWires(cfg DilatedDelta, p float64, rng *Rand) DilatedFaultSet {
+	return dilated.BernoulliSubWires(cfg, p, rng)
+}
+
+// ExpectedDilatedDegraded returns the Binomial-expectation fault state
+// at sub-wire death fraction f — the smooth analytic degradation curve
+// to plot against an EDN availability sweep at the same fraction.
+func ExpectedDilatedDegraded(cfg DilatedDelta, f float64) (*DilatedDegraded, error) {
+	return cfg.ExpectedDegraded(f)
+}
 
 // ---------------------------------------------------------------------------
 // Design-space exploration and physical netlists

@@ -61,13 +61,17 @@ type Network struct {
 	maskB      int32     // cfg.B - 1
 	maskC      int32     // cfg.C - 1
 
-	// Fault availability, immutable after NewNetworkWithFaults. liveIn
-	// masks the network inputs; live[s-1] masks stage s's output labels.
-	// nil slices mean fully live, and every unfaulted stage keeps the
-	// original kernels, so a fault-free network is bit-for-bit (and
+	// Fault availability, swapped atomically between cycles by
+	// UpdateFaults. liveIn masks the network inputs; live[s-1] masks
+	// stage s's output labels. nil slices mean fully live, and every
+	// unfaulted stage keeps the original kernels, so a fault-free (or
+	// repaired-back-to-empty) network is bit-for-bit (and
 	// instruction-for-instruction) identical to one built without masks.
-	liveIn []bool
-	live   [][]bool
+	// liveRows is the preallocated backing store live points into when a
+	// mask is active, so an epoch's row swap performs no allocations.
+	liveIn   []bool
+	live     [][]bool
+	liveRows [][]bool
 
 	// Scratch reused across cycles. RouteCycleInto owns these; nothing
 	// here survives into caller-visible state except via explicit copies.
@@ -151,11 +155,36 @@ func NewNetworkWithFaults(cfg topology.Config, factory ArbiterFactory, m *faults
 	n.maskB = int32(cfg.B - 1)
 	n.maskC = int32(cfg.C - 1)
 	n.scratch = newStageScratch(cfg)
-	var err error
-	if n.liveIn, n.live, err = m.EngineRows(cfg); err != nil {
-		return nil, fmt.Errorf("core: %w", err)
+	n.liveRows = make([][]bool, cfg.Stages())
+	if err := n.UpdateFaults(m); err != nil {
+		return nil, err
 	}
 	return n, nil
+}
+
+// UpdateFaults swaps the network's availability masks in place: the next
+// RouteCycle routes around exactly the components m disables, without
+// rebuilding tables, scratch or arbiter state. A nil or empty mask
+// restores the unmasked fast paths bit-for-bit (the network becomes
+// indistinguishable from one built by NewNetwork, arbiter state aside).
+// The swap itself allocates nothing, so an epoch-driven lifecycle loop
+// stays allocation-free in steady state. Masks must have been compiled
+// for this network's configuration; on error the previous masks remain
+// in effect. Not safe to call concurrently with RouteCycleInto.
+func (n *Network) UpdateFaults(m *faults.Masks) error {
+	if m.Empty() {
+		n.liveIn, n.live = nil, nil
+		return nil
+	}
+	if got := m.Config(); got != n.cfg {
+		return fmt.Errorf("core: masks compiled for %v, network is %v", got, n.cfg)
+	}
+	for s := 1; s <= n.cfg.Stages(); s++ {
+		n.liveRows[s-1] = m.LiveStageOutputs(s)
+	}
+	n.liveIn = m.LiveInputs()
+	n.live = n.liveRows
+	return nil
 }
 
 // Faulted reports whether the network was built with a non-empty fault

@@ -118,6 +118,42 @@ func (cfg Config) EquivalentEDN() (topology.Config, error) {
 	return topology.New(cfg.B*cfg.D, cfg.B, cfg.D, lp)
 }
 
+// Counterpart returns the dilated delta network comparable to the
+// given EDN: the same number of input ports and a dilation equal to
+// the EDN's bucket capacity c, so a fault fraction applied to the
+// dilated sub-wires and to the EDN's interstage wires kills the same
+// share of each network's redundancy. The radix prefers the EDN's own
+// b when the port count is an exact power of it (the EquivalentEDN
+// relation, inverted) and falls back to radix 2, which always divides
+// a power-of-two port count.
+func Counterpart(edn topology.Config) (Config, error) {
+	ports := edn.Inputs()
+	d := edn.C
+	if k, ok := logExact(edn.B, ports); ok {
+		return New(edn.B, d, k)
+	}
+	if k, ok := logExact(2, ports); ok {
+		return New(2, d, k)
+	}
+	return Config{}, fmt.Errorf("dilated: no counterpart for %v (%d ports)", edn, ports)
+}
+
+// logExact returns k with base^k == v, if one exists.
+func logExact(base, v int) (int, bool) {
+	if base < 2 || v < base {
+		return 0, false
+	}
+	k := 0
+	for v > 1 {
+		if v%base != 0 {
+			return 0, false
+		}
+		v /= base
+		k++
+	}
+	return k, true
+}
+
 // WireRatioVersusEDN returns the interstage wire ratio of this dilated
 // network over its equivalent EDN — the Section 1 claim says this is d.
 func (cfg Config) WireRatioVersusEDN() (float64, error) {

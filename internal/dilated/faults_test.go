@@ -1,0 +1,137 @@
+package dilated
+
+import (
+	"math"
+	"testing"
+
+	"edn/internal/xrand"
+)
+
+func mustDilated(t *testing.T, b, d, l int) Config {
+	t.Helper()
+	cfg, err := New(b, d, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg
+}
+
+func TestCompileEmptyMatchesHealthyPA(t *testing.T) {
+	for _, cfg := range []Config{
+		mustDilated(t, 2, 2, 3),
+		mustDilated(t, 4, 2, 2),
+		mustDilated(t, 2, 4, 4),
+		mustDilated(t, 4, 1, 3), // undilated delta corner
+	} {
+		deg, err := cfg.CompileFaults(FaultSet{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range []float64{0, 0.25, 0.5, 1} {
+			if got, want := deg.PA(r), cfg.PA(r); math.Abs(got-want) > 1e-12 {
+				t.Errorf("%v r=%g: degraded empty PA %.15f != healthy %.15f", cfg, r, got, want)
+			}
+		}
+	}
+}
+
+func TestExpectedDegradedEndpoints(t *testing.T) {
+	cfg := mustDilated(t, 2, 2, 4)
+	zero, err := cfg.ExpectedDegraded(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := zero.PA(1), cfg.PA(1); math.Abs(got-want) > 1e-12 {
+		t.Errorf("f=0: PA %.15f != healthy %.15f", got, want)
+	}
+	all, err := cfg.ExpectedDegraded(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := all.PA(1); got != 0 {
+		t.Errorf("f=1 (every sub-wire dead): PA = %g, want 0", got)
+	}
+}
+
+func TestExpectedDegradedMonotone(t *testing.T) {
+	cfg := mustDilated(t, 4, 2, 3)
+	prev := math.Inf(1)
+	for _, f := range []float64{0, 0.05, 0.1, 0.2, 0.4, 0.6, 0.8} {
+		deg, err := cfg.ExpectedDegraded(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pa := deg.PA(1)
+		if pa > prev+1e-12 {
+			t.Errorf("PA not monotone: f=%g gives %.6f after %.6f", f, pa, prev)
+		}
+		if pa < 0 || pa > 1 {
+			t.Errorf("f=%g: PA %g out of [0,1]", f, pa)
+		}
+		prev = pa
+	}
+}
+
+func TestCompileValidation(t *testing.T) {
+	cfg := mustDilated(t, 2, 2, 3)
+	for _, id := range []SubWireID{
+		{Boundary: 0, Group: 0, Wire: 0},
+		{Boundary: 4, Group: 0, Wire: 0},
+		{Boundary: 1, Group: -1, Wire: 0},
+		{Boundary: 1, Group: cfg.Ports(), Wire: 0},
+		{Boundary: 1, Group: 0, Wire: 2},
+		{Boundary: 1, Group: 0, Wire: -1},
+	} {
+		if _, err := cfg.CompileFaults(FaultSet{SubWires: []SubWireID{id}}); err == nil {
+			t.Errorf("%+v should not compile", id)
+		}
+	}
+	// Duplicates are idempotent.
+	dup := FaultSet{SubWires: []SubWireID{
+		{Boundary: 1, Group: 3, Wire: 1},
+		{Boundary: 1, Group: 3, Wire: 1},
+	}}
+	deg, err := cfg.CompileFaults(dup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deg.DeadSubWires() != 1 {
+		t.Errorf("duplicate sub-wire counted %g times", deg.DeadSubWires())
+	}
+}
+
+func TestSampledTracksExpectation(t *testing.T) {
+	// The PA of a compiled Bernoulli sample should track the Binomial
+	// expectation curve at the same fraction.
+	cfg := mustDilated(t, 2, 2, 5)
+	const f = 0.15
+	expDeg, err := cfg.ExpectedDegraded(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := expDeg.PA(1)
+	rng := xrand.New(17)
+	sum := 0.0
+	const samples = 20
+	for i := 0; i < samples; i++ {
+		deg, err := cfg.CompileFaults(BernoulliSubWires(cfg, f, rng))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += deg.PA(1)
+	}
+	if got := sum / samples; math.Abs(got-want) > 0.02 {
+		t.Errorf("sampled mean PA %.4f vs expectation %.4f", got, want)
+	}
+}
+
+func TestDegradedBandwidth(t *testing.T) {
+	cfg := mustDilated(t, 2, 2, 3)
+	deg, err := cfg.ExpectedDegraded(0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := deg.Bandwidth(1), deg.PA(1)*float64(cfg.Ports()); math.Abs(got-want) > 1e-12 {
+		t.Errorf("bandwidth %g != PA*ports %g", got, want)
+	}
+}

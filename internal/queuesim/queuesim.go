@@ -105,10 +105,13 @@ type Options struct {
 	// only advance onto live wires, injections at dead inputs are
 	// refused at the source, and a head-of-line packet whose bucket has
 	// no live wire left waits (Backpressure) or dies (Drop). A packet
-	// addressed to a dead output terminal can never retire — under
-	// Backpressure it parks at the crossbar head forever, so degraded-
-	// mode measurements normally pair faults with Drop. Nil or empty
-	// means fully live and changes nothing.
+	// addressed to a dead output terminal can never retire while the
+	// fault stands — under Backpressure it parks at the crossbar head,
+	// counted every cycle in CycleStats.ParkedOnDead, so degraded-mode
+	// measurements normally pair immutable faults with Drop. Nil or
+	// empty means fully live and changes nothing. UpdateFaults swaps the
+	// masks of a running network in place, which is how time-varying
+	// fault processes (internal/lifecycle) drive this engine.
 	Faults *faults.Masks
 }
 
@@ -125,23 +128,42 @@ func (o Options) withDefaults() Options {
 // Totals are lifetime packet counters. They never reset, so the
 // conservation invariant
 //
-//	Injected == Refused + Delivered + Dropped + Queued()
+//	Injected == Refused + Delivered + Dropped + Stranded + Queued()
 //
-// holds after every cycle — the property test in queuesim_test.go
-// asserts it across geometries, depths and policies.
+// holds after every cycle and after every UpdateFaults — the property
+// tests in queuesim_test.go and update_test.go assert it across
+// geometries, depths, policies and fault timelines.
 type Totals struct {
 	Injected  int64 // packets offered at the inputs
 	Refused   int64 // injections rejected at the input (FIFO or slot full)
 	Delivered int64 // packets retired at their destination terminal
 	Dropped   int64 // packets discarded mid-network (Policy Drop only)
+	// Stranded counts packets discarded by UpdateFaults because their
+	// FIFO's wire died while they were queued on it (Policy Drop only;
+	// under Backpressure such packets stay parked and are reported per
+	// cycle in CycleStats.ParkedOnDead instead).
+	Stranded int64
 }
 
-// CycleStats are the Totals deltas of a single Cycle call.
+// CycleStats are the Totals deltas of a single Cycle call, plus the
+// cycle's dead-component congestion observation.
 type CycleStats struct {
 	Injected  int
 	Refused   int
 	Delivered int
 	Dropped   int
+	// ParkedOnDead is the number of queued packets that could not
+	// advance this cycle because a dead component pins them in place
+	// (Backpressure only; under Drop they are discarded and counted in
+	// Dropped or Stranded): head-of-line packets aimed at a dead output
+	// terminal or a bucket with no live wire left, plus packets queued
+	// on wires that died under them. It is an observation, not a flow —
+	// the same parked packet is counted again every cycle it stays
+	// parked — so conservation checks can assert on the parked
+	// population directly instead of inferring it from a residue.
+	// Parked packets are not lost: a later UpdateFaults that repairs the
+	// component releases them.
+	ParkedOnDead int
 }
 
 // ring is one per-wire FIFO of packed packets. Buffers are power-of-two
@@ -219,9 +241,22 @@ type Network struct {
 	maskB    uint32
 	maskC    uint32
 
-	// Fault availability (nil = fully live); see Options.Faults.
-	liveIn []bool
-	live   [][]bool // [stage-1] stage-local output label availability
+	// Fault availability (nil = fully live), swapped between cycles by
+	// UpdateFaults; see Options.Faults. liveRows is the preallocated
+	// backing store live points into when a mask is active. deadRing
+	// (nil when every wire is live) marks rings whose feeding wire the
+	// current mask disables: their queued packets are stranded and their
+	// heads are skipped by arbitration. liveCap[s-1][sw*B+bucket] counts
+	// the bucket's live wires under the current mask, so the advance
+	// loop can tell "parked on a dead bucket" from "blocked by
+	// contention" without rescanning the row.
+	liveIn         []bool
+	live           [][]bool // [stage-1] stage-local output label availability
+	liveRows       [][]bool
+	deadRing       []bool
+	deadRingBuf    []bool
+	liveCap        [][]int32
+	strandedQueued int64 // packets parked in dead rings (Backpressure)
 
 	factory      core.ArbiterFactory
 	fastPriority bool
@@ -231,12 +266,19 @@ type Network struct {
 	order        []int                 // arbiter-path arbitration order
 
 	// Unbuffered state (Depth == 0): one in-flight slot per input over a
-	// wrapped core.Network.
+	// wrapped core.Network. s1cap mirrors the pipelined liveCap for
+	// stage 1 only — the one stage an unbuffered packet cannot route
+	// around, since its switch is fixed by the input and its bucket by
+	// the destination — so the parked-on-dead census can classify
+	// permanently pinned resubmissions; s1shift extracts the stage-1
+	// routing digit.
 	net     *core.Network
 	pending []int   // destination held by input i, or NoRequest
 	pendAt  []int64 // injection cycle of the pending packet
 	destBuf []int
 	outBuf  []core.Outcome
+	s1cap   []int32
+	s1shift uint
 
 	now       int64
 	queued    int64
@@ -274,16 +316,14 @@ func New(cfg topology.Config, opts Options) (*Network, error) {
 	if n.factory == nil {
 		n.factory = core.PriorityArbiters
 	}
-	var rowErr error
-	if n.liveIn, n.live, rowErr = opts.Faults.EngineRows(cfg); rowErr != nil {
-		return nil, fmt.Errorf("queuesim: %w", rowErr)
-	}
+	n.liveRows = make([][]bool, n.stages)
 
 	if opts.Depth == 0 {
 		// The unbuffered corner delegates routing to the core engine
-		// (masks included; dead-input refusal happens here at the source,
-		// so core's own input masking never fires).
-		net, err := core.NewNetworkWithFaults(cfg, opts.Factory, opts.Faults)
+		// (masks applied below via the shared swap path; dead-input
+		// refusal happens here at the source, so core's own input
+		// masking never fires).
+		net, err := core.NewNetwork(cfg, opts.Factory)
 		if err != nil {
 			return nil, err
 		}
@@ -295,6 +335,12 @@ func New(cfg topology.Config, opts Options) (*Network, error) {
 		n.pendAt = make([]int64, n.inputs)
 		n.destBuf = make([]int, n.inputs)
 		n.outBuf = make([]core.Outcome, n.inputs)
+		n.s1cap = make([]int32, cfg.SwitchesInStage(1)*cfg.B)
+		n.s1shift = uint(topology.Log2(cfg.C) + (cfg.L-1)*topology.Log2(cfg.B))
+		n.maskB = uint32(cfg.B - 1)
+		if err := n.UpdateFaults(opts.Faults); err != nil {
+			return nil, err
+		}
 		return n, nil
 	}
 
@@ -346,7 +392,154 @@ func New(cfg topology.Config, opts Options) (*Network, error) {
 	n.used = make([]int32, buckets)
 	n.digits = make([]int, width)
 	n.order = make([]int, width)
+	n.deadRingBuf = make([]bool, total)
+	n.liveCap = make([][]int32, cfg.L)
+	for s := 1; s <= cfg.L; s++ {
+		n.liveCap[s-1] = make([]int32, cfg.SwitchesInStage(s)*cfg.B)
+	}
+	if err := n.UpdateFaults(opts.Faults); err != nil {
+		return nil, err
+	}
 	return n, nil
+}
+
+// UpdateFaults swaps the network's availability masks in place: packets
+// keep flowing through the same rings, tables and arbiter state while
+// the set of live components changes under them — the epoch primitive
+// of an availability-over-time simulation. A nil or empty mask restores
+// the unmasked fast paths bit-for-bit. The swap allocates nothing.
+//
+// Packets already queued on a wire the new mask disables are stranded
+// and handled by policy: under Drop they are discarded immediately and
+// counted in Totals.Stranded; under Backpressure they stay parked in
+// place — skipped by arbitration, reported each cycle via
+// CycleStats.ParkedOnDead — and resume unharmed if a later update
+// repairs the wire. Masks must have been compiled for this network's
+// configuration; on error the previous masks remain in effect. Not
+// safe to call concurrently with Cycle.
+func (n *Network) UpdateFaults(m *faults.Masks) error {
+	if m.Empty() {
+		n.liveIn, n.live = nil, nil
+		if n.opts.Depth == 0 {
+			return n.net.UpdateFaults(m)
+		}
+		// Every wire is live again: parked packets resume next cycle.
+		n.deadRing = nil
+		n.strandedQueued = 0
+		return nil
+	}
+	if got := m.Config(); got != n.cfg {
+		return fmt.Errorf("queuesim: masks compiled for %v, network is %v", got, n.cfg)
+	}
+	for s := 1; s <= n.stages; s++ {
+		n.liveRows[s-1] = m.LiveStageOutputs(s)
+	}
+	n.liveIn = m.LiveInputs()
+	n.live = n.liveRows
+	if n.opts.Depth == 0 {
+		n.refreshS1Cap()
+		return n.net.UpdateFaults(m)
+	}
+	n.refreshDeadRings()
+	return nil
+}
+
+// refreshS1Cap recomputes the unbuffered corner's stage-1 bucket
+// live-wire counts from the current mask.
+func (n *Network) refreshS1Cap() {
+	c := n.cfg.C
+	row := n.live[0]
+	for b := range n.s1cap {
+		if row == nil {
+			n.s1cap[b] = int32(c)
+			continue
+		}
+		liveCnt := int32(0)
+		for k := 0; k < c; k++ {
+			if row[b*c+k] {
+				liveCnt++
+			}
+		}
+		n.s1cap[b] = liveCnt
+	}
+}
+
+// refreshDeadRings recomputes the ring-level view of the current masks:
+// which FIFOs sit on dead wires (the per-stage rows fold a wire's own
+// death, its switch port and its downstream switch into one bit, and
+// the ring is the buffer attached to that wire), and how many live
+// wires each bucket retains. Packets found queued in a dead ring are
+// stranded per policy. O(wires) per mask swap, no allocations.
+func (n *Network) refreshDeadRings() {
+	for i := range n.deadRingBuf {
+		n.deadRingBuf[i] = false
+	}
+	any := false
+	if n.liveIn != nil {
+		for w, ok := range n.liveIn {
+			if !ok {
+				n.deadRingBuf[w] = true
+				any = true
+			}
+		}
+	}
+	cfg := n.cfg
+	c := cfg.C
+	for s := 1; s <= cfg.L; s++ {
+		row := n.live[s-1]
+		caps := n.liveCap[s-1]
+		if row == nil {
+			for i := range caps {
+				caps[i] = int32(c)
+			}
+			continue
+		}
+		tab := n.gammaTab[s-1]
+		base := n.base[s]
+		for b := range caps {
+			liveCnt := int32(0)
+			for k := 0; k < c; k++ {
+				o := b*c + k
+				if row[o] {
+					liveCnt++
+					continue
+				}
+				down := o
+				if tab != nil {
+					down = int(tab[o])
+				}
+				n.deadRingBuf[base+down] = true
+				any = true
+			}
+			caps[b] = liveCnt
+		}
+	}
+	n.strandedQueued = 0
+	if !any {
+		n.deadRing = nil
+		return
+	}
+	n.deadRing = n.deadRingBuf
+	drop := n.opts.Policy == Drop
+	for i := range n.rings {
+		if !n.deadRing[i] {
+			continue
+		}
+		r := &n.rings[i]
+		if r.n == 0 {
+			continue
+		}
+		stranded := int64(r.n)
+		if drop {
+			for r.n > 0 {
+				r.pop()
+			}
+			n.queued -= stranded
+			n.totals.Stranded += stranded
+		} else {
+			n.strandedQueued += stranded
+		}
+	}
 }
 
 // Config returns the network's configuration.
@@ -430,6 +623,11 @@ func (n *Network) Cycle(dest []int) (CycleStats, error) {
 	} else {
 		for s := n.stages; s >= 1; s-- {
 			n.advanceStage(s, &cs)
+		}
+		if n.strandedQueued != 0 {
+			// Packets parked in dead rings never reach arbitration; they
+			// still count as parked-on-dead every cycle they wait.
+			cs.ParkedOnDead += int(n.strandedQueued)
 		}
 		depth := n.opts.Depth
 		for i, d := range dest {
@@ -519,7 +717,15 @@ func (n *Network) advanceStage(s int, cs *CycleStats) {
 	if n.live != nil {
 		live = n.live[s-1]
 	}
+	var liveCap []int32
+	if live != nil && !isCrossbar {
+		liveCap = n.liveCap[s-1]
+	}
 	inBase := n.base[s-1]
+	var dead []bool // rings on dead wires: heads skipped, packets parked
+	if n.deadRing != nil {
+		dead = n.deadRing[inBase:]
+	}
 	var outRings []ring
 	if !isCrossbar {
 		outRings = n.rings[n.base[s]:]
@@ -542,6 +748,9 @@ func (n *Network) advanceStage(s int, cs *CycleStats) {
 				if r.n == 0 {
 					continue
 				}
+				if dead != nil && dead[sw*width+p] {
+					continue // parked on a dead wire (Drop strands at swap time)
+				}
 				pkt := r.peek()
 				var d int
 				if isCrossbar {
@@ -549,11 +758,16 @@ func (n *Network) advanceStage(s int, cs *CycleStats) {
 				} else {
 					d = int((uint32(pkt) >> shift) & n.maskB)
 				}
-				if !n.advancePacket(r, pkt, d, sw*bc, capacity, isCrossbar, depth, tab, outRings, live, cs) && drop {
-					r.pop()
-					n.queued--
-					cs.Dropped++
-					n.perStage[s-1]++
+				if !n.advancePacket(r, pkt, d, sw*bc, capacity, isCrossbar, depth, tab, outRings, live, cs) {
+					switch {
+					case drop:
+						r.pop()
+						n.queued--
+						cs.Dropped++
+						n.perStage[s-1]++
+					case headDeadBlocked(sw, d, isCrossbar, cfg, live, liveCap):
+						cs.ParkedOnDead++
+					}
 				}
 			}
 		}
@@ -570,7 +784,7 @@ func (n *Network) advanceStage(s int, cs *CycleStats) {
 		busy := false
 		for p := 0; p < width; p++ {
 			r := &n.rings[swIn+p]
-			if r.n == 0 {
+			if r.n == 0 || (dead != nil && dead[sw*width+p]) {
 				digits[p] = switchfab.Idle
 				continue
 			}
@@ -607,14 +821,34 @@ func (n *Network) advanceStage(s int, cs *CycleStats) {
 				continue
 			}
 			r := &n.rings[swIn+p]
-			if !n.advancePacket(r, r.peek(), d, sw*bc, capacity, isCrossbar, depth, tab, outRings, live, cs) && drop {
-				r.pop()
-				n.queued--
-				cs.Dropped++
-				n.perStage[s-1]++
+			if !n.advancePacket(r, r.peek(), d, sw*bc, capacity, isCrossbar, depth, tab, outRings, live, cs) {
+				switch {
+				case drop:
+					r.pop()
+					n.queued--
+					cs.Dropped++
+					n.perStage[s-1]++
+				case headDeadBlocked(sw, d, isCrossbar, cfg, live, liveCap):
+					cs.ParkedOnDead++
+				}
 			}
 		}
 	}
+}
+
+// headDeadBlocked classifies a failed head-of-line advance: true when
+// the packet's target is dead under the current mask — the crossbar
+// terminal itself, or a hyperbar bucket with zero live wires — rather
+// than merely oversubscribed or backed up, so the packet is parked for
+// as long as the mask stands.
+func headDeadBlocked(sw, d int, isCrossbar bool, cfg topology.Config, live []bool, liveCap []int32) bool {
+	if live == nil {
+		return false
+	}
+	if isCrossbar {
+		return !live[sw*cfg.C+d]
+	}
+	return liveCap[sw*cfg.B+d] == 0
 }
 
 // advancePacket tries to move the head packet of r (destination digit
@@ -707,6 +941,10 @@ func (n *Network) cycleUnbuffered(dest []int, cs *CycleStats) error {
 		return err
 	}
 	drop := n.opts.Policy == Drop
+	var termRow []bool
+	if n.live != nil {
+		termRow = n.live[n.stages-1]
+	}
 	for i := range n.outBuf {
 		if n.pending[i] == NoRequest {
 			continue
@@ -725,6 +963,26 @@ func (n *Network) cycleUnbuffered(dest []int, cs *CycleStats) error {
 			cs.Dropped++
 			n.perStage[o.BlockedStage-1]++
 			n.pending[i] = NoRequest
+		default:
+			// Retained for resubmission. A packet is parked — it will
+			// resubmit forever while the mask stands — when a component
+			// fixed by its (input, destination) pair is dead: its input
+			// wire, its destination terminal, or its stage-1 bucket (the
+			// switch is pinned by the input; beyond stage 1 the c-way
+			// wire freedom redraws paths every cycle, so mid-network
+			// dead buckets in the expanded family are contention, not
+			// parking; the c=1 delta corner's longer pinned paths are
+			// not classified).
+			d := n.pending[i]
+			switch {
+			case n.liveIn != nil && !n.liveIn[i]:
+				cs.ParkedOnDead++
+			case termRow != nil && !termRow[d]:
+				cs.ParkedOnDead++
+			case n.live != nil && n.live[0] != nil &&
+				n.s1cap[(i/n.cfg.A)*n.cfg.B+int((uint32(d)>>n.s1shift)&n.maskB)] == 0:
+				cs.ParkedOnDead++
+			}
 		}
 	}
 	return nil

@@ -1,0 +1,312 @@
+package simulate
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"edn/internal/analytic"
+	"edn/internal/faults"
+	"edn/internal/lifecycle"
+	"edn/internal/queuesim"
+	"edn/internal/stats"
+	"edn/internal/topology"
+	"edn/internal/traffic"
+	"edn/internal/xrand"
+)
+
+// LifetimeOptions configures a lifetime simulation: how long the
+// network lives, how its components churn, and under what load it is
+// measured.
+type LifetimeOptions struct {
+	// Epochs is the number of failure/repair epochs simulated. Required.
+	Epochs int
+	// EpochCycles is the number of network cycles per epoch (default
+	// 200) — the dwell time between mask swaps.
+	EpochCycles int
+	// Spec is the failure/repair process (see internal/lifecycle).
+	Spec lifecycle.Spec
+	// Load is the offered load per input (default 1: saturation).
+	Load float64
+	// Threshold is the delivered-bandwidth-per-input floor for the
+	// TimeBelowThreshold metric. <= 0 selects half the fault-free
+	// analytic bandwidth per input — "degraded to less than half of
+	// healthy".
+	Threshold float64
+}
+
+func (o LifetimeOptions) withDefaults(cfg topology.Config) (LifetimeOptions, error) {
+	if o.Epochs <= 0 {
+		return o, fmt.Errorf("simulate: lifetime sweep needs a positive epoch count")
+	}
+	if o.EpochCycles <= 0 {
+		o.EpochCycles = 200
+	}
+	if o.Load <= 0 {
+		o.Load = 1
+	}
+	if o.Threshold <= 0 {
+		o.Threshold = 0.5 * analytic.Bandwidth(cfg, o.Load) / float64(cfg.Inputs())
+	}
+	return o, nil
+}
+
+// LifetimeResult is the availability-over-time view of one network: the
+// per-epoch time series of the quantities a static sweep reports once,
+// plus the aggregates that summarize a whole deployment's lifetime.
+type LifetimeResult struct {
+	Config      topology.Config
+	Spec        lifecycle.Spec
+	Depth       int
+	Policy      queuesim.Policy
+	Epochs      int
+	EpochCycles int
+	Shards      int
+	Threshold   float64
+
+	// Per-epoch series, merged exactly across shards (each epoch's
+	// value is the mean over shard replays; CI95 available per epoch).
+	Bandwidth    *stats.TimeSeries // delivered packets per input per cycle
+	Reachable    *stats.TimeSeries // fraction of outputs still reachable
+	DeadFraction *stats.TimeSeries // dead fraction of the churned population
+	LatencyP99   *stats.TimeSeries // P99 delivery latency within the epoch
+	Parked       *stats.TimeSeries // mean packets parked on dead components per cycle
+
+	// Lifetime packet counters over the churned epochs (fault-free
+	// warmup excluded), summed across shards. Packets injected near the
+	// lifetime's end may still be queued at shutdown, so the counters
+	// describe the open-loop measurement window, not a closed ledger.
+	Injected  int64
+	Refused   int64
+	Delivered int64
+	Dropped   int64
+	Stranded  int64
+
+	// LifetimeBandwidth is the delivered bandwidth per input per cycle
+	// averaged over the whole lifetime; DeliveredFraction the fraction
+	// of offered packets that were delivered.
+	LifetimeBandwidth float64
+	DeliveredFraction float64
+	// TimeBelowThreshold is the fraction of epochs whose mean bandwidth
+	// fell below Threshold.
+	TimeBelowThreshold float64
+	// RecoveryHalfLife is the mean number of epochs a degradation event
+	// (a >10% bandwidth drop) took to recover halfway back; NaN when the
+	// lifetime had no such event.
+	RecoveryHalfLife float64
+}
+
+// String renders the headline numbers.
+func (r LifetimeResult) String() string {
+	return fmt.Sprintf("%v %v mtbf=%g mttr=%g: lifetime thr=%.3f/input below-threshold=%.1f%% half-life=%.1f epochs",
+		r.Config, r.Spec.Mode, r.Spec.MTBF, r.Spec.MTTR,
+		r.LifetimeBandwidth, 100*r.TimeBelowThreshold, r.RecoveryHalfLife)
+}
+
+// LifetimeSweep simulates a network's whole service life: components
+// fail and get repaired epoch by epoch (one lifecycle.Process per
+// shard), the running engines are re-masked in place via UpdateFaults —
+// queue contents, arbiter state and all precomputed tables survive
+// every swap, so packets in flight experience the failure exactly as
+// deployed hardware would — and every epoch's delivered bandwidth,
+// reachability and latency tail are recorded into per-epoch time
+// series.
+//
+// Shards are fully independent lifetimes (own network, own failure
+// story, own traffic stream, seeds derived from opts.Seed) executed in
+// parallel and merged exactly per epoch, the run-level pattern of
+// SaturationSweep; results are deterministic for a fixed (seed, shards)
+// pair. shards <= 0 selects GOMAXPROCS; src nil selects uniform iid
+// traffic at lopts.Load.
+//
+// opts.Warmup cycles run fault-free before the first epoch so the
+// series starts from the healthy steady state. Fault processes that
+// kill output terminals (switch/mixed churn reaching the crossbars)
+// pair naturally with the Drop policy; under Backpressure packets
+// addressed to a dead terminal park until the repair arrives (counted
+// in the Parked series) — a real operational regime, but one that
+// conflates queueing with availability in the bandwidth series.
+func LifetimeSweep(cfg topology.Config, lopts LifetimeOptions, src LoadPattern, qopts queuesim.Options, opts Options, shards int) (LifetimeResult, error) {
+	opts = opts.withDefaults()
+	lopts, err := lopts.withDefaults(cfg)
+	if err != nil {
+		return LifetimeResult{}, err
+	}
+	if src == nil {
+		src = UniformLoad
+	}
+	if qopts.Factory == nil {
+		qopts.Factory = opts.Factory
+	}
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+
+	// Derive per-shard seeds up front so the assignment does not depend
+	// on scheduling.
+	root := xrand.New(opts.Seed ^ 0x5bf0_3635_d1c2_a94f)
+	type shardSeed struct{ proc, traffic uint64 }
+	seeds := make([]shardSeed, shards)
+	for w := range seeds {
+		seeds[w] = shardSeed{proc: root.Uint64() | 1, traffic: root.Uint64() | 1}
+	}
+
+	parts := make([]partialLifetime, shards)
+	var wg sync.WaitGroup
+	for w := 0; w < shards; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			parts[w] = runLifetimeShard(cfg, lopts, src, qopts, opts, seeds[w].proc, seeds[w].traffic)
+		}(w)
+	}
+	wg.Wait()
+
+	res := LifetimeResult{
+		Config:       cfg,
+		Spec:         lopts.Spec,
+		Epochs:       lopts.Epochs,
+		EpochCycles:  lopts.EpochCycles,
+		Shards:       shards,
+		Threshold:    lopts.Threshold,
+		Depth:        qopts.Depth,
+		Policy:       qopts.Policy,
+		Bandwidth:    stats.NewTimeSeries(lopts.Epochs),
+		Reachable:    stats.NewTimeSeries(lopts.Epochs),
+		DeadFraction: stats.NewTimeSeries(lopts.Epochs),
+		LatencyP99:   stats.NewTimeSeries(lopts.Epochs),
+		Parked:       stats.NewTimeSeries(lopts.Epochs),
+	}
+	for w := range parts {
+		p := &parts[w]
+		if p.err != nil {
+			return LifetimeResult{}, p.err
+		}
+		for _, m := range []struct{ into, from *stats.TimeSeries }{
+			{res.Bandwidth, p.bandwidth},
+			{res.Reachable, p.reachable},
+			{res.DeadFraction, p.deadFrac},
+			{res.LatencyP99, p.p99},
+			{res.Parked, p.parked},
+		} {
+			if err := m.into.Merge(m.from); err != nil {
+				return LifetimeResult{}, err
+			}
+		}
+		res.Injected += p.totals.Injected
+		res.Refused += p.totals.Refused
+		res.Delivered += p.totals.Delivered
+		res.Dropped += p.totals.Dropped
+		res.Stranded += p.totals.Stranded
+	}
+	res.LifetimeBandwidth = res.Bandwidth.MeanOverall()
+	if res.Injected > 0 {
+		res.DeliveredFraction = float64(res.Delivered) / float64(res.Injected)
+	} else {
+		res.DeliveredFraction = 1
+	}
+	res.TimeBelowThreshold = res.Bandwidth.FractionBelow(lopts.Threshold)
+	res.RecoveryHalfLife = stats.RecoveryHalfLife(res.Bandwidth.Means(), 0.1)
+	return res, nil
+}
+
+// runLifetimeShard simulates one independent lifetime: warmup
+// fault-free, then Epochs iterations of (advance the failure process,
+// compile, swap the masks in place, run EpochCycles cycles, record).
+func runLifetimeShard(cfg topology.Config, lopts LifetimeOptions, src LoadPattern, qopts queuesim.Options, opts Options, procSeed, trafficSeed uint64) partialLifetime {
+	var p partialLifetime
+	p.bandwidth = stats.NewTimeSeries(lopts.Epochs)
+	p.reachable = stats.NewTimeSeries(lopts.Epochs)
+	p.deadFrac = stats.NewTimeSeries(lopts.Epochs)
+	p.p99 = stats.NewTimeSeries(lopts.Epochs)
+	p.parked = stats.NewTimeSeries(lopts.Epochs)
+
+	proc, err := lifecycle.New(cfg, lopts.Spec, xrand.New(procSeed))
+	if err != nil {
+		p.err = err
+		return p
+	}
+	sq := qopts
+	sq.Faults = nil // the lifetime starts healthy; epochs swap masks in
+	net, err := queuesim.New(cfg, sq)
+	if err != nil {
+		p.err = err
+		return p
+	}
+	inputs, outputs := cfg.Inputs(), cfg.Outputs()
+	pattern := src(lopts.Load, xrand.New(trafficSeed))
+	gen, inPlace := pattern.(traffic.IntoGenerator)
+	dest := make([]int, inputs)
+
+	for c := 0; c < opts.Warmup; c++ {
+		if inPlace {
+			gen.GenerateInto(dest, outputs)
+		} else {
+			dest = pattern.Generate(inputs, outputs)
+		}
+		if _, p.err = net.Cycle(dest); p.err != nil {
+			return p
+		}
+	}
+	// Lifetime counters exclude the fault-free warmup (the same
+	// open-loop truncation MeasureLatency applies): the reported
+	// delivered fraction describes the churned lifetime, not the
+	// healthy fill.
+	warm := net.Totals()
+
+	for e := 0; e < lopts.Epochs; e++ {
+		set := proc.Step()
+		masks, err := faults.Compile(cfg, set)
+		if err != nil {
+			p.err = err
+			return p
+		}
+		if p.err = net.UpdateFaults(masks); p.err != nil {
+			return p
+		}
+		net.ResetLatency()
+		before := net.Totals()
+		parked := 0
+		for c := 0; c < lopts.EpochCycles; c++ {
+			if inPlace {
+				gen.GenerateInto(dest, outputs)
+			} else {
+				dest = pattern.Generate(inputs, outputs)
+			}
+			cs, err := net.Cycle(dest)
+			if err != nil {
+				p.err = err
+				return p
+			}
+			parked += cs.ParkedOnDead
+		}
+		after := net.Totals()
+		delivered := after.Delivered - before.Delivered
+		p.bandwidth.Add(e, float64(delivered)/float64(lopts.EpochCycles*inputs))
+		p.reachable.Add(e, float64(masks.ReachableOutputs())/float64(outputs))
+		p.deadFrac.Add(e, proc.DeadFraction())
+		if net.Latency().N() > 0 {
+			// A blackout epoch that retires nothing has no latency
+			// observation; recording its empty-histogram quantile (0)
+			// would make a total outage look like a perfect tail.
+			p.p99.Add(e, net.Latency().Quantile(0.99))
+		}
+		p.parked.Add(e, float64(parked)/float64(lopts.EpochCycles))
+	}
+	tot := net.Totals()
+	p.totals = queuesim.Totals{
+		Injected:  tot.Injected - warm.Injected,
+		Refused:   tot.Refused - warm.Refused,
+		Delivered: tot.Delivered - warm.Delivered,
+		Dropped:   tot.Dropped - warm.Dropped,
+		Stranded:  tot.Stranded - warm.Stranded,
+	}
+	return p
+}
+
+// partialLifetime is one shard's private accumulation.
+type partialLifetime struct {
+	bandwidth, reachable, deadFrac, p99, parked *stats.TimeSeries
+	totals                                      queuesim.Totals
+	err                                         error
+}

@@ -1,0 +1,149 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// TimeSeries accumulates observations indexed by position — one
+// Accumulator per epoch of a lifetime simulation — so independent
+// shards can each record their own replay of the same timeline and be
+// merged exactly (Accumulator.Merge is Chan et al.'s update, so the
+// merged series is bit-for-bit what a single sequential run observing
+// every shard's values would have produced).
+type TimeSeries struct {
+	acc []Accumulator
+}
+
+// NewTimeSeries returns a series of n positions, all empty.
+func NewTimeSeries(n int) *TimeSeries {
+	return &TimeSeries{acc: make([]Accumulator, n)}
+}
+
+// Len returns the number of positions.
+func (t *TimeSeries) Len() int { return len(t.acc) }
+
+// Add records one observation at position i.
+func (t *TimeSeries) Add(i int, x float64) { t.acc[i].Add(x) }
+
+// N returns the number of observations at position i.
+func (t *TimeSeries) N(i int) int { return t.acc[i].N() }
+
+// Mean returns the mean at position i (0 if empty).
+func (t *TimeSeries) Mean(i int) float64 { return t.acc[i].Mean() }
+
+// CI95 returns the 95% confidence half-width at position i.
+func (t *TimeSeries) CI95(i int) float64 { return t.acc[i].CI95() }
+
+// Min returns the smallest observation at position i.
+func (t *TimeSeries) Min(i int) float64 { return t.acc[i].Min() }
+
+// Max returns the largest observation at position i.
+func (t *TimeSeries) Max(i int) float64 { return t.acc[i].Max() }
+
+// Means returns the per-position means as a fresh slice.
+func (t *TimeSeries) Means() []float64 {
+	m := make([]float64, len(t.acc))
+	for i := range t.acc {
+		m[i] = t.acc[i].Mean()
+	}
+	return m
+}
+
+// Merge folds another series into this one position by position, as if
+// every observation of o had been Added here. The lengths must match.
+func (t *TimeSeries) Merge(o *TimeSeries) error {
+	if len(t.acc) != len(o.acc) {
+		return fmt.Errorf("stats: merging a %d-point series into a %d-point series", len(o.acc), len(t.acc))
+	}
+	for i := range t.acc {
+		t.acc[i].Merge(&o.acc[i])
+	}
+	return nil
+}
+
+// Clone returns an independent copy.
+func (t *TimeSeries) Clone() *TimeSeries {
+	c := &TimeSeries{acc: make([]Accumulator, len(t.acc))}
+	copy(c.acc, t.acc)
+	return c
+}
+
+// MeanOverall returns the observation-weighted grand mean across every
+// position — with equal per-position counts, the lifetime average of
+// the series.
+func (t *TimeSeries) MeanOverall() float64 {
+	var a Accumulator
+	for i := range t.acc {
+		a.Merge(&t.acc[i])
+	}
+	return a.Mean()
+}
+
+// FractionBelow returns the fraction of positions whose mean is
+// strictly below threshold — "time below threshold" when positions are
+// epochs.
+func (t *TimeSeries) FractionBelow(threshold float64) float64 {
+	if len(t.acc) == 0 {
+		return 0
+	}
+	below := 0
+	for i := range t.acc {
+		if t.acc[i].Mean() < threshold {
+			below++
+		}
+	}
+	return float64(below) / float64(len(t.acc))
+}
+
+// RecoveryHalfLife scans a series for degradation events and returns
+// the mean number of positions an event takes to recover halfway. An
+// event starts when the value falls more than dropFraction below the
+// running pre-event level (the last value seen outside any event); its
+// trough is the minimum reached while below that level, and it
+// recovers at the first later position at or above the midpoint of
+// trough and pre-event level. Events still unrecovered at the end of
+// the series count their remaining length — a censored observation
+// that keeps never-recovering systems from reporting an optimistic
+// half-life. Returns NaN when the series has no event.
+func RecoveryHalfLife(series []float64, dropFraction float64) float64 {
+	if dropFraction <= 0 {
+		dropFraction = 0.1
+	}
+	var events, totalEpochs int
+	i := 0
+	for i < len(series) {
+		level := series[i]
+		// Advance to the next drop below the current level.
+		j := i + 1
+		for j < len(series) && series[j] >= level*(1-dropFraction) {
+			level = series[j]
+			j++
+		}
+		if j == len(series) {
+			break
+		}
+		// Event: find the trough, then the half-recovery point.
+		trough := series[j]
+		k := j
+		for k < len(series) {
+			if series[k] < trough {
+				trough = series[k]
+			}
+			if series[k] >= (trough+level)/2 {
+				break
+			}
+			k++
+		}
+		events++
+		totalEpochs += k - j // k == len(series): censored, never recovered
+		if k == len(series) {
+			break
+		}
+		i = k
+	}
+	if events == 0 {
+		return math.NaN()
+	}
+	return float64(totalEpochs) / float64(events)
+}

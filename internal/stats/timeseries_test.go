@@ -1,0 +1,91 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTimeSeriesMergeMatchesSequential(t *testing.T) {
+	// Two shards each observe the same 8-epoch timeline; the merged
+	// series must match a single accumulator that saw every observation.
+	const epochs = 8
+	a := NewTimeSeries(epochs)
+	b := NewTimeSeries(epochs)
+	seq := NewTimeSeries(epochs)
+	for e := 0; e < epochs; e++ {
+		xa := float64(e) * 1.5
+		xb := float64(e)*1.5 + 0.25
+		a.Add(e, xa)
+		b.Add(e, xb)
+		seq.Add(e, xa)
+		seq.Add(e, xb)
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	for e := 0; e < epochs; e++ {
+		if a.N(e) != seq.N(e) {
+			t.Fatalf("epoch %d: merged n=%d, sequential n=%d", e, a.N(e), seq.N(e))
+		}
+		if math.Abs(a.Mean(e)-seq.Mean(e)) > 1e-12 {
+			t.Errorf("epoch %d: merged mean %g, sequential %g", e, a.Mean(e), seq.Mean(e))
+		}
+		if math.Abs(a.CI95(e)-seq.CI95(e)) > 1e-12 {
+			t.Errorf("epoch %d: merged CI %g, sequential %g", e, a.CI95(e), seq.CI95(e))
+		}
+	}
+	if math.Abs(a.MeanOverall()-seq.MeanOverall()) > 1e-12 {
+		t.Errorf("overall mean %g vs %g", a.MeanOverall(), seq.MeanOverall())
+	}
+}
+
+func TestTimeSeriesMergeLengthMismatch(t *testing.T) {
+	if err := NewTimeSeries(3).Merge(NewTimeSeries(4)); err == nil {
+		t.Fatal("merging mismatched lengths should fail")
+	}
+}
+
+func TestTimeSeriesCloneIsIndependent(t *testing.T) {
+	a := NewTimeSeries(2)
+	a.Add(0, 1)
+	c := a.Clone()
+	c.Add(0, 100)
+	if a.Mean(0) != 1 || a.N(0) != 1 {
+		t.Errorf("clone mutation leaked into the original: mean=%g n=%d", a.Mean(0), a.N(0))
+	}
+}
+
+func TestTimeSeriesFractionBelow(t *testing.T) {
+	ts := NewTimeSeries(4)
+	for i, v := range []float64{1.0, 0.4, 0.6, 0.2} {
+		ts.Add(i, v)
+	}
+	if got := ts.FractionBelow(0.5); got != 0.5 {
+		t.Errorf("FractionBelow(0.5) = %g, want 0.5", got)
+	}
+	if got := ts.FractionBelow(0.1); got != 0 {
+		t.Errorf("FractionBelow(0.1) = %g, want 0", got)
+	}
+}
+
+func TestRecoveryHalfLife(t *testing.T) {
+	// Level 1.0, drop to 0.4 at index 2, climb back: half-recovery
+	// target is (0.4+1.0)/2 = 0.7, first reached at index 4 -> 2 epochs.
+	series := []float64{1.0, 1.0, 0.4, 0.5, 0.8, 1.0}
+	if got := RecoveryHalfLife(series, 0.1); got != 2 {
+		t.Errorf("half-life = %g, want 2", got)
+	}
+	// No event: flat series.
+	if got := RecoveryHalfLife([]float64{1, 1, 1}, 0.1); !math.IsNaN(got) {
+		t.Errorf("flat series half-life = %g, want NaN", got)
+	}
+	// Censored: never recovers; the event counts its remaining length.
+	if got := RecoveryHalfLife([]float64{1, 0.3, 0.3, 0.3}, 0.1); got != 3 {
+		t.Errorf("censored half-life = %g, want 3", got)
+	}
+	// Two events average.
+	two := []float64{1, 0.4, 1, 1, 0.4, 0.4, 0.4, 1}
+	if got := RecoveryHalfLife(two, 0.1); got != 2 {
+		t.Errorf("two-event half-life = %g, want 2", got)
+	}
+}
