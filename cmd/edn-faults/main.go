@@ -55,7 +55,7 @@ func run(args []string, w io.Writer) error {
 	seed := fs.Uint64("seed", 1, "RNG seed (fault plans and traffic)")
 	arb := fs.String("arb", "priority", "arbitration: priority, roundrobin, random")
 	expected := fs.Bool("expected", false, "also evaluate the analytic degradation recursion per fault sample")
-	dilatedCmp := fs.Bool("dilated", false, "also evaluate the equal-redundancy dilated delta counterpart at each fraction (analytic sub-wire model)")
+	dilatedCmp := cliutil.DilatedFlag(fs, "analytic sub-wire model at each fraction")
 	format := fs.String("format", "table", "output: table, csv, json")
 	fs.SetOutput(w)
 	if err := fs.Parse(args); err != nil {
@@ -103,7 +103,7 @@ func run(args []string, w io.Writer) error {
 	var dcfg edn.DilatedDelta
 	dilatedThr := make([]float64, len(results))
 	if *dilatedCmp {
-		if dcfg, err = edn.DilatedCounterpart(cfg); err != nil {
+		if dcfg, err = cliutil.DilatedCounterpart(cfg); err != nil {
 			return err
 		}
 		for i, r := range results {
@@ -150,9 +150,7 @@ func run(args []string, w io.Writer) error {
 		fmt.Fprintf(w, "%v — %d inputs, %d outputs, %d paths/pair, mode=%s, load=%g, depth=%d, policy=%s\n",
 			cfg, cfg.Inputs(), cfg.Outputs(), cfg.PathCount(), faultMode, *load, *depth, *policy)
 		if *dilatedCmp {
-			fmt.Fprintf(w, "dilated counterpart %v — %d ports, %d wires vs EDN %d (%.1fx)\n",
-				dcfg, dcfg.Ports(), dcfg.WireCount(), cfg.WireCount(),
-				float64(dcfg.WireCount())/float64(cfg.WireCount()))
+			cliutil.DilatedHeader(w, cfg, dcfg)
 		}
 		return cliutil.WriteTable(w, cols, rows)
 	case "csv":

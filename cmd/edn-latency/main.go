@@ -7,6 +7,15 @@
 //	edn-latency -a 16 -b 4 -c 4 -l 2 -depth 16 -traffic onoff -burst 32 -format csv
 //	edn-latency -a 4 -b 4 -c 2 -l 3 -depth 1 -policy drop -shards 8 -format json
 //	edn-latency -a 64 -b 16 -c 4 -l 2 -drain 16 -depth 0
+//	edn-latency -a 4 -b 4 -c 2 -l 3 -dilated
+//
+// With -dilated the sweep also runs the EDN's equal-redundancy dilated
+// delta counterpart (same port count, dilation equal to the bucket
+// capacity) through the dilated packet simulator at every load point —
+// a measured curve, not the analytic overlay of edn-faults — under the
+// identical per-input injection replay (same seeds, same shard split),
+// so the throughput and tail columns are a paired comparison. Both
+// networks' wire costs land in the table header.
 //
 // With -drain q the command instead runs the closed-loop permutation
 // drain (q packets per input) and compares the measured cycle count
@@ -64,6 +73,7 @@ func run(args []string, w io.Writer) error {
 	arb := fs.String("arb", "priority", "arbitration: priority, roundrobin, random")
 	format := fs.String("format", "table", "output: table, csv, json")
 	drain := fs.Int("drain", 0, "instead of a sweep, drain this many permutation packets per input")
+	dilatedCmp := cliutil.DilatedFlag(fs, "measured packet-level sweep from the same traffic replay")
 	fs.SetOutput(w)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -83,6 +93,9 @@ func run(args []string, w io.Writer) error {
 	opts := edn.SimOptions{Cycles: *cycles, Warmup: *warmup, Seed: *seed}
 
 	if *drain > 0 {
+		if *dilatedCmp {
+			return fmt.Errorf("-dilated applies to load sweeps, not -drain")
+		}
 		return runDrain(w, cfg, *drain, qopts, opts)
 	}
 
@@ -109,6 +122,38 @@ func run(args []string, w io.Writer) error {
 		return err
 	}
 
+	// The measured counterpart runs the same loads with the same shard
+	// seeding, so both networks see the identical per-input injection
+	// realization (destinations are drawn in each network's own output
+	// space from the same stream).
+	var dcfg edn.DilatedDelta
+	var dresults []edn.LatencyResult
+	if *dilatedCmp {
+		if dcfg, err = cliutil.DilatedCounterpart(cfg); err != nil {
+			return err
+		}
+		dopts := edn.DilatedQueueOptions{Depth: *depth, Policy: qopts.Policy}
+		if dopts.Factory, err = cliutil.ArbiterFactory(*arb, *seed); err != nil {
+			return err
+		}
+		if dresults, err = edn.DilatedSaturationSweep(dcfg, loads, src, dopts, opts, *shards); err != nil {
+			return err
+		}
+	}
+
+	cols := sweepColumns
+	if *dilatedCmp {
+		cols = append(append([]cliutil.Column{}, sweepColumns...),
+			cliutil.Column{Name: "dilated_throughput", Head: "dil-thr", Format: "%9.2f"},
+			cliutil.Column{Name: "dilated_accepted_fraction", Head: "dil-acc", Format: "%9.4f"},
+			cliutil.Column{Name: "dilated_latency_p50", CSVOnly: true},
+			cliutil.Column{Name: "dilated_latency_p95", CSVOnly: true},
+			cliutil.Column{Name: "dilated_latency_p99", Head: "dil-p99", Format: "%9.0f"},
+			cliutil.Column{Name: "dilated_latency_mean", CSVOnly: true},
+			cliutil.Column{Name: "dilated_refused", CSVOnly: true},
+			cliutil.Column{Name: "dilated_dropped", CSVOnly: true},
+		)
+	}
 	rows := make([][]any, len(results))
 	for i, r := range results {
 		rows[i] = []any{
@@ -116,14 +161,25 @@ func run(args []string, w io.Writer) error {
 			r.LatencyP50, r.LatencyP95, r.LatencyP99, r.LatencyMean, r.LatencyMax,
 			r.AvgQueued, r.Injected, r.Refused, r.Delivered, r.Dropped,
 		}
+		if *dilatedCmp {
+			d := dresults[i]
+			rows[i] = append(rows[i],
+				d.Throughput, d.AcceptedFraction,
+				d.LatencyP50, d.LatencyP95, d.LatencyP99, d.LatencyMean,
+				d.Refused, d.Dropped,
+			)
+		}
 	}
 	switch *format {
 	case "table":
 		fmt.Fprintf(w, "%v — %d inputs, %d outputs, depth=%d, policy=%s, traffic=%s\n",
 			cfg, cfg.Inputs(), cfg.Outputs(), *depth, *policy, *pattern)
-		return cliutil.WriteTable(w, sweepColumns, rows)
+		if *dilatedCmp {
+			cliutil.DilatedHeader(w, cfg, dcfg)
+		}
+		return cliutil.WriteTable(w, cols, rows)
 	case "csv":
-		return cliutil.WriteCSV(w, sweepColumns, rows)
+		return cliutil.WriteCSV(w, cols, rows)
 	case "json":
 		report := sweepReport{
 			Network: cfg.String(),
@@ -134,8 +190,13 @@ func run(args []string, w io.Writer) error {
 			Traffic: *pattern,
 			Seed:    *seed,
 		}
+		if *dilatedCmp {
+			report.Dilated = dcfg.String()
+			report.DilatedWires = dcfg.WireCount()
+			report.EDNWires = cfg.WireCount()
+		}
 		for i, r := range results {
-			report.Points = append(report.Points, sweepPoint{
+			p := sweepPoint{
 				Load:             loads[i],
 				Throughput:       r.Throughput,
 				AcceptedFraction: r.AcceptedFraction,
@@ -149,7 +210,21 @@ func run(args []string, w io.Writer) error {
 				Refused:          r.Refused,
 				Delivered:        r.Delivered,
 				Dropped:          r.Dropped,
-			})
+			}
+			if *dilatedCmp {
+				d := dresults[i]
+				p.Dilated = &dilatedSweepPoint{
+					Throughput:       d.Throughput,
+					AcceptedFraction: d.AcceptedFraction,
+					LatencyP50:       d.LatencyP50,
+					LatencyP95:       d.LatencyP95,
+					LatencyP99:       d.LatencyP99,
+					LatencyMean:      d.LatencyMean,
+					Refused:          d.Refused,
+					Dropped:          d.Dropped,
+				}
+			}
+			report.Points = append(report.Points, p)
 		}
 		return cliutil.WriteJSON(w, report)
 	default:
@@ -183,20 +258,38 @@ type sweepReport struct {
 	Traffic string       `json:"traffic"`
 	Seed    uint64       `json:"seed"`
 	Points  []sweepPoint `json:"points"`
+	// Dilated-counterpart comparison, present with -dilated.
+	Dilated      string `json:"dilatedCounterpart,omitempty"`
+	DilatedWires int64  `json:"dilatedWireCount,omitempty"`
+	EDNWires     int64  `json:"ednWireCount,omitempty"`
 }
 
 type sweepPoint struct {
-	Load             float64 `json:"load"`
+	Load             float64            `json:"load"`
+	Throughput       float64            `json:"throughputPerCycle"`
+	AcceptedFraction float64            `json:"acceptedFraction"`
+	LatencyP50       float64            `json:"latencyP50"`
+	LatencyP95       float64            `json:"latencyP95"`
+	LatencyP99       float64            `json:"latencyP99"`
+	LatencyMean      float64            `json:"latencyMean"`
+	LatencyMax       float64            `json:"latencyMax"`
+	AvgQueued        float64            `json:"avgQueued"`
+	Injected         int64              `json:"injected"`
+	Refused          int64              `json:"refused"`
+	Delivered        int64              `json:"delivered"`
+	Dropped          int64              `json:"dropped"`
+	Dilated          *dilatedSweepPoint `json:"dilated,omitempty"`
+}
+
+// dilatedSweepPoint is the measured counterpart at the same load under
+// the same traffic replay.
+type dilatedSweepPoint struct {
 	Throughput       float64 `json:"throughputPerCycle"`
 	AcceptedFraction float64 `json:"acceptedFraction"`
 	LatencyP50       float64 `json:"latencyP50"`
 	LatencyP95       float64 `json:"latencyP95"`
 	LatencyP99       float64 `json:"latencyP99"`
 	LatencyMean      float64 `json:"latencyMean"`
-	LatencyMax       float64 `json:"latencyMax"`
-	AvgQueued        float64 `json:"avgQueued"`
-	Injected         int64   `json:"injected"`
 	Refused          int64   `json:"refused"`
-	Delivered        int64   `json:"delivered"`
 	Dropped          int64   `json:"dropped"`
 }

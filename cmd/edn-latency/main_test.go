@@ -137,3 +137,81 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		}
 	}
 }
+
+func TestRunDilatedComparison(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-a", "4", "-b", "4", "-c", "2", "-l", "3",
+		"-loads", "0.5,1", "-cycles", "200", "-warmup", "50", "-shards", "2",
+		"-policy", "drop", "-dilated"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"dilated counterpart 2-dilated delta(b=4,l=2)", "dil-thr", "dil-p99", "wires vs EDN"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunDilatedJSON(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-a", "4", "-b", "4", "-c", "2", "-l", "3",
+		"-loads", "1", "-cycles", "150", "-warmup", "30", "-shards", "2",
+		"-policy", "drop", "-dilated", "-format", "json"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report struct {
+		Dilated      string `json:"dilatedCounterpart"`
+		DilatedWires int64  `json:"dilatedWireCount"`
+		EDNWires     int64  `json:"ednWireCount"`
+		Points       []struct {
+			Injected int64 `json:"injected"`
+			Dilated  *struct {
+				Throughput float64 `json:"throughputPerCycle"`
+				LatencyP99 float64 `json:"latencyP99"`
+			} `json:"dilated"`
+		} `json:"points"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &report); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, sb.String())
+	}
+	if report.Dilated == "" || report.DilatedWires == 0 || report.EDNWires == 0 {
+		t.Errorf("dilated header fields missing: %+v", report)
+	}
+	for i, p := range report.Points {
+		if p.Dilated == nil {
+			t.Fatalf("point %d missing dilated block", i)
+		}
+		if p.Dilated.Throughput <= 0 {
+			t.Errorf("point %d dilated throughput %g", i, p.Dilated.Throughput)
+		}
+	}
+}
+
+// TestRunDilatedDeterministic: the paired sweep is reproducible per
+// (seed, shards), the acceptance criterion for the measured comparison.
+func TestRunDilatedDeterministic(t *testing.T) {
+	args := []string{"-a", "4", "-b", "4", "-c", "2", "-l", "3",
+		"-loads", "1", "-cycles", "150", "-warmup", "30", "-shards", "2",
+		"-policy", "drop", "-dilated", "-seed", "42", "-format", "csv"}
+	var a, b strings.Builder
+	if err := run(args, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(args, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Errorf("same seed, different output:\n%s\nvs\n%s", a.String(), b.String())
+	}
+}
+
+func TestRunDilatedRejectsDrain(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-a", "16", "-b", "4", "-c", "4", "-l", "2",
+		"-drain", "4", "-depth", "0", "-dilated"}, &sb); err == nil {
+		t.Error("-dilated with -drain accepted")
+	}
+}

@@ -8,6 +8,16 @@
 //	edn-lifetime -a 4 -b 4 -c 2 -l 3 -epochs 60 -mtbf 40 -mttr 10
 //	edn-lifetime -a 16 -b 4 -c 4 -l 2 -mode switches -policy drop -format csv
 //	edn-lifetime -a 4 -b 4 -c 2 -l 3 -blast-rate 0.05 -blast-radius 2 -format json
+//	edn-lifetime -a 4 -b 4 -c 2 -l 3 -dilated
+//
+// With -dilated the command also lives out the EDN's equal-redundancy
+// dilated delta counterpart (same port count, dilation equal to the
+// bucket capacity) in the dilated packet simulator: its sub-wires churn
+// on the same MTBF/MTTR clocks (blast overlays, which name EDN
+// structures, do not apply) under the identical per-input traffic
+// replay, and the measured per-epoch series plus lifetime aggregates
+// land next to the EDN's — the measured lifetime half of the paper's
+// Section 1 comparison.
 //
 // Components fail and repair per shard-independent lifecycle processes
 // (exponential or deterministic MTBF/MTTR, optional correlated blast
@@ -58,6 +68,7 @@ func run(args []string, w io.Writer) error {
 	seed := fs.Uint64("seed", 1, "RNG seed (failure processes and traffic)")
 	arb := fs.String("arb", "priority", "arbitration: priority, roundrobin, random")
 	format := fs.String("format", "table", "output: table, csv, json")
+	dilatedCmp := cliutil.DilatedFlag(fs, "measured sub-wire churn from the same traffic replay")
 	fs.SetOutput(w)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -105,6 +116,24 @@ func run(args []string, w io.Writer) error {
 		return err
 	}
 
+	// The measured counterpart lives the same epochs with the same
+	// shard seeding: identical traffic replays, identically distributed
+	// sub-wire outages.
+	var dcfg edn.DilatedDelta
+	var dres edn.DilatedLifetimeResult
+	if *dilatedCmp {
+		if dcfg, err = cliutil.DilatedCounterpart(cfg); err != nil {
+			return err
+		}
+		dopts := edn.DilatedQueueOptions{Depth: *depth, Policy: qopts.Policy}
+		if dopts.Factory, err = cliutil.ArbiterFactory(*arb, *seed); err != nil {
+			return err
+		}
+		if dres, err = edn.DilatedLifetimeSweep(dcfg, lopts, nil, dopts, opts, *shards); err != nil {
+			return err
+		}
+	}
+
 	cols := []cliutil.Column{
 		{Name: "epoch", Format: "%5d"},
 		{Name: "dead_fraction", Head: "deadfrac", Format: "%9.3f"},
@@ -114,11 +143,25 @@ func run(args []string, w io.Writer) error {
 		{Name: "latency_p99", Head: "p99", Format: "%8.0f"},
 		{Name: "parked_per_cycle", Head: "parked", Format: "%7.1f"},
 	}
+	if *dilatedCmp {
+		cols = append(cols,
+			cliutil.Column{Name: "dilated_dead_fraction", CSVOnly: true},
+			cliutil.Column{Name: "dilated_throughput_per_input", Head: "dil-thr/in", Format: "%11.3f"},
+			cliutil.Column{Name: "dilated_reachable_fraction", CSVOnly: true},
+			cliutil.Column{Name: "dilated_latency_p99", Head: "dil-p99", Format: "%8.0f"},
+		)
+	}
 	rows := make([][]any, res.Epochs)
 	for e := 0; e < res.Epochs; e++ {
 		rows[e] = []any{
 			e, res.DeadFraction.Mean(e), res.Bandwidth.Mean(e), res.Bandwidth.CI95(e),
 			res.Reachable.Mean(e), res.LatencyP99.Mean(e), res.Parked.Mean(e),
+		}
+		if *dilatedCmp {
+			rows[e] = append(rows[e],
+				dres.DeadFraction.Mean(e), dres.Bandwidth.Mean(e),
+				dres.Reachable.Mean(e), dres.LatencyP99.Mean(e),
+			)
 		}
 	}
 	halfLife := res.RecoveryHalfLife
@@ -127,6 +170,9 @@ func run(args []string, w io.Writer) error {
 		fmt.Fprintf(w, "%v — %d inputs, %d paths/pair, mode=%s, mtbf=%g, mttr=%g (steady-state dead %.1f%%), timing=%s, load=%g, depth=%d, policy=%s\n",
 			cfg, cfg.Inputs(), cfg.PathCount(), faultMode, *mtbf, *mttr,
 			100*lopts.Spec.DeadFractionSteadyState(), lifeTiming, *load, *depth, *policy)
+		if *dilatedCmp {
+			cliutil.DilatedHeader(w, cfg, dcfg)
+		}
 		if err := cliutil.WriteTable(w, cols, rows); err != nil {
 			return err
 		}
@@ -138,6 +184,17 @@ func run(args []string, w io.Writer) error {
 		fmt.Fprintln(w)
 		if res.Stranded > 0 {
 			fmt.Fprintf(w, "stranded: %d packets died on wires that failed under them\n", res.Stranded)
+		}
+		if *dilatedCmp {
+			fmt.Fprintf(w, "dilated lifetime: thr=%.3f/input delivered=%.1f%% below-threshold(%.3f)=%.1f%% of epochs",
+				dres.LifetimeBandwidth, 100*dres.DeliveredFraction, dres.Threshold, 100*dres.TimeBelowThreshold)
+			if !math.IsNaN(dres.RecoveryHalfLife) {
+				fmt.Fprintf(w, " recovery-half-life=%.1f epochs", dres.RecoveryHalfLife)
+			}
+			fmt.Fprintln(w)
+			if dres.Stranded > 0 {
+				fmt.Fprintf(w, "dilated stranded: %d packets died on sub-wires that failed under them\n", dres.Stranded)
+			}
 		}
 		return nil
 	case "csv":
@@ -172,8 +229,29 @@ func run(args []string, w io.Writer) error {
 		if !math.IsNaN(halfLife) {
 			report.RecoveryHalfLife = &halfLife
 		}
+		if *dilatedCmp {
+			dr := &dilatedLifetimeReport{
+				Network:            dcfg.String(),
+				Ports:              dcfg.Ports(),
+				DilatedWires:       dcfg.WireCount(),
+				EDNWires:           cfg.WireCount(),
+				Threshold:          dres.Threshold,
+				LifetimeBandwidth:  dres.LifetimeBandwidth,
+				DeliveredFraction:  dres.DeliveredFraction,
+				TimeBelowThreshold: dres.TimeBelowThreshold,
+				Injected:           dres.Injected,
+				Refused:            dres.Refused,
+				Delivered:          dres.Delivered,
+				Dropped:            dres.Dropped,
+				Stranded:           dres.Stranded,
+			}
+			if hl := dres.RecoveryHalfLife; !math.IsNaN(hl) {
+				dr.RecoveryHalfLife = &hl
+			}
+			report.Dilated = dr
+		}
 		for e := 0; e < res.Epochs; e++ {
-			report.Epochs = append(report.Epochs, lifetimeEpoch{
+			le := lifetimeEpoch{
 				Epoch:              e,
 				DeadFraction:       res.DeadFraction.Mean(e),
 				ThroughputPerInput: res.Bandwidth.Mean(e),
@@ -181,7 +259,16 @@ func run(args []string, w io.Writer) error {
 				ReachableFraction:  res.Reachable.Mean(e),
 				LatencyP99:         res.LatencyP99.Mean(e),
 				ParkedPerCycle:     res.Parked.Mean(e),
-			})
+			}
+			if *dilatedCmp {
+				le.Dilated = &dilatedLifetimeEpoch{
+					DeadFraction:       dres.DeadFraction.Mean(e),
+					ThroughputPerInput: dres.Bandwidth.Mean(e),
+					ReachableFraction:  dres.Reachable.Mean(e),
+					LatencyP99:         dres.LatencyP99.Mean(e),
+				}
+			}
+			report.Epochs = append(report.Epochs, le)
 		}
 		return cliutil.WriteJSON(w, report)
 	default:
@@ -217,14 +304,43 @@ type lifetimeReport struct {
 	Dropped            int64           `json:"dropped"`
 	Stranded           int64           `json:"stranded"`
 	Epochs             []lifetimeEpoch `json:"epochs"`
+	// Dilated-counterpart lifetime, present with -dilated.
+	Dilated *dilatedLifetimeReport `json:"dilated,omitempty"`
 }
 
 type lifetimeEpoch struct {
-	Epoch              int     `json:"epoch"`
+	Epoch              int                   `json:"epoch"`
+	DeadFraction       float64               `json:"deadFraction"`
+	ThroughputPerInput float64               `json:"throughputPerInput"`
+	ThroughputCI95     float64               `json:"throughputCI95"`
+	ReachableFraction  float64               `json:"reachableFraction"`
+	LatencyP99         float64               `json:"latencyP99"`
+	ParkedPerCycle     float64               `json:"parkedPerCycle"`
+	Dilated            *dilatedLifetimeEpoch `json:"dilated,omitempty"`
+}
+
+// dilatedLifetimeReport summarizes the measured counterpart's lifetime
+// under the same churn clocks and traffic replay.
+type dilatedLifetimeReport struct {
+	Network            string   `json:"network"`
+	Ports              int      `json:"ports"`
+	DilatedWires       int64    `json:"dilatedWireCount"`
+	EDNWires           int64    `json:"ednWireCount"`
+	Threshold          float64  `json:"threshold"`
+	LifetimeBandwidth  float64  `json:"lifetimeBandwidthPerInput"`
+	DeliveredFraction  float64  `json:"deliveredFraction"`
+	TimeBelowThreshold float64  `json:"timeBelowThreshold"`
+	RecoveryHalfLife   *float64 `json:"recoveryHalfLifeEpochs,omitempty"`
+	Injected           int64    `json:"injected"`
+	Refused            int64    `json:"refused"`
+	Delivered          int64    `json:"delivered"`
+	Dropped            int64    `json:"dropped"`
+	Stranded           int64    `json:"stranded"`
+}
+
+type dilatedLifetimeEpoch struct {
 	DeadFraction       float64 `json:"deadFraction"`
 	ThroughputPerInput float64 `json:"throughputPerInput"`
-	ThroughputCI95     float64 `json:"throughputCI95"`
 	ReachableFraction  float64 `json:"reachableFraction"`
 	LatencyP99         float64 `json:"latencyP99"`
-	ParkedPerCycle     float64 `json:"parkedPerCycle"`
 }

@@ -104,3 +104,72 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		}
 	}
 }
+
+func TestRunDilatedComparison(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-a", "4", "-b", "4", "-c", "2", "-l", "3",
+		"-epochs", "5", "-epoch-cycles", "40", "-mtbf", "10", "-mttr", "4",
+		"-warmup", "20", "-shards", "2", "-dilated"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"dilated counterpart 2-dilated delta(b=4,l=2)",
+		"dil-thr/in", "dil-p99", "dilated lifetime: thr=",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunDilatedJSON(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-a", "4", "-b", "4", "-c", "2", "-l", "3",
+		"-epochs", "4", "-epoch-cycles", "40", "-mtbf", "10", "-mttr", "4",
+		"-warmup", "20", "-shards", "2", "-dilated", "-format", "json"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report struct {
+		Dilated *struct {
+			Network           string  `json:"network"`
+			LifetimeBandwidth float64 `json:"lifetimeBandwidthPerInput"`
+		} `json:"dilated"`
+		Epochs []struct {
+			Dilated *struct {
+				ThroughputPerInput float64 `json:"throughputPerInput"`
+			} `json:"dilated"`
+		} `json:"epochs"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &report); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, sb.String())
+	}
+	if report.Dilated == nil || report.Dilated.LifetimeBandwidth <= 0 {
+		t.Fatalf("dilated aggregate block missing or empty: %s", sb.String())
+	}
+	for i, e := range report.Epochs {
+		if e.Dilated == nil {
+			t.Fatalf("epoch %d missing dilated block", i)
+		}
+	}
+}
+
+// TestRunDilatedDeterministic: the paired lifetime is reproducible per
+// (seed, shards).
+func TestRunDilatedDeterministic(t *testing.T) {
+	args := []string{"-a", "4", "-b", "4", "-c", "2", "-l", "3",
+		"-epochs", "4", "-epoch-cycles", "40", "-mtbf", "10", "-mttr", "4",
+		"-warmup", "20", "-shards", "2", "-dilated", "-seed", "7", "-format", "csv"}
+	var a, b strings.Builder
+	if err := run(args, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(args, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Errorf("same seed, different output:\n%s\nvs\n%s", a.String(), b.String())
+	}
+}

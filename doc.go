@@ -50,6 +50,18 @@
 //     through UpdateFaults (in-place, allocation-free mask swaps) and
 //     LifetimeSweep records bandwidth/reachability/latency per epoch
 //     with lifetime aggregates. See cmd/edn-faults and cmd/edn-lifetime.
+//   - Measured dilated counterpart: DilatedQueueNetwork is a packet-level
+//     simulator for the d-dilated delta networks the introduction
+//     compares EDNs against, sharing the queueing engine's architecture
+//     (ring FIFOs, policies, in-place DilatedMasks swaps; at d=1 it is
+//     bit-for-bit the plain-delta QueueNetwork). MeasureDilatedLatency,
+//     DilatedSaturationSweep, DilatedAvailabilitySweep and
+//     DilatedLifetimeSweep pair with their EDN twins seed-for-seed, so
+//     edn-latency -dilated and edn-lifetime -dilated run both networks
+//     under identical replayed traffic — latency tails and lifetime
+//     churn included, where previously only the mean-field
+//     DilatedDegraded model spoke (edn-faults -dilated keeps that
+//     model as its cheap analytic overlay).
 //   - Reproduction: Figure7, Figure8, Figure11, CostTable and
 //     MasParCaseStudy regenerate the paper's evaluation artifacts (see
 //     cmd/edn-figures and EXPERIMENTS.md).

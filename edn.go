@@ -5,6 +5,7 @@ import (
 	"edn/internal/core"
 	"edn/internal/design"
 	"edn/internal/dilated"
+	"edn/internal/dilatedsim"
 	"edn/internal/faults"
 	"edn/internal/lifecycle"
 	"edn/internal/mimd"
@@ -579,6 +580,96 @@ func BernoulliDilatedSubWires(cfg DilatedDelta, p float64, rng *Rand) DilatedFau
 // to plot against an EDN availability sweep at the same fraction.
 func ExpectedDilatedDegraded(cfg DilatedDelta, f float64) (*DilatedDegraded, error) {
 	return cfg.ExpectedDegraded(f)
+}
+
+// ---------------------------------------------------------------------------
+// Measured dilated counterpart (packet-level dilated simulator)
+
+// DilatedQueueNetwork is an instantiated buffered d-dilated delta: the
+// packet-level engine behind the measured side of every -dilated
+// comparison. It shares queuesim's architecture — per-sub-wire ring
+// FIFOs, Drop/Backpressure, head-of-line arbitration, in-place fault
+// mask swaps — and at d=1 reproduces the plain-delta QueueNetwork bit
+// for bit. See internal/dilatedsim.
+type DilatedQueueNetwork = dilatedsim.Network
+
+// DilatedQueueOptions configures a dilated queueing network (FIFO
+// depth, policy, arbitration, latency histogram shape, faults).
+type DilatedQueueOptions = dilatedsim.Options
+
+// NewDilatedQueueNetwork builds a buffered packet-level network over a
+// dilated delta configuration.
+func NewDilatedQueueNetwork(cfg DilatedDelta, opts DilatedQueueOptions) (*DilatedQueueNetwork, error) {
+	return dilatedsim.New(cfg, opts)
+}
+
+// DilatedMasks is a compiled dilated fault set in the engine's
+// per-sub-wire label space — the simulator-facing sibling of
+// DilatedDegraded's capacity histograms.
+type DilatedMasks = dilatedsim.Masks
+
+// CompileDilatedMasks folds dead sub-wires into engine availability
+// rows; DilatedQueueNetwork.UpdateFaults swaps them in place.
+func CompileDilatedMasks(cfg DilatedDelta, set DilatedFaultSet) (*DilatedMasks, error) {
+	return dilatedsim.Compile(cfg, set)
+}
+
+// DilatedFaultPlan is a nested family of dilated fault sets: At(f1) is
+// a subset of At(f2) whenever f1 <= f2, the dilated twin of FaultPlan.
+type DilatedFaultPlan = dilatedsim.Plan
+
+// NewDilatedFaultPlan draws the per-sub-wire severities for cfg.
+func NewDilatedFaultPlan(cfg DilatedDelta, rng *Rand) *DilatedFaultPlan {
+	return dilatedsim.NewPlan(cfg, rng)
+}
+
+// DilatedChurn is a failure/repair process over a dilated network's
+// sub-wires, drawing holding times from the same renewal primitives as
+// LifecycleProcess so matched lifetime comparisons churn both networks
+// identically.
+type DilatedChurn = dilatedsim.Churn
+
+// NewDilatedChurn instantiates sub-wire churn with the given MTBF/MTTR
+// epochs and timing.
+func NewDilatedChurn(cfg DilatedDelta, mtbf, mttr float64, timing LifecycleTiming, rng *Rand) (*DilatedChurn, error) {
+	return dilatedsim.NewChurn(cfg, mtbf, mttr, timing, rng)
+}
+
+// MeasureDilatedLatency is MeasureLatency over the dilated engine; the
+// result sets Dilated instead of Config.
+func MeasureDilatedLatency(cfg DilatedDelta, pattern Pattern, dopts DilatedQueueOptions, opts SimOptions) (LatencyResult, error) {
+	return simulate.MeasureDilatedLatency(cfg, pattern, dopts, opts)
+}
+
+// DilatedSaturationSweep measures the counterpart's latency-vs-load
+// curve with the same shard seeding as SaturationSweep: identical
+// Options and shard count drive both networks with identical per-input
+// injection replays.
+func DilatedSaturationSweep(cfg DilatedDelta, loads []float64, src LoadPattern, dopts DilatedQueueOptions, opts SimOptions, shards int) ([]LatencyResult, error) {
+	return simulate.DilatedSaturationSweep(cfg, loads, src, dopts, opts, shards)
+}
+
+// DilatedAvailabilityResult is one measured point of the counterpart's
+// degradation curve.
+type DilatedAvailabilityResult = simulate.DilatedAvailabilityResult
+
+// DilatedAvailabilitySweep measures the counterpart's graceful-
+// degradation curve as sub-wires die (nested per-shard plans, replayed
+// traffic), pairing with AvailabilitySweep under the same Options.
+func DilatedAvailabilitySweep(cfg DilatedDelta, aopts AvailabilityOptions, src LoadPattern, dopts DilatedQueueOptions, opts SimOptions, shards int) ([]DilatedAvailabilityResult, error) {
+	return simulate.DilatedAvailabilitySweep(cfg, aopts, src, dopts, opts, shards)
+}
+
+// DilatedLifetimeResult is the counterpart's availability-over-time
+// view under sub-wire churn.
+type DilatedLifetimeResult = simulate.DilatedLifetimeResult
+
+// DilatedLifetimeSweep simulates the counterpart's whole service life
+// under sub-wire churn (MTBF/MTTR/Timing from lopts.Spec; the dilated
+// population is always the sub-wires), pairing with LifetimeSweep under
+// the same Options.
+func DilatedLifetimeSweep(cfg DilatedDelta, lopts LifetimeOptions, src LoadPattern, dopts DilatedQueueOptions, opts SimOptions, shards int) (DilatedLifetimeResult, error) {
+	return simulate.DilatedLifetimeSweep(cfg, lopts, src, dopts, opts, shards)
 }
 
 // ---------------------------------------------------------------------------

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"edn/internal/queuesim"
+	"edn/internal/topology"
 )
 
 func TestParseFloatList(t *testing.T) {
@@ -123,5 +124,36 @@ func TestWriteJSON(t *testing.T) {
 	}
 	if got := sb.String(); got != "{\n  \"x\": 1\n}\n" {
 		t.Errorf("json: %q", got)
+	}
+}
+
+func TestDilatedHelpers(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	on := DilatedFlag(fs, "test comparison")
+	if err := fs.Parse([]string{"-dilated"}); err != nil {
+		t.Fatal(err)
+	}
+	if !*on {
+		t.Fatal("-dilated did not set the flag")
+	}
+
+	cfg, err := topology.New(4, 4, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dcfg, err := DilatedCounterpart(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dcfg.Ports() != cfg.Inputs() {
+		t.Errorf("counterpart %v has %d ports for %d inputs", dcfg, dcfg.Ports(), cfg.Inputs())
+	}
+	var sb strings.Builder
+	DilatedHeader(&sb, cfg, dcfg)
+	out := sb.String()
+	for _, want := range []string{"dilated counterpart", "ports", "wires vs EDN"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("header missing %q: %s", want, out)
+		}
 	}
 }

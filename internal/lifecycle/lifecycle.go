@@ -321,7 +321,16 @@ func (p *Process) blasted(stage, sw int) bool {
 // draw samples one holding time around mean epochs, per the spec's
 // timing. Always at least 1.
 func (p *Process) draw(mean float64) int32 {
-	if p.spec.Timing == Deterministic {
+	return HoldingTime(p.spec.Timing, mean, p.rng)
+}
+
+// HoldingTime draws one holding time around mean epochs under the given
+// timing; always at least 1. It is the renewal-clock primitive shared
+// by every churn process in the repository (this package's Process over
+// EDN components, dilatedsim's sub-wire churn), so matched lifetime
+// comparisons sample their outage lengths from identical distributions.
+func HoldingTime(t Timing, mean float64, rng *xrand.Rand) int32 {
+	if t == Deterministic {
 		k := math.Round(mean)
 		if k < 1 {
 			return 1
@@ -338,7 +347,7 @@ func (p *Process) draw(mean float64) int32 {
 	if mean <= 1 {
 		return 1
 	}
-	u := p.rng.Float64()
+	u := rng.Float64()
 	k := 1 + math.Floor(math.Log(1-u)/math.Log(1-1/mean))
 	if k < 1 {
 		return 1
@@ -349,14 +358,19 @@ func (p *Process) draw(mean float64) int32 {
 	return int32(k)
 }
 
-// initialTTF draws a component's first time-to-failure. Exponential
+// initialTTF draws a component's first time-to-failure.
+func (p *Process) initialTTF() int32 {
+	return InitialTTF(p.spec.Timing, p.spec.MTBF, p.rng)
+}
+
+// InitialTTF draws a component's first time-to-failure. Exponential
 // holding times are memoryless, so the stationary draw is the plain
 // one; deterministic periods get a uniform phase in [1, MTBF] so the
 // fleet's maintenance windows are staggered instead of synchronized.
-func (p *Process) initialTTF() int32 {
-	if p.spec.Timing == Deterministic {
-		period := p.draw(p.spec.MTBF) // the fixed alive period, clamped
-		return 1 + int32(p.rng.Intn(int(period)))
+func InitialTTF(t Timing, mtbf float64, rng *xrand.Rand) int32 {
+	if t == Deterministic {
+		period := HoldingTime(t, mtbf, rng) // the fixed alive period, clamped
+		return 1 + int32(rng.Intn(int(period)))
 	}
-	return p.draw(p.spec.MTBF)
+	return HoldingTime(t, mtbf, rng)
 }

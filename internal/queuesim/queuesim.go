@@ -48,6 +48,7 @@ import (
 
 	"edn/internal/core"
 	"edn/internal/faults"
+	"edn/internal/ringbuf"
 	"edn/internal/stats"
 	"edn/internal/switchfab"
 	"edn/internal/topology"
@@ -57,7 +58,7 @@ import (
 const NoRequest = core.NoRequest
 
 // Unbounded selects per-wire FIFOs that grow without limit.
-const Unbounded = -1
+const Unbounded = ringbuf.Unbounded
 
 // Policy selects what happens to a head-of-line packet that cannot
 // advance this cycle (it lost arbitration, or every wire of its bucket
@@ -166,63 +167,6 @@ type CycleStats struct {
 	ParkedOnDead int
 }
 
-// ring is one per-wire FIFO of packed packets. Buffers are power-of-two
-// sized so indexing is a mask; bounded networks preallocate every
-// buffer at construction, unbounded ones grow by doubling on demand.
-type ring struct {
-	buf  []uint64
-	head int32
-	n    int32
-}
-
-func (r *ring) peek() uint64 { return r.buf[r.head] }
-
-func (r *ring) pop() uint64 {
-	p := r.buf[r.head]
-	r.head = (r.head + 1) & int32(len(r.buf)-1)
-	r.n--
-	return p
-}
-
-// hasSpace reports whether the ring can accept a packet under the given
-// depth (Unbounded always can).
-func (r *ring) hasSpace(depth int) bool {
-	return depth == Unbounded || int(r.n) < depth
-}
-
-// push appends a packet; the caller has already checked hasSpace.
-func (r *ring) push(p uint64) {
-	if int(r.n) == len(r.buf) {
-		r.grow()
-	}
-	r.buf[(int(r.head)+int(r.n))&(len(r.buf)-1)] = p
-	r.n++
-}
-
-func (r *ring) grow() {
-	nb := make([]uint64, max(4, 2*len(r.buf)))
-	for i := 0; i < int(r.n); i++ {
-		nb[i] = r.buf[(int(r.head)+i)&(len(r.buf)-1)]
-	}
-	r.buf = nb
-	r.head = 0
-}
-
-// Packets are packed as inject-cycle (high 32 bits) | destination (low
-// 32 bits). Destinations fit: core caps simulable wire counts at
-// MaxInt32. Cycle counts wrap at 2^32; latency extraction uses uint32
-// arithmetic, so individual latencies stay correct as long as no packet
-// waits more than 2^32 cycles.
-func pack(dest int, now int64) uint64 {
-	return uint64(uint32(now))<<32 | uint64(uint32(dest))
-}
-
-func packetDest(p uint64) int { return int(uint32(p)) }
-
-func latency(p uint64, now int64) float64 {
-	return float64(uint32(now) - uint32(p>>32))
-}
-
 // Network is an instantiated queueing EDN. It is not safe for
 // concurrent use; the sweep harness builds one per shard.
 type Network struct {
@@ -234,7 +178,7 @@ type Network struct {
 	// Pipelined state (Depth != 0). rings holds one FIFO per stage-input
 	// wire across all boundaries: boundary s-1 (rings[base[s-1]:]) feeds
 	// stage s; boundary 0 is the injection row.
-	rings    []ring
+	rings    []ringbuf.Ring
 	base     []int     // base[i] = first ring of boundary i, i in [0, L]
 	gammaTab [][]int32 // [hyperbar stage-1]; nil = identity interstage
 	shift    []uint    // per hyperbar stage: right-shift to its digit
@@ -355,7 +299,7 @@ func New(cfg topology.Config, opts Options) (*Network, error) {
 		}
 		total += w
 	}
-	n.rings = make([]ring, total)
+	n.rings = make([]ringbuf.Ring, total)
 	if opts.Depth >= 1 {
 		// One flat backing array, power-of-two slots per ring, so the
 		// steady state never allocates and neighbors share cache lines.
@@ -365,7 +309,7 @@ func New(cfg topology.Config, opts Options) (*Network, error) {
 		}
 		backing := make([]uint64, total*slot)
 		for i := range n.rings {
-			n.rings[i].buf = backing[i*slot : (i+1)*slot]
+			n.rings[i].Buf = backing[i*slot : (i+1)*slot]
 		}
 	}
 	n.gammaTab = make([][]int32, cfg.L)
@@ -526,13 +470,13 @@ func (n *Network) refreshDeadRings() {
 			continue
 		}
 		r := &n.rings[i]
-		if r.n == 0 {
+		if r.N == 0 {
 			continue
 		}
-		stranded := int64(r.n)
+		stranded := int64(r.N)
 		if drop {
-			for r.n > 0 {
-				r.pop()
+			for r.N > 0 {
+				r.Pop()
 			}
 			n.queued -= stranded
 			n.totals.Stranded += stranded
@@ -590,7 +534,7 @@ func (n *Network) InputFree(i int) bool {
 	if n.opts.Depth == 0 {
 		return n.pending[i] == NoRequest
 	}
-	return n.rings[i].hasSpace(n.opts.Depth)
+	return n.rings[i].HasSpace(n.opts.Depth)
 }
 
 // Cycle advances the network by one cycle and then injects dest:
@@ -640,11 +584,11 @@ func (n *Network) Cycle(dest []int) (CycleStats, error) {
 				continue
 			}
 			r := &n.rings[i]
-			if !r.hasSpace(depth) {
+			if !r.HasSpace(depth) {
 				cs.Refused++
 				continue
 			}
-			r.push(pack(d, n.now))
+			r.Push(ringbuf.Pack(d, n.now))
 			n.queued++
 		}
 	}
@@ -683,7 +627,7 @@ func (n *Network) Drain(maxCycles int) (int, error) {
 
 // retire records one delivery.
 func (n *Network) retire(pkt uint64, cs *CycleStats) {
-	n.lat.Add(latency(pkt, n.now))
+	n.lat.Add(ringbuf.Latency(pkt, n.now))
 	n.queued--
 	cs.Delivered++
 }
@@ -726,7 +670,7 @@ func (n *Network) advanceStage(s int, cs *CycleStats) {
 	if n.deadRing != nil {
 		dead = n.deadRing[inBase:]
 	}
-	var outRings []ring
+	var outRings []ringbuf.Ring
 	if !isCrossbar {
 		outRings = n.rings[n.base[s]:]
 	}
@@ -745,13 +689,13 @@ func (n *Network) advanceStage(s int, cs *CycleStats) {
 			}
 			for p := 0; p < width; p++ {
 				r := &n.rings[swIn+p]
-				if r.n == 0 {
+				if r.N == 0 {
 					continue
 				}
 				if dead != nil && dead[sw*width+p] {
 					continue // parked on a dead wire (Drop strands at swap time)
 				}
-				pkt := r.peek()
+				pkt := r.Peek()
 				var d int
 				if isCrossbar {
 					d = int(uint32(pkt) & n.maskC)
@@ -761,7 +705,7 @@ func (n *Network) advanceStage(s int, cs *CycleStats) {
 				if !n.advancePacket(r, pkt, d, sw*bc, capacity, isCrossbar, depth, tab, outRings, live, cs) {
 					switch {
 					case drop:
-						r.pop()
+						r.Pop()
 						n.queued--
 						cs.Dropped++
 						n.perStage[s-1]++
@@ -784,12 +728,12 @@ func (n *Network) advanceStage(s int, cs *CycleStats) {
 		busy := false
 		for p := 0; p < width; p++ {
 			r := &n.rings[swIn+p]
-			if r.n == 0 || (dead != nil && dead[sw*width+p]) {
+			if r.N == 0 || (dead != nil && dead[sw*width+p]) {
 				digits[p] = switchfab.Idle
 				continue
 			}
 			busy = true
-			pkt := r.peek()
+			pkt := r.Peek()
 			if isCrossbar {
 				digits[p] = int(uint32(pkt) & n.maskC)
 			} else {
@@ -821,10 +765,10 @@ func (n *Network) advanceStage(s int, cs *CycleStats) {
 				continue
 			}
 			r := &n.rings[swIn+p]
-			if !n.advancePacket(r, r.peek(), d, sw*bc, capacity, isCrossbar, depth, tab, outRings, live, cs) {
+			if !n.advancePacket(r, r.Peek(), d, sw*bc, capacity, isCrossbar, depth, tab, outRings, live, cs) {
 				switch {
 				case drop:
-					r.pop()
+					r.Pop()
 					n.queued--
 					cs.Dropped++
 					n.perStage[s-1]++
@@ -860,7 +804,7 @@ func headDeadBlocked(sw, d int, isCrossbar bool, cfg topology.Config, live []boo
 // full and dead wires alike, so every wire is considered at most once.
 // Returns false if the packet cannot advance this cycle (a packet aimed
 // at a dead output terminal, or at a fully dead bucket, never can).
-func (n *Network) advancePacket(r *ring, pkt uint64, d, outBase, capacity int, isCrossbar bool, depth int, tab []int32, outRings []ring, live []bool, cs *CycleStats) bool {
+func (n *Network) advancePacket(r *ringbuf.Ring, pkt uint64, d, outBase, capacity int, isCrossbar bool, depth int, tab []int32, outRings []ringbuf.Ring, live []bool, cs *CycleStats) bool {
 	if isCrossbar {
 		if live != nil && !live[outBase+d] {
 			return false
@@ -869,7 +813,7 @@ func (n *Network) advancePacket(r *ring, pkt uint64, d, outBase, capacity int, i
 			return false
 		}
 		n.used[d] = 1
-		r.pop()
+		r.Pop()
 		n.retire(pkt, cs)
 		return true
 	}
@@ -884,9 +828,9 @@ func (n *Network) advancePacket(r *ring, pkt uint64, d, outBase, capacity int, i
 			down = int(tab[o])
 		}
 		dr := &outRings[down]
-		if dr.hasSpace(depth) {
-			r.pop()
-			dr.push(pkt)
+		if dr.HasSpace(depth) {
+			r.Pop()
+			dr.Push(pkt)
 			return true
 		}
 		// This wire leads to a full FIFO: it is consumed for the cycle;

@@ -1,0 +1,111 @@
+package ringbuf
+
+import "testing"
+
+func TestRingFIFOOrder(t *testing.T) {
+	var r Ring
+	for i := 0; i < 100; i++ {
+		r.Push(uint64(i))
+	}
+	if r.N != 100 {
+		t.Fatalf("N = %d after 100 pushes", r.N)
+	}
+	for i := 0; i < 100; i++ {
+		if got := r.Peek(); got != uint64(i) {
+			t.Fatalf("peek %d, want %d", got, i)
+		}
+		if got := r.Pop(); got != uint64(i) {
+			t.Fatalf("pop %d, want %d", got, i)
+		}
+	}
+	if r.N != 0 {
+		t.Fatalf("N = %d after draining", r.N)
+	}
+}
+
+func TestRingWrapsPreallocatedBuffer(t *testing.T) {
+	r := Ring{Buf: make([]uint64, 4)}
+	// Interleave pushes and pops so the head walks around the buffer.
+	next, want := uint64(0), uint64(0)
+	for i := 0; i < 37; i++ {
+		if r.HasSpace(4) {
+			r.Push(next)
+			next++
+		}
+		if r.N > 2 {
+			if got := r.Pop(); got != want {
+				t.Fatalf("pop %d, want %d", got, want)
+			}
+			want++
+		}
+	}
+	if len(r.Buf) != 4 {
+		t.Fatalf("bounded use grew the buffer to %d slots", len(r.Buf))
+	}
+}
+
+func TestHasSpace(t *testing.T) {
+	var r Ring
+	for i := 0; i < 3; i++ {
+		if !r.HasSpace(3) {
+			t.Fatalf("ring with %d packets rejects depth 3", r.N)
+		}
+		r.Push(uint64(i))
+	}
+	if r.HasSpace(3) {
+		t.Fatal("full ring accepts under bounded depth")
+	}
+	if !r.HasSpace(Unbounded) {
+		t.Fatal("unbounded depth refused space")
+	}
+}
+
+func TestPackRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		dest int
+		at   int64
+		now  int64
+	}{
+		{0, 1, 1},
+		{12345, 7, 900},
+		{1<<31 - 1, 1 << 30, 1<<30 + 17},
+	} {
+		p := Pack(tc.dest, tc.at)
+		if got := Dest(p); got != tc.dest {
+			t.Errorf("Dest(Pack(%d, %d)) = %d", tc.dest, tc.at, got)
+		}
+		if got := Latency(p, tc.now); got != float64(tc.now-tc.at) {
+			t.Errorf("Latency(Pack(%d, %d), %d) = %g, want %d", tc.dest, tc.at, tc.now, got, tc.now-tc.at)
+		}
+	}
+}
+
+// TestRingGrowthPreservesOrder exercises the growable (unbounded) ring
+// path: a burst far deeper than any initial capacity must be held and
+// fully recovered in FIFO order, including growth with a head sheared
+// into the middle of the buffer by interleaved pops.
+func TestRingGrowthPreservesOrder(t *testing.T) {
+	var r Ring
+	const k = 100
+	for i := 0; i < k; i++ {
+		if !r.HasSpace(Unbounded) {
+			t.Fatal("unbounded ring refused a push")
+		}
+		r.Push(Pack(i, int64(i)))
+	}
+	// Interleave pops and pushes to shear the head across the buffer.
+	for i := 0; i < 40; i++ {
+		if got := Dest(r.Pop()); got != i {
+			t.Fatalf("pop %d: got dest %d", i, got)
+		}
+		r.Push(Pack(k+i, 0))
+	}
+	for i := 40; i < k+40; i++ {
+		if got := Dest(r.Pop()); got != i {
+			t.Fatalf("pop %d: got dest %d", i, got)
+		}
+	}
+	if r.N != 0 {
+		t.Fatalf("ring not empty: %d", r.N)
+	}
+}

@@ -3,8 +3,9 @@ package simulate
 import (
 	"fmt"
 	"runtime"
-	"sync"
 
+	"edn/internal/dilated"
+	"edn/internal/dilatedsim"
 	"edn/internal/faults"
 	"edn/internal/queuesim"
 	"edn/internal/stats"
@@ -161,37 +162,22 @@ func AvailabilitySweep(cfg topology.Config, aopts AvailabilityOptions, src LoadP
 			err      error
 		}
 		parts := make([]partial, shards)
-		var wg sync.WaitGroup
-		per := opts.Cycles / shards
-		extra := opts.Cycles % shards
-		for w := 0; w < shards; w++ {
-			cycles := per
-			if w < extra {
-				cycles++
+		runShards(opts.Cycles, shards, func(w, cycles int) {
+			p := &parts[w]
+			p.masks, p.err = faults.Compile(cfg, plans[w].At(f))
+			if p.err != nil {
+				return
 			}
-			if cycles == 0 {
-				continue
+			sq := qopts
+			sq.Faults = p.masks
+			sub := opts
+			sub.Cycles = cycles
+			pattern := src(aopts.Load, xrand.New(trafficSeeds[w]))
+			p.res, p.err = MeasureLatency(cfg, pattern, sq, sub)
+			if p.err == nil && aopts.WithExpected {
+				p.expected = faults.ExpectedUniformBandwidth(p.masks, aopts.Load)
 			}
-			wg.Add(1)
-			go func(w, cycles int, f float64) {
-				defer wg.Done()
-				p := &parts[w]
-				p.masks, p.err = faults.Compile(cfg, plans[w].At(f))
-				if p.err != nil {
-					return
-				}
-				sq := qopts
-				sq.Faults = p.masks
-				sub := opts
-				sub.Cycles = cycles
-				pattern := src(aopts.Load, xrand.New(trafficSeeds[w]))
-				p.res, p.err = MeasureLatency(cfg, pattern, sq, sub)
-				if p.err == nil && aopts.WithExpected {
-					p.expected = faults.ExpectedUniformBandwidth(p.masks, aopts.Load)
-				}
-			}(w, cycles, f)
-		}
-		wg.Wait()
+		})
 
 		merged := AvailabilityResult{
 			Config:        cfg,
@@ -200,60 +186,272 @@ func AvailabilitySweep(cfg topology.Config, aopts AvailabilityOptions, src LoadP
 		}
 		inputs := cfg.Inputs()
 		outputs := cfg.Outputs()
-		used := 0
+		var acc sweepPointAccum
 		for w := range parts {
 			p := &parts[w]
 			if p.err != nil {
 				return nil, p.err
 			}
-			if p.res.Cycles == 0 && p.res.Histogram == nil {
+			ran, err := acc.add(&p.res)
+			if err != nil {
+				return nil, err
+			}
+			if !ran {
 				continue
 			}
-			used++
-			merged.Depth = p.res.Depth
-			merged.Policy = p.res.Policy
-			merged.Cycles += p.res.Cycles
-			merged.Injected += p.res.Injected
-			merged.Refused += p.res.Refused
-			merged.Delivered += p.res.Delivered
-			merged.Dropped += p.res.Dropped
 			merged.DeadSwitches += float64(p.masks.DeadSwitches())
 			merged.DeadWires += float64(p.masks.DeadWires())
 			merged.ReachableFraction += float64(p.masks.ReachableOutputs()) / float64(outputs)
 			merged.LiveInputFraction += float64(p.masks.LiveInputCount()) / float64(inputs)
 			merged.ExpectedThroughput += p.expected
-			if merged.Histogram == nil {
-				merged.Histogram = p.res.Histogram.Clone()
-			} else if err := merged.Histogram.Merge(p.res.Histogram); err != nil {
-				return nil, err
-			}
 		}
-		if used > 0 {
-			merged.Shards = used
-			n := float64(used)
+		if acc.shards > 0 {
+			n := float64(acc.shards)
 			merged.DeadSwitches /= n
 			merged.DeadWires /= n
 			merged.ReachableFraction /= n
 			merged.LiveInputFraction /= n
 			merged.ExpectedThroughput /= n
 		}
-		if merged.Cycles > 0 {
-			merged.Throughput = float64(merged.Delivered) / float64(merged.Cycles)
-			merged.ThroughputPerInput = merged.Throughput / float64(inputs)
-			merged.OfferedRate = float64(merged.Injected) / float64(merged.Cycles*inputs)
+		merged.Depth = acc.depth
+		merged.Policy = acc.policy
+		merged.Cycles = acc.cycles
+		merged.Shards = acc.shards
+		merged.Injected = acc.injected
+		merged.Refused = acc.refused
+		merged.Delivered = acc.delivered
+		merged.Dropped = acc.dropped
+		merged.Histogram = acc.histogram
+		merged.OfferedRate, merged.Throughput, merged.ThroughputPerInput, merged.AcceptedFraction = acc.rates(inputs)
+		merged.LatencyMean, merged.LatencyP50, merged.LatencyP95, merged.LatencyP99, merged.LatencyMax = acc.quantiles()
+		results = append(results, merged)
+	}
+	return results, nil
+}
+
+// sweepPointAccum folds per-shard measurements into the
+// engine-agnostic portion of one degradation-sweep point: the
+// shard-skip rule, metadata adoption, counter summation, exact
+// histogram merge and the derived rates/quantiles. Both availability
+// sweeps build their points through one of these, so the merge rules
+// of the paired EDN and dilated curves cannot drift apart.
+type sweepPointAccum struct {
+	depth  int
+	policy queuesim.Policy
+	cycles int
+	shards int
+
+	injected  int64
+	refused   int64
+	delivered int64
+	dropped   int64
+	histogram *stats.Histogram
+}
+
+// add folds one shard's measurement and reports whether the shard ran
+// at all — callers accumulate their census fields only for shards that
+// did, keeping census means consistent with the packet counters.
+func (a *sweepPointAccum) add(res *LatencyResult) (ran bool, err error) {
+	if res.Cycles == 0 && res.Histogram == nil {
+		return false, nil
+	}
+	a.shards++
+	a.depth = res.Depth
+	a.policy = res.Policy
+	a.cycles += res.Cycles
+	a.injected += res.Injected
+	a.refused += res.Refused
+	a.delivered += res.Delivered
+	a.dropped += res.Dropped
+	if a.histogram == nil {
+		a.histogram = res.Histogram.Clone()
+	} else if err := a.histogram.Merge(res.Histogram); err != nil {
+		return true, err
+	}
+	return true, nil
+}
+
+// rates derives the per-cycle and per-input rate summary.
+func (a *sweepPointAccum) rates(inputs int) (offered, throughput, perInput, accepted float64) {
+	if a.cycles > 0 {
+		throughput = float64(a.delivered) / float64(a.cycles)
+		perInput = throughput / float64(inputs)
+		offered = float64(a.injected) / float64(a.cycles*inputs)
+	}
+	if a.injected > 0 {
+		accepted = float64(a.delivered) / float64(a.injected)
+	} else {
+		accepted = 1
+	}
+	return offered, throughput, perInput, accepted
+}
+
+// quantiles derives the latency summary from the merged histogram.
+func (a *sweepPointAccum) quantiles() (mean, p50, p95, p99, maxL float64) {
+	if a.histogram == nil {
+		return 0, 0, 0, 0, 0
+	}
+	return a.histogram.Mean(), a.histogram.Quantile(0.50), a.histogram.Quantile(0.95),
+		a.histogram.Quantile(0.99), a.histogram.Max()
+}
+
+// DilatedAvailabilityResult is one point of a dilated degradation
+// curve: the counterpart's measured bandwidth, reachability and latency
+// tail at one sub-wire fault fraction, with the same stat semantics as
+// AvailabilityResult so the CLIs print the two curves side by side.
+type DilatedAvailabilityResult struct {
+	Dilated       dilated.Config
+	FaultFraction float64
+	Depth         int
+	Policy        queuesim.Policy
+	Cycles        int // measured cycles summed across shards
+	Shards        int
+
+	// DeadSubWires is the mean dead-sub-wire census over the shard
+	// samples; ReachableFraction the mean fraction of output ports
+	// still connected to at least one input.
+	DeadSubWires      float64
+	ReachableFraction float64
+
+	// Packet counters over the measurement window, summed across shards.
+	Injected  int64
+	Refused   int64
+	Delivered int64
+	Dropped   int64
+
+	OfferedRate        float64
+	Throughput         float64
+	ThroughputPerInput float64
+	AcceptedFraction   float64
+
+	LatencyMean float64
+	LatencyP50  float64
+	LatencyP95  float64
+	LatencyP99  float64
+	LatencyMax  float64
+	// ExpectedThroughput is the mean-field recursion's prediction
+	// (dilated.Degraded.PA on each shard's sampled fault set, averaged);
+	// zero unless AvailabilityOptions.WithExpected.
+	ExpectedThroughput float64
+	// Histogram is the full merged latency distribution.
+	Histogram *stats.Histogram
+}
+
+// String renders the headline numbers.
+func (r DilatedAvailabilityResult) String() string {
+	return fmt.Sprintf("%v f=%.3f: thr=%.2f/cycle (%.3f/input) reach=%.3f p99=%.0f",
+		r.Dilated, r.FaultFraction, r.Throughput, r.ThroughputPerInput,
+		r.ReachableFraction, r.LatencyP99)
+}
+
+// DilatedAvailabilitySweep measures the graceful-degradation curve of a
+// dilated delta as its sub-wires die — the measured counterpart of the
+// analytic curve cmd/edn-faults previously plotted from
+// dilated.ExpectedDegraded. Each shard owns one nested dilatedsim.Plan
+// (rising fractions grow one fixed failure story) under an identical
+// traffic replay, the paired-comparison structure of AvailabilitySweep;
+// and the per-shard traffic seeds derive from (opts.Seed, shards)
+// exactly as there, so running both sweeps with the same Options drives
+// the EDN and its counterpart with identical per-input injection
+// realizations. aopts.Mode is ignored: the dilated fault population is
+// always the sub-wires, the network's entire redundancy budget.
+func DilatedAvailabilitySweep(dcfg dilated.Config, aopts AvailabilityOptions, src LoadPattern, dopts dilatedsim.Options, opts Options, shards int) ([]DilatedAvailabilityResult, error) {
+	opts = opts.withDefaults()
+	aopts, err := aopts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if src == nil {
+		src = UniformLoad
+	}
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	if shards > opts.Cycles {
+		shards = opts.Cycles
+	}
+
+	// Per-shard fault plans and traffic seeds, fixed across the whole
+	// fraction axis. The derivation (root constant, draw order) matches
+	// AvailabilitySweep draw for draw so the traffic replays pair up.
+	root := xrand.New(opts.Seed ^ 0xaf63bd4c8601b7df)
+	plans := make([]*dilatedsim.Plan, shards)
+	trafficSeeds := make([]uint64, shards)
+	for w := range plans {
+		plans[w] = dilatedsim.NewPlan(dcfg, xrand.New(root.Uint64()|1))
+		trafficSeeds[w] = root.Uint64() | 1
+	}
+
+	ports := dcfg.Ports()
+	results := make([]DilatedAvailabilityResult, 0, len(aopts.Fractions))
+	for _, f := range aopts.Fractions {
+		type partial struct {
+			res      LatencyResult
+			masks    *dilatedsim.Masks
+			expected float64
+			err      error
 		}
-		if merged.Injected > 0 {
-			merged.AcceptedFraction = float64(merged.Delivered) / float64(merged.Injected)
-		} else {
-			merged.AcceptedFraction = 1
+		parts := make([]partial, shards)
+		runShards(opts.Cycles, shards, func(w, cycles int) {
+			p := &parts[w]
+			set := plans[w].At(f)
+			p.masks, p.err = dilatedsim.Compile(dcfg, set)
+			if p.err != nil {
+				return
+			}
+			sd := dopts
+			sd.Faults = p.masks
+			sub := opts
+			sub.Cycles = cycles
+			pattern := src(aopts.Load, xrand.New(trafficSeeds[w]))
+			p.res, p.err = MeasureDilatedLatency(dcfg, pattern, sd, sub)
+			if p.err == nil && aopts.WithExpected {
+				var deg *dilated.Degraded
+				deg, p.err = dcfg.CompileFaults(set)
+				if p.err == nil {
+					p.expected = deg.Bandwidth(aopts.Load)
+				}
+			}
+		})
+
+		merged := DilatedAvailabilityResult{
+			Dilated:       dcfg,
+			FaultFraction: f,
 		}
-		if merged.Histogram != nil {
-			merged.LatencyMean = merged.Histogram.Mean()
-			merged.LatencyP50 = merged.Histogram.Quantile(0.50)
-			merged.LatencyP95 = merged.Histogram.Quantile(0.95)
-			merged.LatencyP99 = merged.Histogram.Quantile(0.99)
-			merged.LatencyMax = merged.Histogram.Max()
+		var acc sweepPointAccum
+		for w := range parts {
+			p := &parts[w]
+			if p.err != nil {
+				return nil, p.err
+			}
+			ran, err := acc.add(&p.res)
+			if err != nil {
+				return nil, err
+			}
+			if !ran {
+				continue
+			}
+			merged.DeadSubWires += float64(p.masks.DeadSubWires())
+			merged.ReachableFraction += float64(p.masks.ReachableOutputs()) / float64(ports)
+			merged.ExpectedThroughput += p.expected
 		}
+		if acc.shards > 0 {
+			n := float64(acc.shards)
+			merged.DeadSubWires /= n
+			merged.ReachableFraction /= n
+			merged.ExpectedThroughput /= n
+		}
+		merged.Depth = acc.depth
+		merged.Policy = acc.policy
+		merged.Cycles = acc.cycles
+		merged.Shards = acc.shards
+		merged.Injected = acc.injected
+		merged.Refused = acc.refused
+		merged.Delivered = acc.delivered
+		merged.Dropped = acc.dropped
+		merged.Histogram = acc.histogram
+		merged.OfferedRate, merged.Throughput, merged.ThroughputPerInput, merged.AcceptedFraction = acc.rates(ports)
+		merged.LatencyMean, merged.LatencyP50, merged.LatencyP95, merged.LatencyP99, merged.LatencyMax = acc.quantiles()
 		results = append(results, merged)
 	}
 	return results, nil

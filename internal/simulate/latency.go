@@ -5,6 +5,8 @@ import (
 	"runtime"
 	"sync"
 
+	"edn/internal/dilated"
+	"edn/internal/dilatedsim"
 	"edn/internal/queuesim"
 	"edn/internal/stats"
 	"edn/internal/topology"
@@ -14,9 +16,14 @@ import (
 
 // LatencyResult aggregates one queueing measurement: throughput plus the
 // delivery-latency distribution of the packets retired inside the
-// measurement window.
+// measurement window. Config identifies an EDN measurement; a dilated
+// counterpart measurement (MeasureDilatedLatency and the Dilated*
+// sweeps) leaves Config zero and sets Dilated instead — the stat fields
+// mean the same thing either way, which is what lets the CLIs print the
+// two engines' curves side by side.
 type LatencyResult struct {
 	Config  topology.Config
+	Dilated dilated.Config // set instead of Config for dilated runs
 	Pattern string
 	Depth   int
 	Policy  queuesim.Policy
@@ -50,10 +57,19 @@ type LatencyResult struct {
 	Histogram *stats.Histogram
 }
 
+// Network names the measured network: the EDN configuration, or the
+// dilated counterpart for dilated runs.
+func (r LatencyResult) Network() string {
+	if r.Config == (topology.Config{}) {
+		return r.Dilated.String()
+	}
+	return r.Config.String()
+}
+
 // String renders the headline numbers.
 func (r LatencyResult) String() string {
-	return fmt.Sprintf("%v %s depth=%d %v: offered=%.3f thr=%.1f/cycle lat mean=%.1f p50=%.0f p95=%.0f p99=%.0f",
-		r.Config, r.Pattern, r.Depth, r.Policy, r.OfferedRate, r.Throughput,
+	return fmt.Sprintf("%s %s depth=%d %v: offered=%.3f thr=%.1f/cycle lat mean=%.1f p50=%.0f p95=%.0f p99=%.0f",
+		r.Network(), r.Pattern, r.Depth, r.Policy, r.OfferedRate, r.Throughput,
 		r.LatencyMean, r.LatencyP50, r.LatencyP95, r.LatencyP99)
 }
 
@@ -77,17 +93,64 @@ func (r *LatencyResult) fillQuantiles(inputs int) {
 	}
 }
 
+// packetEngine is the measurement surface shared by the two buffered
+// packet-level simulators, queuesim.Network (EDN) and
+// dilatedsim.Network (dilated delta). The harness loops are written
+// against it once, so EDN and counterpart measurements are the same
+// code driving different fabrics.
+type packetEngine interface {
+	Cycle(dest []int) (queuesim.CycleStats, error)
+	Queued() int64
+	Totals() queuesim.Totals
+	Latency() *stats.Histogram
+	ResetLatency()
+}
+
+// measurePacketEngine drives pattern through net for opts.Warmup +
+// opts.Cycles cycles and fills res's counters, histogram and quantiles.
+// Latencies retired during warmup are discarded; packets injected
+// during warmup but retired inside the window do count, and the
+// window's still-queued survivors not at all — the standard open-loop
+// truncation.
+func measurePacketEngine(net packetEngine, inputs, outputs int, pattern traffic.Pattern, opts Options, res *LatencyResult) error {
+	dest := make([]int, inputs)
+	gen, inPlace := pattern.(traffic.IntoGenerator)
+	var queuedSum int64
+	var before queuesim.Totals
+	for cycle := 0; cycle < opts.Warmup+opts.Cycles; cycle++ {
+		if cycle == opts.Warmup {
+			net.ResetLatency()
+			before = net.Totals()
+		}
+		if inPlace {
+			gen.GenerateInto(dest, outputs)
+		} else {
+			dest = pattern.Generate(inputs, outputs)
+		}
+		if _, err := net.Cycle(dest); err != nil {
+			return err
+		}
+		if cycle >= opts.Warmup {
+			queuedSum += net.Queued()
+		}
+	}
+	after := net.Totals()
+	res.Injected = after.Injected - before.Injected
+	res.Refused = after.Refused - before.Refused
+	res.Delivered = after.Delivered - before.Delivered
+	res.Dropped = after.Dropped - before.Dropped
+	res.AvgQueued = float64(queuedSum) / float64(opts.Cycles)
+	res.Histogram = net.Latency().Clone()
+	res.fillQuantiles(inputs)
+	return nil
+}
+
 // MeasureLatency drives pattern through a queueing network for
 // opts.Warmup + opts.Cycles cycles and reports throughput and the
 // latency distribution of the measurement window. The steady-state loop
 // is allocation-free for bounded depths: IntoGenerator patterns fill
 // the injection vector in place and the queueing engine reuses all ring
 // and histogram storage.
-//
-// Latencies retired during warmup are discarded; packets injected
-// during warmup but retired inside the window do count, as do the
-// window's still-queued survivors not at all — the standard
-// open-loop truncation.
 func MeasureLatency(cfg topology.Config, pattern traffic.Pattern, qopts queuesim.Options, opts Options) (LatencyResult, error) {
 	opts = opts.withDefaults()
 	if qopts.Factory == nil {
@@ -105,36 +168,40 @@ func MeasureLatency(cfg topology.Config, pattern traffic.Pattern, qopts queuesim
 		Cycles:  opts.Cycles,
 		Shards:  1,
 	}
-	inputs, outputs := cfg.Inputs(), cfg.Outputs()
-	dest := make([]int, inputs)
-	gen, inPlace := pattern.(traffic.IntoGenerator)
-	var queuedSum int64
-	var before queuesim.Totals
-	for cycle := 0; cycle < opts.Warmup+opts.Cycles; cycle++ {
-		if cycle == opts.Warmup {
-			net.ResetLatency()
-			before = net.Totals()
-		}
-		if inPlace {
-			gen.GenerateInto(dest, outputs)
-		} else {
-			dest = pattern.Generate(inputs, outputs)
-		}
-		if _, err := net.Cycle(dest); err != nil {
-			return LatencyResult{}, err
-		}
-		if cycle >= opts.Warmup {
-			queuedSum += net.Queued()
-		}
+	if err := measurePacketEngine(net, cfg.Inputs(), cfg.Outputs(), pattern, opts, &res); err != nil {
+		return LatencyResult{}, err
 	}
-	after := net.Totals()
-	res.Injected = after.Injected - before.Injected
-	res.Refused = after.Refused - before.Refused
-	res.Delivered = after.Delivered - before.Delivered
-	res.Dropped = after.Dropped - before.Dropped
-	res.AvgQueued = float64(queuedSum) / float64(opts.Cycles)
-	res.Histogram = net.Latency().Clone()
-	res.fillQuantiles(inputs)
+	return res, nil
+}
+
+// MeasureDilatedLatency is MeasureLatency for the dilated packet
+// engine: the same harness, warmup truncation and result schema over a
+// d-dilated delta. Destinations are drawn in the dilated network's own
+// output space; with the same seed and input count as an EDN
+// measurement, the per-input injection process is the identical
+// realization (the traffic sources draw the inject coin before the
+// destination), which is what "same replayed traffic" means across two
+// networks with different output counts.
+func MeasureDilatedLatency(dcfg dilated.Config, pattern traffic.Pattern, dopts dilatedsim.Options, opts Options) (LatencyResult, error) {
+	opts = opts.withDefaults()
+	if dopts.Factory == nil {
+		dopts.Factory = opts.Factory
+	}
+	net, err := dilatedsim.New(dcfg, dopts)
+	if err != nil {
+		return LatencyResult{}, err
+	}
+	res := LatencyResult{
+		Dilated: dcfg,
+		Pattern: pattern.Name(),
+		Depth:   net.Depth(),
+		Policy:  net.Policy(),
+		Cycles:  opts.Cycles,
+		Shards:  1,
+	}
+	if err := measurePacketEngine(net, dcfg.Ports(), dcfg.Ports(), pattern, opts, &res); err != nil {
+		return LatencyResult{}, err
+	}
 	return res, nil
 }
 
@@ -189,6 +256,65 @@ func SaturationSweep(cfg topology.Config, loads []float64, src LoadPattern, qopt
 	if src == nil {
 		src = UniformLoad
 	}
+	return sweepLoads(cfg.Inputs(), loads, opts, shards, func(load float64, seed uint64, cycles int) (LatencyResult, error) {
+		sub := opts
+		sub.Cycles = cycles
+		return MeasureLatency(cfg, src(load, xrand.New(seed)), qopts, sub)
+	})
+}
+
+// DilatedSaturationSweep is SaturationSweep over the dilated packet
+// engine. Shard seeds derive from (opts.Seed, load index, shards)
+// exactly as in SaturationSweep, so running both sweeps with the same
+// Options and shard count drives the EDN and its counterpart with
+// identical per-input injection replays — the measured two-sided form
+// of the paper's equal-redundancy comparison, tails included.
+func DilatedSaturationSweep(dcfg dilated.Config, loads []float64, src LoadPattern, dopts dilatedsim.Options, opts Options, shards int) ([]LatencyResult, error) {
+	opts = opts.withDefaults()
+	if src == nil {
+		src = UniformLoad
+	}
+	return sweepLoads(dcfg.Ports(), loads, opts, shards, func(load float64, seed uint64, cycles int) (LatencyResult, error) {
+		sub := opts
+		sub.Cycles = cycles
+		return MeasureDilatedLatency(dcfg, src(load, xrand.New(seed)), dopts, sub)
+	})
+}
+
+// runShards splits a cycle budget across parallel shards — shard w
+// gets cycles/shards cycles plus one of the remainder — and runs
+// fn(w, cycles) concurrently for every shard with a non-zero share,
+// returning after all complete. It is the fan-out skeleton every
+// sharded sweep in this package uses; keeping it in one place keeps
+// the budget split (and therefore the shard seeding pairing between
+// EDN and dilated sweeps) identical everywhere.
+func runShards(totalCycles, shards int, fn func(w, cycles int)) {
+	var wg sync.WaitGroup
+	per := totalCycles / shards
+	extra := totalCycles % shards
+	for w := 0; w < shards; w++ {
+		cycles := per
+		if w < extra {
+			cycles++
+		}
+		if cycles == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(w, cycles int) {
+			defer wg.Done()
+			fn(w, cycles)
+		}(w, cycles)
+	}
+	wg.Wait()
+}
+
+// sweepLoads runs one measurement per load point, splitting each
+// point's cycle budget across parallel shards (seed derived per (load
+// index, shard), independent of scheduling) and merging counters and
+// histograms exactly. It is the engine-agnostic core of the saturation
+// sweeps; measure runs one shard.
+func sweepLoads(inputs int, loads []float64, opts Options, shards int, measure func(load float64, seed uint64, cycles int) (LatencyResult, error)) ([]LatencyResult, error) {
 	if shards <= 0 {
 		shards = runtime.GOMAXPROCS(0)
 	}
@@ -209,28 +335,9 @@ func SaturationSweep(cfg topology.Config, loads []float64, src LoadPattern, qopt
 			err error
 		}
 		parts := make([]partial, shards)
-		var wg sync.WaitGroup
-		per := opts.Cycles / shards
-		extra := opts.Cycles % shards
-		for w := 0; w < shards; w++ {
-			cycles := per
-			if w < extra {
-				cycles++
-			}
-			if cycles == 0 {
-				continue
-			}
-			wg.Add(1)
-			go func(w, cycles int, load float64) {
-				defer wg.Done()
-				sub := opts
-				sub.Cycles = cycles
-				rng := xrand.New(seeds[w])
-				pattern := src(load, rng)
-				parts[w].res, parts[w].err = MeasureLatency(cfg, pattern, qopts, sub)
-			}(w, cycles, load)
-		}
-		wg.Wait()
+		runShards(opts.Cycles, shards, func(w, cycles int) {
+			parts[w].res, parts[w].err = measure(load, seeds[w], cycles)
+		})
 
 		var merged LatencyResult
 		var queuedWeighted float64
@@ -264,7 +371,7 @@ func SaturationSweep(cfg topology.Config, loads []float64, src LoadPattern, qopt
 		if merged.Cycles > 0 {
 			merged.AvgQueued = queuedWeighted / float64(merged.Cycles)
 		}
-		merged.fillQuantiles(cfg.Inputs())
+		merged.fillQuantiles(inputs)
 		results = append(results, merged)
 	}
 	return results, nil

@@ -6,6 +6,8 @@ import (
 	"sync"
 
 	"edn/internal/analytic"
+	"edn/internal/dilated"
+	"edn/internal/dilatedsim"
 	"edn/internal/faults"
 	"edn/internal/lifecycle"
 	"edn/internal/queuesim"
@@ -142,6 +144,58 @@ func LifetimeSweep(cfg topology.Config, lopts LifetimeOptions, src LoadPattern, 
 		shards = runtime.GOMAXPROCS(0)
 	}
 
+	m, err := runLifetimeShards(lopts, opts, shards, func(procSeed, trafficSeed uint64) partialLifetime {
+		return runLifetimeShard(cfg, lopts, src, qopts, opts, procSeed, trafficSeed)
+	})
+	if err != nil {
+		return LifetimeResult{}, err
+	}
+	return LifetimeResult{
+		Config:             cfg,
+		Spec:               lopts.Spec,
+		Epochs:             lopts.Epochs,
+		EpochCycles:        lopts.EpochCycles,
+		Shards:             shards,
+		Threshold:          lopts.Threshold,
+		Depth:              qopts.Depth,
+		Policy:             qopts.Policy,
+		Bandwidth:          m.bandwidth,
+		Reachable:          m.reachable,
+		DeadFraction:       m.deadFrac,
+		LatencyP99:         m.p99,
+		Parked:             m.parked,
+		Injected:           m.totals.Injected,
+		Refused:            m.totals.Refused,
+		Delivered:          m.totals.Delivered,
+		Dropped:            m.totals.Dropped,
+		Stranded:           m.totals.Stranded,
+		LifetimeBandwidth:  m.lifetimeBandwidth,
+		DeliveredFraction:  m.deliveredFraction,
+		TimeBelowThreshold: m.timeBelowThreshold,
+		RecoveryHalfLife:   m.recoveryHalfLife,
+	}, nil
+}
+
+// lifetimeMerge is the engine-agnostic half of a lifetime result: the
+// exactly-merged per-epoch series, the summed lifetime counters and
+// the derived aggregates. Both sweeps build their public result from
+// one of these, so the merge and aggregate rules cannot drift between
+// the EDN and dilated halves of a paired comparison.
+type lifetimeMerge struct {
+	bandwidth, reachable, deadFrac, p99, parked *stats.TimeSeries
+	totals                                      queuesim.Totals
+
+	lifetimeBandwidth  float64
+	deliveredFraction  float64
+	timeBelowThreshold float64
+	recoveryHalfLife   float64
+}
+
+// runLifetimeShards derives one (process, traffic) seed pair per shard
+// from opts.Seed — the derivation is shared by both sweeps, which is
+// what makes "same Options" mean "same replays" — runs the shard
+// lifetimes in parallel and merges series, counters and aggregates.
+func runLifetimeShards(lopts LifetimeOptions, opts Options, shards int, runShard func(procSeed, trafficSeed uint64) partialLifetime) (lifetimeMerge, error) {
 	// Derive per-shard seeds up front so the assignment does not depend
 	// on scheduling.
 	root := xrand.New(opts.Seed ^ 0x5bf0_3635_d1c2_a94f)
@@ -157,63 +211,87 @@ func LifetimeSweep(cfg topology.Config, lopts LifetimeOptions, src LoadPattern, 
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			parts[w] = runLifetimeShard(cfg, lopts, src, qopts, opts, seeds[w].proc, seeds[w].traffic)
+			parts[w] = runShard(seeds[w].proc, seeds[w].traffic)
 		}(w)
 	}
 	wg.Wait()
 
-	res := LifetimeResult{
-		Config:       cfg,
-		Spec:         lopts.Spec,
-		Epochs:       lopts.Epochs,
-		EpochCycles:  lopts.EpochCycles,
-		Shards:       shards,
-		Threshold:    lopts.Threshold,
-		Depth:        qopts.Depth,
-		Policy:       qopts.Policy,
-		Bandwidth:    stats.NewTimeSeries(lopts.Epochs),
-		Reachable:    stats.NewTimeSeries(lopts.Epochs),
-		DeadFraction: stats.NewTimeSeries(lopts.Epochs),
-		LatencyP99:   stats.NewTimeSeries(lopts.Epochs),
-		Parked:       stats.NewTimeSeries(lopts.Epochs),
+	m := lifetimeMerge{
+		bandwidth: stats.NewTimeSeries(lopts.Epochs),
+		reachable: stats.NewTimeSeries(lopts.Epochs),
+		deadFrac:  stats.NewTimeSeries(lopts.Epochs),
+		p99:       stats.NewTimeSeries(lopts.Epochs),
+		parked:    stats.NewTimeSeries(lopts.Epochs),
 	}
 	for w := range parts {
 		p := &parts[w]
 		if p.err != nil {
-			return LifetimeResult{}, p.err
+			return lifetimeMerge{}, p.err
 		}
-		for _, m := range []struct{ into, from *stats.TimeSeries }{
-			{res.Bandwidth, p.bandwidth},
-			{res.Reachable, p.reachable},
-			{res.DeadFraction, p.deadFrac},
-			{res.LatencyP99, p.p99},
-			{res.Parked, p.parked},
+		for _, s := range []struct{ into, from *stats.TimeSeries }{
+			{m.bandwidth, p.bandwidth},
+			{m.reachable, p.reachable},
+			{m.deadFrac, p.deadFrac},
+			{m.p99, p.p99},
+			{m.parked, p.parked},
 		} {
-			if err := m.into.Merge(m.from); err != nil {
-				return LifetimeResult{}, err
+			if err := s.into.Merge(s.from); err != nil {
+				return lifetimeMerge{}, err
 			}
 		}
-		res.Injected += p.totals.Injected
-		res.Refused += p.totals.Refused
-		res.Delivered += p.totals.Delivered
-		res.Dropped += p.totals.Dropped
-		res.Stranded += p.totals.Stranded
+		m.totals.Injected += p.totals.Injected
+		m.totals.Refused += p.totals.Refused
+		m.totals.Delivered += p.totals.Delivered
+		m.totals.Dropped += p.totals.Dropped
+		m.totals.Stranded += p.totals.Stranded
 	}
-	res.LifetimeBandwidth = res.Bandwidth.MeanOverall()
-	if res.Injected > 0 {
-		res.DeliveredFraction = float64(res.Delivered) / float64(res.Injected)
+	m.lifetimeBandwidth = m.bandwidth.MeanOverall()
+	if m.totals.Injected > 0 {
+		m.deliveredFraction = float64(m.totals.Delivered) / float64(m.totals.Injected)
 	} else {
-		res.DeliveredFraction = 1
+		m.deliveredFraction = 1
 	}
-	res.TimeBelowThreshold = res.Bandwidth.FractionBelow(lopts.Threshold)
-	res.RecoveryHalfLife = stats.RecoveryHalfLife(res.Bandwidth.Means(), 0.1)
-	return res, nil
+	m.timeBelowThreshold = m.bandwidth.FractionBelow(lopts.Threshold)
+	m.recoveryHalfLife = stats.RecoveryHalfLife(m.bandwidth.Means(), 0.1)
+	return m, nil
 }
 
 // runLifetimeShard simulates one independent lifetime: warmup
 // fault-free, then Epochs iterations of (advance the failure process,
 // compile, swap the masks in place, run EpochCycles cycles, record).
 func runLifetimeShard(cfg topology.Config, lopts LifetimeOptions, src LoadPattern, qopts queuesim.Options, opts Options, procSeed, trafficSeed uint64) partialLifetime {
+	proc, err := lifecycle.New(cfg, lopts.Spec, xrand.New(procSeed))
+	if err != nil {
+		return partialLifetime{err: err}
+	}
+	sq := qopts
+	sq.Faults = nil // the lifetime starts healthy; epochs swap masks in
+	net, err := queuesim.New(cfg, sq)
+	if err != nil {
+		return partialLifetime{err: err}
+	}
+	inputs, outputs := cfg.Inputs(), cfg.Outputs()
+	step := func() (reachable, deadFrac float64, err error) {
+		masks, err := faults.Compile(cfg, proc.Step())
+		if err != nil {
+			return 0, 0, err
+		}
+		if err := net.UpdateFaults(masks); err != nil {
+			return 0, 0, err
+		}
+		return float64(masks.ReachableOutputs()) / float64(outputs), proc.DeadFraction(), nil
+	}
+	return runLifetimeLoop(net, inputs, outputs, lopts, src(lopts.Load, xrand.New(trafficSeed)), opts.Warmup, step)
+}
+
+// runLifetimeLoop is the per-shard epoch loop both lifetime sweeps
+// share, written against the engine-agnostic packetEngine surface:
+// warmup fault-free, then Epochs iterations of (step — advance the
+// fault process and re-mask the running engine in place — then run
+// EpochCycles cycles and record the epoch's series). step returns the
+// epoch's reachable-output and dead-population fractions alongside any
+// compile/swap error.
+func runLifetimeLoop(net packetEngine, inputs, outputs int, lopts LifetimeOptions, pattern traffic.Pattern, warmup int, step func() (reachable, deadFrac float64, err error)) partialLifetime {
 	var p partialLifetime
 	p.bandwidth = stats.NewTimeSeries(lopts.Epochs)
 	p.reachable = stats.NewTimeSeries(lopts.Epochs)
@@ -221,24 +299,9 @@ func runLifetimeShard(cfg topology.Config, lopts LifetimeOptions, src LoadPatter
 	p.p99 = stats.NewTimeSeries(lopts.Epochs)
 	p.parked = stats.NewTimeSeries(lopts.Epochs)
 
-	proc, err := lifecycle.New(cfg, lopts.Spec, xrand.New(procSeed))
-	if err != nil {
-		p.err = err
-		return p
-	}
-	sq := qopts
-	sq.Faults = nil // the lifetime starts healthy; epochs swap masks in
-	net, err := queuesim.New(cfg, sq)
-	if err != nil {
-		p.err = err
-		return p
-	}
-	inputs, outputs := cfg.Inputs(), cfg.Outputs()
-	pattern := src(lopts.Load, xrand.New(trafficSeed))
 	gen, inPlace := pattern.(traffic.IntoGenerator)
 	dest := make([]int, inputs)
-
-	for c := 0; c < opts.Warmup; c++ {
+	for c := 0; c < warmup; c++ {
 		if inPlace {
 			gen.GenerateInto(dest, outputs)
 		} else {
@@ -255,13 +318,9 @@ func runLifetimeShard(cfg topology.Config, lopts LifetimeOptions, src LoadPatter
 	warm := net.Totals()
 
 	for e := 0; e < lopts.Epochs; e++ {
-		set := proc.Step()
-		masks, err := faults.Compile(cfg, set)
+		reachable, deadFrac, err := step()
 		if err != nil {
 			p.err = err
-			return p
-		}
-		if p.err = net.UpdateFaults(masks); p.err != nil {
 			return p
 		}
 		net.ResetLatency()
@@ -283,8 +342,8 @@ func runLifetimeShard(cfg topology.Config, lopts LifetimeOptions, src LoadPatter
 		after := net.Totals()
 		delivered := after.Delivered - before.Delivered
 		p.bandwidth.Add(e, float64(delivered)/float64(lopts.EpochCycles*inputs))
-		p.reachable.Add(e, float64(masks.ReachableOutputs())/float64(outputs))
-		p.deadFrac.Add(e, proc.DeadFraction())
+		p.reachable.Add(e, reachable)
+		p.deadFrac.Add(e, deadFrac)
 		if net.Latency().N() > 0 {
 			// A blackout epoch that retires nothing has no latency
 			// observation; recording its empty-histogram quantile (0)
@@ -309,4 +368,147 @@ type partialLifetime struct {
 	bandwidth, reachable, deadFrac, p99, parked *stats.TimeSeries
 	totals                                      queuesim.Totals
 	err                                         error
+}
+
+// DilatedLifetimeResult is the availability-over-time view of a dilated
+// delta under sub-wire churn, with the same series and aggregate
+// semantics as LifetimeResult.
+type DilatedLifetimeResult struct {
+	Dilated     dilated.Config
+	MTBF        float64
+	MTTR        float64
+	Timing      lifecycle.Timing
+	Depth       int
+	Policy      queuesim.Policy
+	Epochs      int
+	EpochCycles int
+	Shards      int
+	Threshold   float64
+
+	Bandwidth    *stats.TimeSeries // delivered packets per input per cycle
+	Reachable    *stats.TimeSeries // fraction of output ports still reachable
+	DeadFraction *stats.TimeSeries // dead fraction of the sub-wire population
+	LatencyP99   *stats.TimeSeries // P99 delivery latency within the epoch
+	Parked       *stats.TimeSeries // mean packets parked on dead sub-wires per cycle
+
+	Injected  int64
+	Refused   int64
+	Delivered int64
+	Dropped   int64
+	Stranded  int64
+
+	LifetimeBandwidth  float64
+	DeliveredFraction  float64
+	TimeBelowThreshold float64
+	RecoveryHalfLife   float64
+}
+
+// String renders the headline numbers.
+func (r DilatedLifetimeResult) String() string {
+	return fmt.Sprintf("%v mtbf=%g mttr=%g: lifetime thr=%.3f/input below-threshold=%.1f%% half-life=%.1f epochs",
+		r.Dilated, r.MTBF, r.MTTR,
+		r.LifetimeBandwidth, 100*r.TimeBelowThreshold, r.RecoveryHalfLife)
+}
+
+// DilatedLifetimeSweep simulates a dilated delta's whole service life
+// under sub-wire churn: every sub-wire runs an alternating-renewal
+// clock with lopts.Spec's MTBF/MTTR/Timing (the population is always
+// the sub-wires — the network's entire redundancy budget — so
+// Spec.Mode and the blast overlay, which name EDN structures, are
+// ignored), and the running engine is re-masked in place at every
+// epoch boundary exactly as LifetimeSweep does for the EDN.
+//
+// Per-shard process and traffic seeds derive from (opts.Seed, shards)
+// exactly as in LifetimeSweep, so running both sweeps with the same
+// Options churns the EDN and its counterpart through identically
+// distributed outages under identical per-input traffic replays — the
+// measured lifetime half of the equal-redundancy comparison.
+// lopts.Threshold <= 0 selects half the counterpart's own fault-free
+// mean-field bandwidth per input.
+func DilatedLifetimeSweep(dcfg dilated.Config, lopts LifetimeOptions, src LoadPattern, dopts dilatedsim.Options, opts Options, shards int) (DilatedLifetimeResult, error) {
+	opts = opts.withDefaults()
+	if lopts.Epochs <= 0 {
+		return DilatedLifetimeResult{}, fmt.Errorf("simulate: lifetime sweep needs a positive epoch count")
+	}
+	if lopts.EpochCycles <= 0 {
+		lopts.EpochCycles = 200
+	}
+	if lopts.Load <= 0 {
+		lopts.Load = 1
+	}
+	if lopts.Threshold <= 0 {
+		lopts.Threshold = 0.5 * dcfg.PA(lopts.Load) * lopts.Load
+	}
+	if src == nil {
+		src = UniformLoad
+	}
+	if dopts.Factory == nil {
+		dopts.Factory = opts.Factory
+	}
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+
+	// Seed derivation and merging are the shared core, so they match
+	// LifetimeSweep draw for draw and rule for rule.
+	m, err := runLifetimeShards(lopts, opts, shards, func(procSeed, trafficSeed uint64) partialLifetime {
+		return runDilatedLifetimeShard(dcfg, lopts, src, dopts, opts, procSeed, trafficSeed)
+	})
+	if err != nil {
+		return DilatedLifetimeResult{}, err
+	}
+	return DilatedLifetimeResult{
+		Dilated:            dcfg,
+		MTBF:               lopts.Spec.MTBF,
+		MTTR:               lopts.Spec.MTTR,
+		Timing:             lopts.Spec.Timing,
+		Epochs:             lopts.Epochs,
+		EpochCycles:        lopts.EpochCycles,
+		Shards:             shards,
+		Threshold:          lopts.Threshold,
+		Depth:              dopts.Depth,
+		Policy:             dopts.Policy,
+		Bandwidth:          m.bandwidth,
+		Reachable:          m.reachable,
+		DeadFraction:       m.deadFrac,
+		LatencyP99:         m.p99,
+		Parked:             m.parked,
+		Injected:           m.totals.Injected,
+		Refused:            m.totals.Refused,
+		Delivered:          m.totals.Delivered,
+		Dropped:            m.totals.Dropped,
+		Stranded:           m.totals.Stranded,
+		LifetimeBandwidth:  m.lifetimeBandwidth,
+		DeliveredFraction:  m.deliveredFraction,
+		TimeBelowThreshold: m.timeBelowThreshold,
+		RecoveryHalfLife:   m.recoveryHalfLife,
+	}, nil
+}
+
+// runDilatedLifetimeShard simulates one independent dilated lifetime —
+// the same epoch loop as the EDN shard (runLifetimeLoop), driving the
+// dilated engine through sub-wire churn.
+func runDilatedLifetimeShard(dcfg dilated.Config, lopts LifetimeOptions, src LoadPattern, dopts dilatedsim.Options, opts Options, procSeed, trafficSeed uint64) partialLifetime {
+	churn, err := dilatedsim.NewChurn(dcfg, lopts.Spec.MTBF, lopts.Spec.MTTR, lopts.Spec.Timing, xrand.New(procSeed))
+	if err != nil {
+		return partialLifetime{err: err}
+	}
+	sd := dopts
+	sd.Faults = nil // the lifetime starts healthy; epochs swap masks in
+	net, err := dilatedsim.New(dcfg, sd)
+	if err != nil {
+		return partialLifetime{err: err}
+	}
+	ports := dcfg.Ports()
+	step := func() (reachable, deadFrac float64, err error) {
+		masks, err := dilatedsim.Compile(dcfg, churn.Step())
+		if err != nil {
+			return 0, 0, err
+		}
+		if err := net.UpdateFaults(masks); err != nil {
+			return 0, 0, err
+		}
+		return float64(masks.ReachableOutputs()) / float64(ports), churn.DeadFraction(), nil
+	}
+	return runLifetimeLoop(net, ports, ports, lopts, src(lopts.Load, xrand.New(trafficSeed)), opts.Warmup, step)
 }
