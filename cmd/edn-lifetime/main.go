@@ -59,6 +59,7 @@ func run(args []string, w io.Writer) error {
 	mode := fs.String("mode", "wires", "churning population: wires, switches, mixed")
 	blastRate := fs.Float64("blast-rate", 0, "per-epoch probability of a correlated switch-block blast")
 	blastRadius := fs.Int("blast-radius", 1, "blast kills switches within this radius of a random center")
+	repairWindow := fs.Int("repair-window", 0, "batch repairs to epoch-multiple maintenance windows (0/1 = immediate)")
 	load := fs.Float64("load", 1, "offered load per input")
 	depth := fs.Int("depth", 4, "per-wire FIFO depth (-1 unbounded, 0 unbuffered resubmission)")
 	policy := fs.String("policy", "drop", "blocked-packet policy: backpressure, drop")
@@ -102,12 +103,13 @@ func run(args []string, w io.Writer) error {
 		Load:        *load,
 		Threshold:   *threshold,
 		Spec: edn.LifecycleSpec{
-			Mode:        faultMode,
-			MTBF:        *mtbf,
-			MTTR:        *mttr,
-			Timing:      lifeTiming,
-			BlastRate:   *blastRate,
-			BlastRadius: *blastRadius,
+			Mode:         faultMode,
+			MTBF:         *mtbf,
+			MTTR:         *mttr,
+			Timing:       lifeTiming,
+			BlastRate:    *blastRate,
+			BlastRadius:  *blastRadius,
+			RepairWindow: *repairWindow,
 		},
 	}
 	opts := edn.SimOptions{Warmup: *warmup, Seed: *seed}

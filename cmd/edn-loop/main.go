@@ -1,0 +1,403 @@
+// Command edn-loop measures the closed-loop request/response workload:
+// sources issue memory requests through a forward fabric, memory ports
+// service them, replies return through a second fabric instance, and
+// each source holds at most W requests in flight, re-issuing on timeout
+// per a retry policy. The default mode sweeps demand rates and reports
+// goodput, SLA attainment, end-to-end latency quantiles and the
+// retry/timeout/give-up ledger; -lifetime runs the workload over a
+// whole churned service life instead and reports the per-epoch
+// availability series plus the SLA-weighted cost of downtime:
+//
+//	edn-loop -a 4 -b 4 -c 2 -l 3 -rates 0.2,0.4,0.6,0.8
+//	edn-loop -a 4 -b 4 -c 2 -l 3 -dilated -retry backoff -format csv
+//	edn-loop -a 4 -b 4 -c 2 -l 3 -lifetime -mtbf 32 -mttr 8 -format json
+//	edn-loop -a 4 -b 4 -c 2 -l 3 -lifetime -dilated -repair-window 4
+//
+// With -dilated the equal-redundancy dilated counterpart runs the same
+// sweep under the same shard seeding: the demand streams are replayed
+// bit-for-bit (the harness asserts equal offered counts in the rate
+// sweep), so any difference in goodput or tail latency is the fabric's
+// doing, not the workload's. Runs are deterministic for a fixed
+// (seed, shards) pair, except under -arb random with more than one
+// shard (see cliutil.ArbiterFactory).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"edn"
+	"edn/internal/cliutil"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "edn-loop:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("edn-loop", flag.ContinueOnError)
+	a, b, c, l := cliutil.GeometryFlags(fs, 4, 4, 2, 3)
+	ratesFlag := fs.String("rates", "0.2,0.4,0.6,0.8,1.0", "comma-separated demand rates to sweep (requests per source per cycle)")
+	window := fs.Int("window", 4, "outstanding-request window per source")
+	service := fs.Int("service", 1, "memory service cycles per request")
+	timeout := fs.Int("timeout", 64, "cycles before an outstanding request times out")
+	maxAttempts := fs.Int("max-attempts", 0, "attempts before giving a request up (0 = never)")
+	retry := fs.String("retry", "backoff", "retry policy: immediate, backoff")
+	backoffBase := fs.Int("backoff-base", 2, "backoff delay after the first timeout, cycles")
+	backoffCap := fs.Int("backoff-cap", 64, "backoff delay ceiling, cycles")
+	maxBacklog := fs.Int("max-backlog", 64, "demand arrivals queued per source before shedding")
+	slaDeadline := fs.Float64("sla-deadline", 0, "SLA: zero credit past this end-to-end latency (0 = credit every completion)")
+	slaZero := fs.Float64("sla-zero", 0, "SLA: full credit at or under this latency, linear decay to the deadline")
+	depth := fs.Int("depth", 4, "per-wire FIFO depth (-1 unbounded, 0 unbuffered resubmission)")
+	policy := fs.String("policy", "drop", "blocked-packet policy: backpressure, drop")
+	cycles := fs.Int("cycles", 4000, "measured cycles per rate point (rate sweep)")
+	warmup := fs.Int("warmup", 500, "warmup cycles per shard")
+	shards := fs.Int("shards", 0, "parallel shards (0 = GOMAXPROCS)")
+	seed := fs.Uint64("seed", 1, "RNG seed (demand, destinations, backoff jitter, churn)")
+	arb := fs.String("arb", "priority", "arbitration: priority, roundrobin, random")
+	format := fs.String("format", "table", "output: table, csv, json")
+	dilatedCmp := cliutil.DilatedFlag(fs, "replay-matched closed-loop demand")
+	lifetime := fs.Bool("lifetime", false, "run the workload over a churned service life instead of a rate sweep")
+	epochs := fs.Int("epochs", 60, "lifetime: failure/repair epochs")
+	epochCycles := fs.Int("epoch-cycles", 200, "lifetime: network cycles per epoch")
+	rate := fs.Float64("rate", 0.5, "lifetime: demand rate per source per cycle")
+	mtbf := fs.Float64("mtbf", 40, "lifetime: mean epochs between failures per component")
+	mttr := fs.Float64("mttr", 10, "lifetime: mean epochs to repair a component")
+	timing := fs.String("timing", "exponential", "lifetime: holding times: exponential, deterministic")
+	mode := fs.String("mode", "wires", "lifetime: churning population: wires, switches, mixed")
+	repairWindow := fs.Int("repair-window", 0, "lifetime: batch repairs to epoch-multiple maintenance windows (0/1 = immediate)")
+	fs.SetOutput(w)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg, err := edn.New(*a, *b, *c, *l)
+	if err != nil {
+		return err
+	}
+	lo := edn.ClosedLoopOptions{
+		Window:        *window,
+		ServiceCycles: *service,
+		Timeout:       *timeout,
+		MaxAttempts:   *maxAttempts,
+		BackoffBase:   *backoffBase,
+		BackoffCap:    *backoffCap,
+		MaxBacklog:    *maxBacklog,
+		SLA:           edn.SLA{Deadline: *slaDeadline, Zero: *slaZero},
+	}
+	if lo.Retry, err = edn.ParseRetryPolicy(*retry); err != nil {
+		return err
+	}
+	qopts := edn.QueueOptions{Depth: *depth}
+	if qopts.Policy, err = cliutil.ParsePolicy(*policy); err != nil {
+		return err
+	}
+	if qopts.Factory, err = cliutil.ArbiterFactory(*arb, *seed); err != nil {
+		return err
+	}
+	var dcfg edn.DilatedDelta
+	dopts := edn.DilatedQueueOptions{Depth: *depth, Policy: qopts.Policy}
+	if *dilatedCmp {
+		if dcfg, err = cliutil.DilatedCounterpart(cfg); err != nil {
+			return err
+		}
+		if dopts.Factory, err = cliutil.ArbiterFactory(*arb, *seed); err != nil {
+			return err
+		}
+	}
+	opts := edn.SimOptions{Cycles: *cycles, Warmup: *warmup, Seed: *seed}
+
+	if *lifetime {
+		faultMode, err := edn.ParseFaultMode(*mode)
+		if err != nil {
+			return err
+		}
+		lifeTiming, err := edn.ParseLifecycleTiming(*timing)
+		if err != nil {
+			return err
+		}
+		lopts := edn.LifetimeOptions{
+			Epochs:      *epochs,
+			EpochCycles: *epochCycles,
+			Load:        *rate,
+			Spec: edn.LifecycleSpec{
+				Mode:         faultMode,
+				MTBF:         *mtbf,
+				MTTR:         *mttr,
+				Timing:       lifeTiming,
+				RepairWindow: *repairWindow,
+			},
+		}
+		return runLifetime(w, cfg, dcfg, *dilatedCmp, lopts, lo, qopts, dopts, opts, *shards, *format)
+	}
+
+	rates, err := cliutil.ParseFloatList(*ratesFlag, 0, 1, "rate")
+	if err != nil {
+		return err
+	}
+	return runSweep(w, cfg, dcfg, *dilatedCmp, rates, lo, qopts, dopts, opts, *shards, *format)
+}
+
+func runSweep(w io.Writer, cfg edn.Config, dcfg edn.DilatedDelta, dilatedCmp bool, rates []float64, lo edn.ClosedLoopOptions, qopts edn.QueueOptions, dopts edn.DilatedQueueOptions, opts edn.SimOptions, shards int, format string) error {
+	var results, dresults []edn.ClosedLoopResult
+	var err error
+	if dilatedCmp {
+		results, dresults, err = edn.MeasureClosedLoopPair(cfg, dcfg, rates, lo, qopts, dopts, opts, shards)
+	} else {
+		results, err = edn.MeasureClosedLoop(cfg, rates, lo, qopts, opts, shards)
+	}
+	if err != nil {
+		return err
+	}
+
+	cols := []cliutil.Column{
+		{Name: "rate", Format: "%5.2f"},
+		{Name: "offered_per_source", Head: "offered", Format: "%8.3f"},
+		{Name: "goodput_per_source", Head: "goodput", Format: "%8.3f"},
+		{Name: "sla_attainment", Head: "sla", Format: "%6.3f"},
+		{Name: "latency_p50", Head: "p50", Format: "%6.0f"},
+		{Name: "latency_p95", Head: "p95", Format: "%6.0f"},
+		{Name: "latency_p99", CSVOnly: true},
+		{Name: "retries", Format: "%8d"},
+		{Name: "timeouts", CSVOnly: true},
+		{Name: "givenup", Head: "givenup", Format: "%8d"},
+		{Name: "shed", CSVOnly: true},
+	}
+	if dilatedCmp {
+		cols = append(cols,
+			cliutil.Column{Name: "dilated_goodput_per_source", Head: "dil-goodput", Format: "%12.3f"},
+			cliutil.Column{Name: "dilated_sla_attainment", Head: "dil-sla", Format: "%8.3f"},
+			cliutil.Column{Name: "dilated_latency_p95", Head: "dil-p95", Format: "%8.0f"},
+			cliutil.Column{Name: "dilated_retries", CSVOnly: true},
+		)
+	}
+	rows := make([][]any, len(results))
+	for i, r := range results {
+		rows[i] = []any{
+			r.Rate, r.OfferedRate, r.Goodput, r.SLAAttainment,
+			r.LatencyP50, r.LatencyP95, r.LatencyP99,
+			r.Ledger.Retries, r.Ledger.Timeouts, r.Ledger.GivenUp, r.Ledger.Shed,
+		}
+		if dilatedCmp {
+			d := dresults[i]
+			rows[i] = append(rows[i], d.Goodput, d.SLAAttainment, d.LatencyP95, d.Ledger.Retries)
+		}
+	}
+	switch format {
+	case "table":
+		fmt.Fprintf(w, "%v closed loop — %d sources, %d memory ports, W=%d, timeout=%d, retry=%s, depth=%d, policy=%v\n",
+			cfg, cfg.Inputs(), cfg.Outputs(), lo.Window, lo.Timeout, lo.Retry, qopts.Depth, qopts.Policy)
+		if dilatedCmp {
+			cliutil.DilatedHeader(w, cfg, dcfg)
+		}
+		return cliutil.WriteTable(w, cols, rows)
+	case "csv":
+		return cliutil.WriteCSV(w, cols, rows)
+	case "json":
+		report := sweepReport{
+			Network: cfg.String(),
+			Inputs:  cfg.Inputs(),
+			Outputs: cfg.Outputs(),
+			Window:  lo.Window,
+			Timeout: lo.Timeout,
+			Retry:   lo.Retry.String(),
+			Seed:    opts.Seed,
+			Points:  sweepPoints(results),
+		}
+		if dilatedCmp {
+			report.DilatedNetwork = dcfg.String()
+			report.Dilated = sweepPoints(dresults)
+		}
+		return cliutil.WriteJSON(w, report)
+	default:
+		return fmt.Errorf("unknown format %q", format)
+	}
+}
+
+func runLifetime(w io.Writer, cfg edn.Config, dcfg edn.DilatedDelta, dilatedCmp bool, lopts edn.LifetimeOptions, lo edn.ClosedLoopOptions, qopts edn.QueueOptions, dopts edn.DilatedQueueOptions, opts edn.SimOptions, shards int, format string) error {
+	res, err := edn.ClosedLoopLifetimeSweep(cfg, lopts, lo, qopts, opts, shards)
+	if err != nil {
+		return err
+	}
+	var dres edn.ClosedLoopLifetimeResult
+	if dilatedCmp {
+		if dres, err = edn.DilatedClosedLoopLifetimeSweep(dcfg, lopts, lo, dopts, opts, shards); err != nil {
+			return err
+		}
+	}
+
+	cols := []cliutil.Column{
+		{Name: "epoch", Format: "%5d"},
+		{Name: "dead_fraction", Head: "deadfrac", Format: "%9.3f"},
+		{Name: "reachable_fraction", Head: "reachable", Format: "%10.3f"},
+		{Name: "goodput_per_source", Head: "goodput", Format: "%8.3f"},
+		{Name: "sla_attainment", Head: "sla", Format: "%6.3f"},
+		{Name: "latency_p95", Head: "p95", Format: "%6.0f"},
+		{Name: "retries_per_source", Head: "retries", Format: "%8.4f"},
+		{Name: "timeouts_per_source", CSVOnly: true},
+	}
+	if dilatedCmp {
+		cols = append(cols,
+			cliutil.Column{Name: "dilated_goodput_per_source", Head: "dil-goodput", Format: "%12.3f"},
+			cliutil.Column{Name: "dilated_sla_attainment", Head: "dil-sla", Format: "%8.3f"},
+			cliutil.Column{Name: "dilated_latency_p95", CSVOnly: true},
+		)
+	}
+	rows := make([][]any, lopts.Epochs)
+	for e := 0; e < lopts.Epochs; e++ {
+		rows[e] = []any{
+			e, res.DeadFraction.Mean(e), res.Reachable.Mean(e),
+			res.Goodput.Mean(e), res.SLAAttainment.Mean(e),
+			res.LatencyP95.Mean(e), res.Retries.Mean(e), res.Timeouts.Mean(e),
+		}
+		if dilatedCmp {
+			rows[e] = append(rows[e],
+				dres.Goodput.Mean(e), dres.SLAAttainment.Mean(e), dres.LatencyP95.Mean(e))
+		}
+	}
+	switch format {
+	case "table":
+		fmt.Fprintf(w, "%v closed loop lifetime — mtbf=%g mttr=%g (steady-state dead %.1f%%), rate=%g, W=%d, retry=%s, repair-window=%d\n",
+			cfg, lopts.Spec.MTBF, lopts.Spec.MTTR, 100*lopts.Spec.DeadFractionSteadyState(),
+			lopts.Load, lo.Window, lo.Retry, lopts.Spec.RepairWindow)
+		if dilatedCmp {
+			cliutil.DilatedHeader(w, cfg, dcfg)
+		}
+		if err := cliutil.WriteTable(w, cols, rows); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "lifetime: goodput=%.3f/source sla=%.3f downtime-cost=%.1f%% retries=%d timeouts=%d givenup=%d\n",
+			res.GoodputOverall, res.SLAAttainmentOverall, 100*res.CostOfDowntime,
+			res.Ledger.Retries, res.Ledger.Timeouts, res.Ledger.GivenUp)
+		if dilatedCmp {
+			fmt.Fprintf(w, "dilated lifetime: goodput=%.3f/source sla=%.3f downtime-cost=%.1f%% retries=%d timeouts=%d givenup=%d\n",
+				dres.GoodputOverall, dres.SLAAttainmentOverall, 100*dres.CostOfDowntime,
+				dres.Ledger.Retries, dres.Ledger.Timeouts, dres.Ledger.GivenUp)
+		}
+		return nil
+	case "csv":
+		return cliutil.WriteCSV(w, cols, rows)
+	case "json":
+		report := lifetimeReport{
+			Network:        cfg.String(),
+			MTBF:           lopts.Spec.MTBF,
+			MTTR:           lopts.Spec.MTTR,
+			RepairWindow:   lopts.Spec.RepairWindow,
+			Rate:           lopts.Load,
+			Window:         lo.Window,
+			Retry:          lo.Retry.String(),
+			Seed:           opts.Seed,
+			Goodput:        res.GoodputOverall,
+			SLAAttainment:  res.SLAAttainmentOverall,
+			CostOfDowntime: res.CostOfDowntime,
+			Ledger:         res.Ledger,
+		}
+		for e := 0; e < lopts.Epochs; e++ {
+			le := lifetimeEpoch{
+				Epoch:         e,
+				DeadFraction:  res.DeadFraction.Mean(e),
+				Reachable:     res.Reachable.Mean(e),
+				Goodput:       res.Goodput.Mean(e),
+				SLAAttainment: res.SLAAttainment.Mean(e),
+				LatencyP95:    res.LatencyP95.Mean(e),
+				Retries:       res.Retries.Mean(e),
+				Timeouts:      res.Timeouts.Mean(e),
+			}
+			report.Epochs = append(report.Epochs, le)
+		}
+		if dilatedCmp {
+			report.Dilated = &dilatedLifetime{
+				Network:        dcfg.String(),
+				Goodput:        dres.GoodputOverall,
+				SLAAttainment:  dres.SLAAttainmentOverall,
+				CostOfDowntime: dres.CostOfDowntime,
+				Ledger:         dres.Ledger,
+			}
+		}
+		return cliutil.WriteJSON(w, report)
+	default:
+		return fmt.Errorf("unknown format %q", format)
+	}
+}
+
+// sweepReport is the machine-readable rate sweep.
+type sweepReport struct {
+	Network        string       `json:"network"`
+	Inputs         int          `json:"inputs"`
+	Outputs        int          `json:"outputs"`
+	Window         int          `json:"window"`
+	Timeout        int          `json:"timeout"`
+	Retry          string       `json:"retry"`
+	Seed           uint64       `json:"seed"`
+	Points         []sweepPoint `json:"points"`
+	DilatedNetwork string       `json:"dilatedNetwork,omitempty"`
+	Dilated        []sweepPoint `json:"dilated,omitempty"`
+}
+
+type sweepPoint struct {
+	Rate          float64              `json:"rate"`
+	OfferedRate   float64              `json:"offeredPerSource"`
+	Goodput       float64              `json:"goodputPerSource"`
+	SLAAttainment float64              `json:"slaAttainment"`
+	LatencyMean   float64              `json:"latencyMean"`
+	LatencyP50    float64              `json:"latencyP50"`
+	LatencyP95    float64              `json:"latencyP95"`
+	LatencyP99    float64              `json:"latencyP99"`
+	Ledger        edn.ClosedLoopLedger `json:"ledger"`
+}
+
+func sweepPoints(results []edn.ClosedLoopResult) []sweepPoint {
+	pts := make([]sweepPoint, len(results))
+	for i, r := range results {
+		pts[i] = sweepPoint{
+			Rate: r.Rate, OfferedRate: r.OfferedRate,
+			Goodput: r.Goodput, SLAAttainment: r.SLAAttainment,
+			LatencyMean: r.LatencyMean, LatencyP50: r.LatencyP50,
+			LatencyP95: r.LatencyP95, LatencyP99: r.LatencyP99,
+			Ledger: r.Ledger,
+		}
+	}
+	return pts
+}
+
+// lifetimeReport is the machine-readable churned lifetime.
+type lifetimeReport struct {
+	Network        string               `json:"network"`
+	MTBF           float64              `json:"mtbf"`
+	MTTR           float64              `json:"mttr"`
+	RepairWindow   int                  `json:"repairWindow"`
+	Rate           float64              `json:"rate"`
+	Window         int                  `json:"window"`
+	Retry          string               `json:"retry"`
+	Seed           uint64               `json:"seed"`
+	Goodput        float64              `json:"goodputPerSource"`
+	SLAAttainment  float64              `json:"slaAttainment"`
+	CostOfDowntime float64              `json:"costOfDowntime"`
+	Ledger         edn.ClosedLoopLedger `json:"ledger"`
+	Epochs         []lifetimeEpoch      `json:"epochs"`
+	Dilated        *dilatedLifetime     `json:"dilated,omitempty"`
+}
+
+type lifetimeEpoch struct {
+	Epoch         int     `json:"epoch"`
+	DeadFraction  float64 `json:"deadFraction"`
+	Reachable     float64 `json:"reachableFraction"`
+	Goodput       float64 `json:"goodputPerSource"`
+	SLAAttainment float64 `json:"slaAttainment"`
+	LatencyP95    float64 `json:"latencyP95"`
+	Retries       float64 `json:"retriesPerSource"`
+	Timeouts      float64 `json:"timeoutsPerSource"`
+}
+
+type dilatedLifetime struct {
+	Network        string               `json:"network"`
+	Goodput        float64              `json:"goodputPerSource"`
+	SLAAttainment  float64              `json:"slaAttainment"`
+	CostOfDowntime float64              `json:"costOfDowntime"`
+	Ledger         edn.ClosedLoopLedger `json:"ledger"`
+}

@@ -1,0 +1,133 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRunSweepTable(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-a", "4", "-b", "2", "-c", "2", "-l", "2",
+		"-rates", "0.3,0.6", "-cycles", "400", "-warmup", "50", "-shards", "2",
+		"-dilated"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"EDN(4,2,2,2)", "closed loop", "goodput", "sla", "retries", "dil-goodput", "dilated counterpart"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Title + dilated header + column header + 2 rate rows.
+	if got := strings.Count(out, "\n"); got != 5 {
+		t.Errorf("expected 5 lines, got %d:\n%s", got, out)
+	}
+}
+
+func TestRunSweepCSVAndJSON(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-a", "4", "-b", "2", "-c", "2", "-l", "2",
+		"-rates", "0.4", "-cycles", "300", "-warmup", "50", "-shards", "2",
+		"-retry", "immediate", "-format", "csv"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("want header + 1 rate row, got %d lines:\n%s", len(lines), sb.String())
+	}
+	if !strings.HasPrefix(lines[0], "rate,offered_per_source,goodput_per_source") {
+		t.Errorf("unexpected csv header %q", lines[0])
+	}
+
+	sb.Reset()
+	err = run([]string{"-a", "4", "-b", "2", "-c", "2", "-l", "2",
+		"-rates", "0.4", "-cycles", "300", "-warmup", "50", "-shards", "2",
+		"-sla-deadline", "48", "-format", "json"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report struct {
+		Network string `json:"network"`
+		Points  []struct {
+			Rate    float64 `json:"rate"`
+			Goodput float64 `json:"goodputPerSource"`
+			SLA     float64 `json:"slaAttainment"`
+		} `json:"points"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &report); err != nil {
+		t.Fatalf("bad json: %v\n%s", err, sb.String())
+	}
+	if report.Network != "EDN(4,2,2,2)" || len(report.Points) != 1 {
+		t.Fatalf("unexpected report: %+v", report)
+	}
+	if p := report.Points[0]; p.Goodput <= 0 || p.SLA <= 0 || p.SLA > 1 {
+		t.Errorf("implausible point: %+v", p)
+	}
+}
+
+func TestRunLifetime(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-a", "4", "-b", "2", "-c", "2", "-l", "2",
+		"-lifetime", "-epochs", "5", "-epoch-cycles", "40", "-mtbf", "10", "-mttr", "3",
+		"-repair-window", "2", "-rate", "0.4", "-warmup", "40", "-shards", "2",
+		"-dilated"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"closed loop lifetime", "repair-window=2", "downtime-cost=", "dilated lifetime:", "deadfrac", "goodput"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Title + dilated header + column header + 5 epoch rows + 2 summaries.
+	if got := strings.Count(out, "\n"); got != 10 {
+		t.Errorf("expected 10 lines, got %d:\n%s", got, out)
+	}
+}
+
+func TestRunLifetimeJSON(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-a", "4", "-b", "2", "-c", "2", "-l", "2",
+		"-lifetime", "-epochs", "4", "-epoch-cycles", "40", "-mtbf", "10", "-mttr", "3",
+		"-rate", "0.4", "-warmup", "40", "-shards", "1", "-format", "json"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report struct {
+		Network string  `json:"network"`
+		Cost    float64 `json:"costOfDowntime"`
+		Epochs  []struct {
+			DeadFraction float64 `json:"deadFraction"`
+		} `json:"epochs"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &report); err != nil {
+		t.Fatalf("bad json: %v\n%s", err, sb.String())
+	}
+	if len(report.Epochs) != 4 {
+		t.Fatalf("want 4 epochs, got %d", len(report.Epochs))
+	}
+	if report.Cost < 0 || report.Cost >= 1 {
+		t.Errorf("cost of downtime %g outside [0,1)", report.Cost)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-a", "3", "-b", "2", "-c", "2", "-l", "2"},          // invalid geometry
+		{"-retry", "never"},                                   // unknown retry policy
+		{"-rates", "1.5"},                                     // rate out of range
+		{"-format", "xml", "-rates", "0.4", "-cycles", "100"}, // unknown format
+		{"-lifetime", "-epochs", "0"},                         // zero epochs
+		{"-lifetime", "-repair-window", "-2", "-epochs", "3"}, // negative window
+		{"-lifetime", "-rate", "1.5", "-epochs", "3"},         // demand above 1
+	} {
+		var sb strings.Builder
+		if err := run(args, &sb); err == nil {
+			t.Errorf("args %v should have failed", args)
+		}
+	}
+}

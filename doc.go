@@ -62,6 +62,22 @@
 //     churn included, where previously only the mean-field
 //     DilatedDegraded model spoke (edn-faults -dilated keeps that
 //     model as its cheap analytic overlay).
+//   - Closed-loop workloads: NewClosedLoop layers a request/response
+//     memory workload over two instances of either packet engine —
+//     requests route forward, memory ports service them, replies route
+//     back — with per-source outstanding-request windows, timeout
+//     detection, immediate or capped-exponential-backoff retries,
+//     give-up-after-N, and a fault-fed avoidance list of unreachable
+//     memory ports. A request-level conservation ledger (Issued ==
+//     Completed + GivenUp + InFlight + RetryWaiting) is asserted on top
+//     of both fabrics' packet ledgers. MeasureClosedLoopPair sweeps
+//     demand with bit-equal offered requests on the EDN and its dilated
+//     counterpart, and ClosedLoopLifetimeSweep runs the workload
+//     through churn with an SLA response-deadline curve that prices
+//     degradation as a cost of downtime; the steady-state advance is
+//     allocation-free (BenchmarkClosedLoopCycle). Batch-repair
+//     maintenance windows (LifecycleSpec.RepairWindow) model repairs
+//     that only land on epoch boundaries. See cmd/edn-loop.
 //   - Reproduction: Figure7, Figure8, Figure11, CostTable and
 //     MasParCaseStudy regenerate the paper's evaluation artifacts (see
 //     cmd/edn-figures and EXPERIMENTS.md).

@@ -2,6 +2,7 @@ package edn
 
 import (
 	"edn/internal/analytic"
+	"edn/internal/closedloop"
 	"edn/internal/core"
 	"edn/internal/design"
 	"edn/internal/dilated"
@@ -670,6 +671,114 @@ type DilatedLifetimeResult = simulate.DilatedLifetimeResult
 // the same Options.
 func DilatedLifetimeSweep(cfg DilatedDelta, lopts LifetimeOptions, src LoadPattern, dopts DilatedQueueOptions, opts SimOptions, shards int) (DilatedLifetimeResult, error) {
 	return simulate.DilatedLifetimeSweep(cfg, lopts, src, dopts, opts, shards)
+}
+
+// DilatedDrainPermutations preloads q permutation rounds per port into
+// the dilated engine and drains to empty — the counterpart of
+// DrainPermutations, bit-equal to it at d=1.
+func DilatedDrainPermutations(cfg DilatedDelta, q int, dopts DilatedQueueOptions, opts SimOptions) (DrainResult, error) {
+	return simulate.DilatedDrainPermutations(cfg, q, dopts, opts)
+}
+
+// ---------------------------------------------------------------------------
+// Closed-loop request/response workload
+//
+// Everything above measures open-loop traffic: sources inject and
+// deliveries are the end of the story. The closed-loop layer models
+// what a processor actually does with an interconnect — issue a memory
+// request, wait for the reply, retry on timeout — over TWO fabric
+// instances of the same network (requests forward, replies back through
+// the output/input concentrator), with per-source outstanding-request
+// windows, timeout/retry/give-up accounting, fault-fed avoidance of
+// unreachable memory ports, and an SLA response-deadline curve that
+// prices degradation in delivered-work terms.
+
+// ClosedLoopEngine is the packet-fabric seam the closed-loop layer
+// drives: both QueueNetwork and DilatedQueueNetwork satisfy it.
+type ClosedLoopEngine = closedloop.Engine
+
+// ClosedLoopOptions configures the workload: window W, demand rate,
+// service time, timeout, retry policy and backoff, backlog bound, SLA
+// curve, seed.
+type ClosedLoopOptions = closedloop.Options
+
+// ClosedLoop is a running request/response workload over a forward and
+// a return fabric.
+type ClosedLoop = closedloop.Loop
+
+// ClosedLoopLedger is the request-level conservation ledger: Offered ==
+// Shed + Backlogged + Issued and Issued == Completed + GivenUp +
+// InFlight + RetryWaiting at every cycle.
+type ClosedLoopLedger = closedloop.Ledger
+
+// SLA is a response-deadline curve: full credit at or under Zero,
+// linear decay to none past Deadline (a step when Zero == Deadline; the
+// zero SLA credits every completion).
+type SLA = closedloop.SLA
+
+// RetryPolicy selects how timed-out requests are re-issued.
+type RetryPolicy = closedloop.RetryPolicy
+
+// Retry policies: immediate re-issue, or capped exponential backoff
+// with deterministic jitter.
+const (
+	RetryImmediate = closedloop.RetryImmediate
+	RetryBackoff   = closedloop.RetryBackoff
+)
+
+// ParseRetryPolicy is the inverse of RetryPolicy.String, for flags.
+func ParseRetryPolicy(s string) (RetryPolicy, error) {
+	return closedloop.ParseRetryPolicy(s)
+}
+
+// NewClosedLoop wires a closed-loop workload over two engine instances
+// of the same fabric (inputs sources, outputs memory ports; outputs
+// must be a multiple of inputs, the concentrator ratio).
+func NewClosedLoop(fwd, rev ClosedLoopEngine, inputs, outputs int, opts ClosedLoopOptions) (*ClosedLoop, error) {
+	return closedloop.New(fwd, rev, inputs, outputs, opts)
+}
+
+// ClosedLoopResult is one measured closed-loop operating point:
+// goodput, SLA attainment, end-to-end latency quantiles and the full
+// retry/timeout ledger.
+type ClosedLoopResult = simulate.ClosedLoopResult
+
+// MeasureClosedLoop sweeps the closed-loop workload over an EDN at each
+// demand rate, sharded and exactly merged like SaturationSweep.
+func MeasureClosedLoop(cfg Config, rates []float64, lo ClosedLoopOptions, qopts QueueOptions, opts SimOptions, shards int) ([]ClosedLoopResult, error) {
+	return simulate.MeasureClosedLoop(cfg, rates, lo, qopts, opts, shards)
+}
+
+// MeasureDilatedClosedLoop is MeasureClosedLoop over the dilated
+// engine; identical Options replay identical demand.
+func MeasureDilatedClosedLoop(cfg DilatedDelta, rates []float64, lo ClosedLoopOptions, dopts DilatedQueueOptions, opts SimOptions, shards int) ([]ClosedLoopResult, error) {
+	return simulate.MeasureDilatedClosedLoop(cfg, rates, lo, dopts, opts, shards)
+}
+
+// MeasureClosedLoopPair runs the replay-matched EDN vs dilated
+// comparison and asserts bit-equal offered demand at every rate point.
+func MeasureClosedLoopPair(cfg Config, dcfg DilatedDelta, rates []float64, lo ClosedLoopOptions, qopts QueueOptions, dopts DilatedQueueOptions, opts SimOptions, shards int) (ednRes, dilRes []ClosedLoopResult, err error) {
+	return simulate.MeasureClosedLoopPair(cfg, dcfg, rates, lo, qopts, dopts, opts, shards)
+}
+
+// ClosedLoopLifetimeResult is the closed-loop availability-over-time
+// view: per-epoch goodput/SLA/latency/retry series plus the
+// SLA-weighted cost-of-downtime aggregate.
+type ClosedLoopLifetimeResult = simulate.ClosedLoopLifetimeResult
+
+// ClosedLoopLifetimeSweep runs the closed-loop workload over an EDN's
+// whole service life under lopts.Spec churn on both fabrics, avoidance
+// list refreshed from forward-fabric reachability every epoch, request
+// conservation asserted at every epoch boundary.
+func ClosedLoopLifetimeSweep(cfg Config, lopts LifetimeOptions, lo ClosedLoopOptions, qopts QueueOptions, opts SimOptions, shards int) (ClosedLoopLifetimeResult, error) {
+	return simulate.ClosedLoopLifetimeSweep(cfg, lopts, lo, qopts, opts, shards)
+}
+
+// DilatedClosedLoopLifetimeSweep is ClosedLoopLifetimeSweep over the
+// dilated counterpart under sub-wire churn, replay-matched to the EDN
+// sweep by the same Options.
+func DilatedClosedLoopLifetimeSweep(cfg DilatedDelta, lopts LifetimeOptions, lo ClosedLoopOptions, dopts DilatedQueueOptions, opts SimOptions, shards int) (ClosedLoopLifetimeResult, error) {
+	return simulate.DilatedClosedLoopLifetimeSweep(cfg, lopts, lo, dopts, opts, shards)
 }
 
 // ---------------------------------------------------------------------------

@@ -166,6 +166,9 @@ type Network struct {
 	perStage  []int64 // drops per stage (Policy Drop), stage l+1 = output ports
 	lat       *stats.Histogram
 	idleBatch []int
+
+	// deliver, when set, observes every retirement (see SetDeliveryHook).
+	deliver func(dest int, inject int64)
 }
 
 // New builds a queueing network over dcfg. See Options for the depth
@@ -432,6 +435,15 @@ func (n *Network) Latency() *stats.Histogram { return n.lat }
 // warmup. Queue state and lifetime totals are unaffected.
 func (n *Network) ResetLatency() { n.lat.Reset() }
 
+// SetDeliveryHook installs fn to be called once per retired packet,
+// with the packet's destination port and its injection cycle truncated
+// to the 32 bits the in-flight word carries (compare against
+// int64(uint32(cycle))). The hook fires inside Cycle after the
+// delivery is counted; it must not call back into the network. A nil
+// fn removes the hook. This is the same seam queuesim exposes, so
+// closed-loop drivers treat both engines identically.
+func (n *Network) SetDeliveryHook(fn func(dest int, inject int64)) { n.deliver = fn }
+
 // Stages returns the stage count: l switch stages plus the output-port
 // stage.
 func (n *Network) Stages() int { return n.stages }
@@ -525,6 +537,9 @@ func (n *Network) retire(pkt uint64, cs *CycleStats) {
 	n.lat.Add(ringbuf.Latency(pkt, n.now))
 	n.queued--
 	cs.Delivered++
+	if n.deliver != nil {
+		n.deliver(ringbuf.Dest(pkt), int64(uint32(pkt>>32)))
+	}
 }
 
 // advanceStage runs one cycle of switch stage s (1-based): head-of-line
@@ -950,6 +965,9 @@ func (n *Network) retireWave(org int32, cs *CycleStats) {
 	n.lat.Add(float64(n.now-n.pendAt[org]) + 1)
 	n.queued--
 	cs.Delivered++
+	if n.deliver != nil {
+		n.deliver(n.pending[org], int64(uint32(n.pendAt[org])))
+	}
 	n.pending[org] = NoRequest
 }
 

@@ -88,8 +88,23 @@ func (m *Masks) DeadSubWires() int {
 // lives. It is the dilated counterpart of faults.Masks.ReachableOutputs
 // and feeds the same reachability column of the sweep reports.
 func (m *Masks) ReachableOutputs() int {
+	return m.ReachableOutputsInto(make([]bool, m.cfg.Ports()))
+}
+
+// ReachableOutputsInto is ReachableOutputs exposing the per-port
+// verdict: dst[p] is set to whether output port p is reachable, and the
+// count is returned. dst must have length Ports(). Closed-loop drivers
+// use the vector as an avoidance list. The flood is an epoch-boundary
+// operation (it allocates scratch), not a per-cycle one.
+func (m *Masks) ReachableOutputsInto(dst []bool) int {
 	ports := m.cfg.Ports()
+	if len(dst) != ports {
+		panic(fmt.Sprintf("dilatedsim: ReachableOutputsInto got %d slots, want %d ports", len(dst), ports))
+	}
 	if m.Empty() {
+		for i := range dst {
+			dst[i] = true
+		}
 		return ports
 	}
 	b, d, l := m.cfg.B, m.cfg.D, m.cfg.L
@@ -144,7 +159,8 @@ func (m *Masks) ReachableOutputs() int {
 		cur, next = next, cur
 	}
 	n := 0
-	for _, ok := range cur {
+	for p, ok := range cur {
+		dst[p] = ok
 		if ok {
 			n++
 		}

@@ -304,7 +304,24 @@ func (m *Masks) ReachableOutputs() int {
 	if m == nil {
 		panic("faults: ReachableOutputs needs a compiled mask; Compile(cfg, Set{}) is the fault-free one")
 	}
+	return m.ReachableOutputsInto(make([]bool, m.cfg.Outputs()))
+}
+
+// ReachableOutputsInto is ReachableOutputs exposing the per-terminal
+// verdict: dst[t] is set to whether output terminal t is reachable from
+// some live input, and the count is returned. dst must have length
+// Outputs(). Closed-loop drivers use the vector as an avoidance list —
+// a source should not address an output the fault state has cut off.
+// The flood is an epoch-boundary operation (it allocates scratch), not
+// a per-cycle one.
+func (m *Masks) ReachableOutputsInto(dst []bool) int {
+	if m == nil {
+		panic("faults: ReachableOutputsInto needs a compiled mask; Compile(cfg, Set{}) is the fault-free one")
+	}
 	cfg := m.cfg
+	if len(dst) != cfg.Outputs() {
+		panic(fmt.Sprintf("faults: ReachableOutputsInto got %d slots, want %d outputs", len(dst), cfg.Outputs()))
+	}
 	// fed[w] = boundary wire w carries traffic from some live input.
 	fed := make([]bool, cfg.Inputs())
 	for i := range fed {
@@ -344,12 +361,14 @@ func (m *Masks) ReachableOutputs() int {
 	row := m.LiveStageOutputs(cfg.L + 1)
 	reach := 0
 	for t := 0; t < cfg.Outputs(); t++ {
+		dst[t] = false
 		if row != nil && !row[t] {
 			continue
 		}
 		sw := t / cfg.C
 		for p := 0; p < cfg.C; p++ {
 			if fed[sw*cfg.C+p] {
+				dst[t] = true
 				reach++
 				break
 			}

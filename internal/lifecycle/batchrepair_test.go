@@ -1,0 +1,148 @@
+package lifecycle
+
+import (
+	"fmt"
+	"testing"
+
+	"edn/internal/faults"
+	"edn/internal/topology"
+	"edn/internal/xrand"
+)
+
+// setKey renders a fault set in canonical order for exact comparison
+// (Step emits components in a deterministic sweep order, so string
+// equality is set equality here).
+func setKey(s faults.Set) string {
+	return fmt.Sprintf("%v|%v", s.Wires, s.Switches)
+}
+
+// RepairWindow 0 and 1 must replay the un-windowed process bit-for-bit:
+// same fault set at every epoch, same RNG consumption, including the
+// blast overlay.
+func TestRepairWindowOneMatchesImmediate(t *testing.T) {
+	cfg, err := topology.New(4, 2, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Spec{
+		Mode: faults.MixedFaults, MTBF: 12, MTTR: 5,
+		BlastRate: 0.15, BlastRadius: 1, BlastMTTR: 4,
+	}
+	for _, timing := range []Timing{Exponential, Deterministic} {
+		for _, window := range []int{0, 1} {
+			spec := base
+			spec.Timing = timing
+			spec.RepairWindow = window
+			ref, err := New(cfg, base.withTiming(timing), xrand.New(17))
+			if err != nil {
+				t.Fatal(err)
+			}
+			win, err := New(cfg, spec, xrand.New(17))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for e := 0; e < 400; e++ {
+				if got, want := setKey(win.Step()), setKey(ref.Step()); got != want {
+					t.Fatalf("%v window=%d diverges at epoch %d:\n got %s\nwant %s",
+						timing, window, e, got, want)
+				}
+			}
+			if win.DeadFraction() != ref.DeadFraction() {
+				t.Fatalf("%v window=%d: dead fraction %g vs %g",
+					timing, window, win.DeadFraction(), ref.DeadFraction())
+			}
+		}
+	}
+}
+
+func (s Spec) withTiming(t Timing) Spec { s.Timing = t; return s }
+
+// Under a real window every dead-to-alive transition — churned
+// components and blasted blocks alike — must land on a window boundary,
+// while failures keep arriving at arbitrary epochs.
+func TestRepairWindowBatchesRepairs(t *testing.T) {
+	cfg, err := topology.New(4, 2, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const window = 4
+	spec := Spec{
+		Mode: faults.MixedFaults, MTBF: 10, MTTR: 3,
+		BlastRate: 0.2, BlastRadius: 1, BlastMTTR: 2,
+		RepairWindow: window,
+	}
+	proc, err := New(cfg, spec, xrand.New(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prevDead := map[string]bool{}
+	repairs, offBoundaryFailures := 0, 0
+	for e := 1; e <= 600; e++ {
+		set := proc.Step()
+		dead := map[string]bool{}
+		for _, w := range set.Wires {
+			dead[fmt.Sprintf("w%v", w)] = true
+		}
+		for _, sw := range set.Switches {
+			dead[fmt.Sprintf("s%v", sw)] = true
+		}
+		for id := range prevDead {
+			if !dead[id] {
+				repairs++
+				if e%window != 0 {
+					t.Fatalf("component %s repaired at epoch %d, not a window boundary", id, e)
+				}
+			}
+		}
+		for id := range dead {
+			if !prevDead[id] && e%window != 0 {
+				offBoundaryFailures++
+			}
+		}
+		prevDead = dead
+	}
+	if repairs == 0 {
+		t.Fatal("no repairs observed; the window property was never exercised")
+	}
+	if offBoundaryFailures == 0 {
+		t.Fatal("no off-boundary failures observed; failures should not be windowed")
+	}
+}
+
+// Windowed repair holds components down longer, so the observed dead
+// fraction must sit at or above the immediate-repair steady state.
+func TestRepairWindowRaisesDeadFraction(t *testing.T) {
+	cfg, err := topology.New(4, 2, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(window int) float64 {
+		spec := Spec{Mode: faults.WireFaults, MTBF: 10, MTTR: 2, RepairWindow: window}
+		proc, err := New(cfg, spec, xrand.New(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		const epochs = 2000
+		for e := 0; e < epochs; e++ {
+			proc.Step()
+			sum += proc.DeadFraction()
+		}
+		return sum / epochs
+	}
+	immediate, windowed := run(1), run(8)
+	if windowed <= immediate {
+		t.Errorf("window=8 mean dead fraction %.3f not above immediate %.3f", windowed, immediate)
+	}
+}
+
+func TestRepairWindowValidation(t *testing.T) {
+	cfg, err := topology.New(4, 2, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := Spec{Mode: faults.WireFaults, MTBF: 10, MTTR: 2, RepairWindow: -1}
+	if _, err := New(cfg, spec, xrand.New(1)); err == nil {
+		t.Error("negative repair window should be rejected")
+	}
+}

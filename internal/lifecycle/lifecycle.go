@@ -96,6 +96,15 @@ type Spec struct {
 	BlastRate   float64
 	BlastRadius int
 	BlastMTTR   float64
+	// RepairWindow batches repairs into maintenance windows: a finished
+	// repair only takes effect at epochs divisible by RepairWindow, so
+	// a component whose repair clock expires mid-window stays dead
+	// until the next boundary (failures still happen at any epoch, and
+	// a blast's outage is extended so its block comes back at a
+	// boundary too). 0 or 1 means immediate repair — bit-for-bit the
+	// un-windowed process, because the next MTBF draw happens at the
+	// actual repair either way.
+	RepairWindow int
 }
 
 func (s Spec) validate() error {
@@ -118,6 +127,9 @@ func (s Spec) validate() error {
 	}
 	if s.BlastRate > 0 && s.BlastMTTR != 0 && s.BlastMTTR < 1 {
 		return fmt.Errorf("lifecycle: blast MTTR %g must be at least 1 epoch", s.BlastMTTR)
+	}
+	if s.RepairWindow < 0 {
+		return fmt.Errorf("lifecycle: repair window %d must be non-negative", s.RepairWindow)
 	}
 	return nil
 }
@@ -263,11 +275,26 @@ func (p *Process) Step() faults.Set {
 	return p.set
 }
 
+// repairOpen reports whether the current epoch is a maintenance-window
+// boundary at which finished repairs take effect.
+func (p *Process) repairOpen() bool {
+	return p.spec.RepairWindow <= 1 || p.epoch%p.spec.RepairWindow == 0
+}
+
 // tick advances one component one epoch and reports whether it is dead.
 func (p *Process) tick(c *component) bool {
 	c.timer--
 	if c.timer <= 0 {
 		if c.dead {
+			if !p.repairOpen() {
+				// Repair clock expired mid-window: hold the component
+				// dead, re-checking at every epoch until the boundary.
+				// The MTBF draw waits for the actual repair, which is
+				// what keeps RepairWindow <= 1 on the exact RNG stream
+				// of the un-windowed process.
+				c.timer = 1
+				return true
+			}
 			c.dead = false
 			p.dead--
 			c.timer = p.draw(p.spec.MTBF)
@@ -295,6 +322,13 @@ func (p *Process) blast() {
 	// arrival epoch (blasted tests >=), matching a churned component's
 	// outage length for the same draw.
 	until := int64(p.epoch) + int64(p.draw(mttr)) - 1
+	if w := int64(p.spec.RepairWindow); w > 1 {
+		// Batch repair: extend the outage so the block's first live
+		// epoch (until+1) lands on a maintenance-window boundary.
+		if rem := (until + 1) % w; rem != 0 {
+			until += w - rem
+		}
+	}
 	lo, hi := center-p.spec.BlastRadius, center+p.spec.BlastRadius
 	if lo < 0 {
 		lo = 0

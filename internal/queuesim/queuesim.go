@@ -230,6 +230,9 @@ type Network struct {
 	perStage  []int64 // drops per stage (Policy Drop)
 	lat       *stats.Histogram
 	idleBatch []int // all-NoRequest injection vector for Drain
+
+	// deliver, when set, observes every retirement (see SetDeliveryHook).
+	deliver func(dest int, inject int64)
 }
 
 // New builds a queueing network over cfg. See Options for the depth and
@@ -523,6 +526,17 @@ func (n *Network) Latency() *stats.Histogram { return n.lat }
 // and lifetime totals are unaffected.
 func (n *Network) ResetLatency() { n.lat.Reset() }
 
+// SetDeliveryHook installs fn to be called once per retired packet,
+// with the packet's destination terminal and its injection cycle
+// truncated to the 32 bits the in-flight word carries (compare against
+// int64(uint32(cycle))). The hook fires inside Cycle after the
+// delivery is counted; it must not call back into the network. A nil
+// fn removes the hook. Closed-loop drivers (internal/closedloop) use
+// this to match deliveries to outstanding requests without adding any
+// per-packet state; installing the hook once at construction keeps the
+// steady-state advance allocation-free.
+func (n *Network) SetDeliveryHook(fn func(dest int, inject int64)) { n.deliver = fn }
+
 // InputFree reports whether input i can accept an injection this cycle:
 // its stage-1 FIFO has room (pipelined) or its in-flight slot is empty
 // (unbuffered). A dead input is never free. Closed-loop drivers poll it
@@ -630,6 +644,9 @@ func (n *Network) retire(pkt uint64, cs *CycleStats) {
 	n.lat.Add(ringbuf.Latency(pkt, n.now))
 	n.queued--
 	cs.Delivered++
+	if n.deliver != nil {
+		n.deliver(ringbuf.Dest(pkt), int64(uint32(pkt>>32)))
+	}
 }
 
 // advanceStage runs one cycle of stage s (1-based): head-of-line
@@ -901,6 +918,9 @@ func (n *Network) cycleUnbuffered(dest []int, cs *CycleStats) error {
 			n.lat.Add(float64(n.now-n.pendAt[i]) + 1)
 			n.queued--
 			cs.Delivered++
+			if n.deliver != nil {
+				n.deliver(n.pending[i], int64(uint32(n.pendAt[i])))
+			}
 			n.pending[i] = NoRequest
 		case drop:
 			n.queued--

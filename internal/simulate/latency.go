@@ -381,15 +381,25 @@ func sweepLoads(inputs int, loads []float64, opts Options, shards int, measure f
 // starts loaded with Q packets and the network runs until all are
 // delivered.
 type DrainResult struct {
-	Config topology.Config
-	Q      int   // packets preloaded per input
-	Cycles int64 // cycles until the last delivery
+	Config  topology.Config
+	Dilated dilated.Config // set instead of Config for dilated drains
+	Q       int            // packets preloaded per input
+	Cycles  int64          // cycles until the last delivery
 	// Latency distribution over all delivered packets, measured from
 	// network injection to delivery (time spent waiting in the source
 	// queue is not included).
 	LatencyMean float64
 	LatencyP95  float64
 	Histogram   *stats.Histogram
+}
+
+// Network names the drained network: the EDN configuration, or the
+// dilated one for dilated drains.
+func (r DrainResult) Network() string {
+	if r.Config == (topology.Config{}) {
+		return r.Dilated.String()
+	}
+	return r.Config.String()
 }
 
 // DrainPermutations preloads every input with q packets — packet k of
@@ -425,8 +435,63 @@ func DrainPermutations(cfg topology.Config, q int, qopts queuesim.Options, opts 
 	if err != nil {
 		return DrainResult{}, err
 	}
-	inputs := cfg.Inputs()
-	rng := xrand.New(opts.Seed)
+	res, err := drainPermutations(net, cfg.Inputs(), cfg.Stages(), q, opts.Seed)
+	if err != nil {
+		return DrainResult{}, err
+	}
+	res.Config = cfg
+	return res, nil
+}
+
+// DilatedDrainPermutations is the dilated-network analog of
+// DrainPermutations: every port preloaded with q permutation-drawn
+// packets, run closed-loop until empty. At d=1 the dilated delta and
+// the square EDN(b,b,1,l) are the same wiring, so the two drains agree
+// bit-for-bit under the same seed — the cross-check that pins the two
+// engines' closed-loop behavior together (the equivalence test asserts
+// it), and ExpectedPermutationTime models the depth-0 Backpressure
+// corner exactly as on the EDN side.
+func DilatedDrainPermutations(dcfg dilated.Config, q int, dopts dilatedsim.Options, opts Options) (DrainResult, error) {
+	if err := dcfg.Validate(); err != nil {
+		return DrainResult{}, err
+	}
+	if q < 1 {
+		return DrainResult{}, fmt.Errorf("simulate: q=%d packets per input must be positive", q)
+	}
+	opts = opts.withDefaults()
+	if dopts.Policy == dilatedsim.Drop {
+		return DrainResult{}, fmt.Errorf("simulate: a drain needs the lossless Backpressure policy")
+	}
+	if dopts.Factory == nil {
+		dopts.Factory = opts.Factory
+	}
+	net, err := dilatedsim.New(dcfg, dopts)
+	if err != nil {
+		return DrainResult{}, err
+	}
+	res, err := drainPermutations(net, dcfg.Ports(), net.Stages(), q, opts.Seed)
+	if err != nil {
+		return DrainResult{}, err
+	}
+	res.Dilated = dcfg
+	return res, nil
+}
+
+// drainEngine is the closed-loop drain surface both packet engines
+// share: offer-when-free plus the delivered total that terminates the
+// run.
+type drainEngine interface {
+	InputFree(i int) bool
+	Cycle(dest []int) (queuesim.CycleStats, error)
+	Totals() queuesim.Totals
+	Latency() *stats.Histogram
+}
+
+// drainPermutations is the engine-agnostic drain loop: preload q
+// permutations, offer each input's next packet whenever the input can
+// take it, and run until everything is delivered.
+func drainPermutations(net drainEngine, inputs, stages, q int, seed uint64) (DrainResult, error) {
+	rng := xrand.New(seed)
 	// queue[i] holds input i's packets in offer order: one entry from
 	// each of q independent permutations.
 	queue := make([][]int, inputs)
@@ -443,7 +508,7 @@ func DrainPermutations(cfg topology.Config, q int, qopts queuesim.Options, opts 
 	// The closed loop cannot take longer than every packet being
 	// serialized through one output, with generous headroom for the
 	// pipeline; use it as the runaway guard.
-	maxCycles := int64(q*inputs)*int64(cfg.Stages()+1) + 1000
+	maxCycles := int64(q*inputs)*int64(stages+1) + 1000
 	var cycles int64
 	for net.Totals().Delivered < total {
 		if cycles++; cycles > maxCycles {
@@ -463,7 +528,6 @@ func DrainPermutations(cfg topology.Config, q int, qopts queuesim.Options, opts 
 	}
 	h := net.Latency().Clone()
 	return DrainResult{
-		Config:      cfg,
 		Q:           q,
 		Cycles:      cycles,
 		LatencyMean: h.Mean(),
