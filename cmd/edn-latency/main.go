@@ -74,10 +74,17 @@ func run(args []string, w io.Writer) error {
 	format := fs.String("format", "table", "output: table, csv, json")
 	drain := fs.Int("drain", 0, "instead of a sweep, drain this many permutation packets per input")
 	dilatedCmp := cliutil.DilatedFlag(fs, "measured packet-level sweep from the same traffic replay")
+	pf := cliutil.ProbeFlags(fs)
+	prof := cliutil.ProfileFlags(fs)
 	fs.SetOutput(w)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProf, err := prof.Start()
+	if err != nil {
+		return err
+	}
+	defer stopProf()
 
 	cfg, err := edn.New(*a, *b, *c, *l)
 	if err != nil {
@@ -90,7 +97,7 @@ func run(args []string, w io.Writer) error {
 	if qopts.Factory, err = cliutil.ArbiterFactory(*arb, *seed); err != nil {
 		return err
 	}
-	opts := edn.SimOptions{Cycles: *cycles, Warmup: *warmup, Seed: *seed}
+	opts := edn.SimOptions{Cycles: *cycles, Warmup: *warmup, Seed: *seed, Probe: pf.Options()}
 
 	if *drain > 0 {
 		if *dilatedCmp {
@@ -177,7 +184,24 @@ func run(args []string, w io.Writer) error {
 		if *dilatedCmp {
 			cliutil.DilatedHeader(w, cfg, dcfg)
 		}
-		return cliutil.WriteTable(w, cols, rows)
+		if err := cliutil.WriteTable(w, cols, rows); err != nil {
+			return err
+		}
+		if pf.Enabled() {
+			for i, r := range results {
+				fmt.Fprintf(w, "probe @ load=%g\n", loads[i])
+				if err := cliutil.WriteProbeReport(w, r.Observed, *pf.Heatmap); err != nil {
+					return err
+				}
+			}
+			for i, d := range dresults {
+				fmt.Fprintf(w, "probe @ load=%g (dilated)\n", loads[i])
+				if err := cliutil.WriteProbeReport(w, d.Observed, *pf.Heatmap); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
 	case "csv":
 		return cliutil.WriteCSV(w, cols, rows)
 	case "json":

@@ -70,10 +70,17 @@ func run(args []string, w io.Writer) error {
 	arb := fs.String("arb", "priority", "arbitration: priority, roundrobin, random")
 	format := fs.String("format", "table", "output: table, csv, json")
 	dilatedCmp := cliutil.DilatedFlag(fs, "measured sub-wire churn from the same traffic replay")
+	pf := cliutil.ProbeFlags(fs)
+	prof := cliutil.ProfileFlags(fs)
 	fs.SetOutput(w)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProf, err := prof.Start()
+	if err != nil {
+		return err
+	}
+	defer stopProf()
 
 	cfg, err := edn.New(*a, *b, *c, *l)
 	if err != nil {
@@ -112,7 +119,7 @@ func run(args []string, w io.Writer) error {
 			RepairWindow: *repairWindow,
 		},
 	}
-	opts := edn.SimOptions{Warmup: *warmup, Seed: *seed}
+	opts := edn.SimOptions{Warmup: *warmup, Seed: *seed, Probe: pf.Options()}
 	res, err := edn.LifetimeSweep(cfg, lopts, nil, qopts, opts, *shards)
 	if err != nil {
 		return err
@@ -196,6 +203,17 @@ func run(args []string, w io.Writer) error {
 			fmt.Fprintln(w)
 			if dres.Stranded > 0 {
 				fmt.Fprintf(w, "dilated stranded: %d packets died on sub-wires that failed under them\n", dres.Stranded)
+			}
+		}
+		if pf.Enabled() {
+			if err := cliutil.WriteProbeReport(w, res.Observed, *pf.Heatmap); err != nil {
+				return err
+			}
+			if *dilatedCmp {
+				fmt.Fprintln(w, "dilated probe:")
+				if err := cliutil.WriteProbeReport(w, dres.Observed, *pf.Heatmap); err != nil {
+					return err
+				}
 			}
 		}
 		return nil

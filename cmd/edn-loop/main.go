@@ -71,10 +71,17 @@ func run(args []string, w io.Writer) error {
 	timing := fs.String("timing", "exponential", "lifetime: holding times: exponential, deterministic")
 	mode := fs.String("mode", "wires", "lifetime: churning population: wires, switches, mixed")
 	repairWindow := fs.Int("repair-window", 0, "lifetime: batch repairs to epoch-multiple maintenance windows (0/1 = immediate)")
+	pf := cliutil.ProbeFlags(fs)
+	prof := cliutil.ProfileFlags(fs)
 	fs.SetOutput(w)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProf, err := prof.Start()
+	if err != nil {
+		return err
+	}
+	defer stopProf()
 
 	cfg, err := edn.New(*a, *b, *c, *l)
 	if err != nil {
@@ -110,7 +117,7 @@ func run(args []string, w io.Writer) error {
 			return err
 		}
 	}
-	opts := edn.SimOptions{Cycles: *cycles, Warmup: *warmup, Seed: *seed}
+	opts := edn.SimOptions{Cycles: *cycles, Warmup: *warmup, Seed: *seed, Probe: pf.Options()}
 
 	if *lifetime {
 		faultMode, err := edn.ParseFaultMode(*mode)
@@ -133,17 +140,17 @@ func run(args []string, w io.Writer) error {
 				RepairWindow: *repairWindow,
 			},
 		}
-		return runLifetime(w, cfg, dcfg, *dilatedCmp, lopts, lo, qopts, dopts, opts, *shards, *format)
+		return runLifetime(w, cfg, dcfg, *dilatedCmp, lopts, lo, qopts, dopts, opts, *shards, *format, pf)
 	}
 
 	rates, err := cliutil.ParseFloatList(*ratesFlag, 0, 1, "rate")
 	if err != nil {
 		return err
 	}
-	return runSweep(w, cfg, dcfg, *dilatedCmp, rates, lo, qopts, dopts, opts, *shards, *format)
+	return runSweep(w, cfg, dcfg, *dilatedCmp, rates, lo, qopts, dopts, opts, *shards, *format, pf)
 }
 
-func runSweep(w io.Writer, cfg edn.Config, dcfg edn.DilatedDelta, dilatedCmp bool, rates []float64, lo edn.ClosedLoopOptions, qopts edn.QueueOptions, dopts edn.DilatedQueueOptions, opts edn.SimOptions, shards int, format string) error {
+func runSweep(w io.Writer, cfg edn.Config, dcfg edn.DilatedDelta, dilatedCmp bool, rates []float64, lo edn.ClosedLoopOptions, qopts edn.QueueOptions, dopts edn.DilatedQueueOptions, opts edn.SimOptions, shards int, format string, pf *cliutil.ProbeFlagSet) error {
 	var results, dresults []edn.ClosedLoopResult
 	var err error
 	if dilatedCmp {
@@ -195,7 +202,18 @@ func runSweep(w io.Writer, cfg edn.Config, dcfg edn.DilatedDelta, dilatedCmp boo
 		if dilatedCmp {
 			cliutil.DilatedHeader(w, cfg, dcfg)
 		}
-		return cliutil.WriteTable(w, cols, rows)
+		if err := cliutil.WriteTable(w, cols, rows); err != nil {
+			return err
+		}
+		if pf.Enabled() {
+			for i, r := range results {
+				fmt.Fprintf(w, "probe @ rate=%g\n", rates[i])
+				if err := cliutil.WriteProbeReport(w, r.Observed, *pf.Heatmap); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
 	case "csv":
 		return cliutil.WriteCSV(w, cols, rows)
 	case "json":
@@ -219,7 +237,7 @@ func runSweep(w io.Writer, cfg edn.Config, dcfg edn.DilatedDelta, dilatedCmp boo
 	}
 }
 
-func runLifetime(w io.Writer, cfg edn.Config, dcfg edn.DilatedDelta, dilatedCmp bool, lopts edn.LifetimeOptions, lo edn.ClosedLoopOptions, qopts edn.QueueOptions, dopts edn.DilatedQueueOptions, opts edn.SimOptions, shards int, format string) error {
+func runLifetime(w io.Writer, cfg edn.Config, dcfg edn.DilatedDelta, dilatedCmp bool, lopts edn.LifetimeOptions, lo edn.ClosedLoopOptions, qopts edn.QueueOptions, dopts edn.DilatedQueueOptions, opts edn.SimOptions, shards int, format string, pf *cliutil.ProbeFlagSet) error {
 	res, err := edn.ClosedLoopLifetimeSweep(cfg, lopts, lo, qopts, opts, shards)
 	if err != nil {
 		return err
@@ -278,6 +296,17 @@ func runLifetime(w io.Writer, cfg edn.Config, dcfg edn.DilatedDelta, dilatedCmp 
 			fmt.Fprintf(w, "dilated lifetime: goodput=%.3f/source sla=%.3f downtime-cost=%.1f%% retries=%d timeouts=%d givenup=%d\n",
 				dres.GoodputOverall, dres.SLAAttainmentOverall, 100*dres.CostOfDowntime,
 				dres.Ledger.Retries, dres.Ledger.Timeouts, dres.Ledger.GivenUp)
+		}
+		if pf.Enabled() {
+			if err := cliutil.WriteProbeReport(w, res.Observed, *pf.Heatmap); err != nil {
+				return err
+			}
+			if dilatedCmp {
+				fmt.Fprintln(w, "dilated probe:")
+				if err := cliutil.WriteProbeReport(w, dres.Observed, *pf.Heatmap); err != nil {
+					return err
+				}
+			}
 		}
 		return nil
 	case "csv":

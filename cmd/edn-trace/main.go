@@ -1,0 +1,315 @@
+// Command edn-trace runs a workload with the flight recorder attached
+// and explains behavior packet by packet: which stages sampled packets
+// crossed, where the blocked cycles went, and what the P99 tail did
+// that the median did not.
+//
+//	edn-trace -a 64 -b 16 -c 4 -l 2 -load 0.9
+//	edn-trace -a 16 -b 4 -c 4 -l 2 -engine dilated -load 0.95 -heatmap
+//	edn-trace -a 16 -b 4 -c 4 -l 2 -engine loop -load 0.4
+//	edn-trace -a 64 -b 16 -c 4 -l 2 -load 0.9 -dump
+//	edn-trace -a 64 -b 16 -c 4 -l 2 -load 0.9 -export prom
+//
+// The default summary prints the sampled-trace cohort (latency
+// quantiles over the traced packets), the per-stage event counts, and
+// the tail-vs-median cohort breakdown: for every stage, how many
+// stall events (block, park, timeout, retry) the median-latency cohort
+// accumulated there versus the P99 cohort — the hop-by-hop location of
+// the tail. -engine selects which of the four engines runs: the
+// circuit-switched core, the buffered EDN packet engine, the dilated
+// counterpart, or the closed-loop request/response workload (where a
+// trace's "stage" is the attempt number). -dump prints raw traces,
+// -export emits the registry metrics as Prometheus text or JSON lines.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"edn"
+	"edn/internal/cliutil"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "edn-trace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("edn-trace", flag.ContinueOnError)
+	a, b, c, l := cliutil.GeometryFlags(fs, 64, 16, 4, 2)
+	engine := fs.String("engine", "edn", "engine: core, edn, dilated, loop")
+	depth := fs.Int("depth", 4, "per-wire FIFO depth (-1 unbounded, 0 unbuffered resubmission)")
+	policy := fs.String("policy", "backpressure", "blocked-packet policy: backpressure, drop")
+	load := fs.Float64("load", 0.9, "offered load (demand rate for -engine loop)")
+	cycles := fs.Int("cycles", 4000, "measured cycles")
+	warmup := fs.Int("warmup", 500, "warmup cycles before the recorder attaches")
+	seed := fs.Uint64("seed", 1, "RNG seed")
+	arb := fs.String("arb", "priority", "arbitration: priority, roundrobin, random")
+	sample := fs.Int("sample", 16, "sample every ~Nth accepted injection")
+	traceCap := fs.Int("trace-cap", 256, "trace ring capacity")
+	bins := fs.Int("heat-bins", 32, "heat series time bins")
+	heatmap := fs.Bool("heatmap", false, "print per-stage heat rows")
+	dump := fs.Bool("dump", false, "print raw traces, one hop per line")
+	export := fs.String("export", "", "emit registry metrics instead of the summary: prom, jsonl")
+	format := fs.String("format", "table", "cohort breakdown output: table, csv, json")
+	window := fs.Int("window", 4, "outstanding requests per source (-engine loop)")
+	timeout := fs.Int("timeout", 32, "attempt timeout in cycles (-engine loop)")
+	attempts := fs.Int("attempts", 8, "max attempts per request (-engine loop)")
+	retry := fs.String("retry", "backoff", "retry policy: immediate, backoff (-engine loop)")
+	prof := cliutil.ProfileFlags(fs)
+	fs.SetOutput(w)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	stopProf, err := prof.Start()
+	if err != nil {
+		return err
+	}
+
+	cfg, err := edn.New(*a, *b, *c, *l)
+	if err != nil {
+		return err
+	}
+	po := &edn.ProbeOptions{SampleEvery: *sample, TraceCap: *traceCap, Bins: *bins}
+	opts := edn.SimOptions{Cycles: *cycles, Warmup: *warmup, Seed: *seed, Probe: po}
+	if opts.Factory, err = cliutil.ArbiterFactory(*arb, *seed); err != nil {
+		return err
+	}
+
+	var rep *edn.ProbeReport
+	var network string
+	switch *engine {
+	case "core":
+		res, err := edn.MeasureUniformPA(cfg, *load, opts)
+		if err != nil {
+			return err
+		}
+		rep, network = res.Observed, cfg.String()
+	case "edn":
+		qopts := edn.QueueOptions{Depth: *depth, Factory: opts.Factory}
+		if qopts.Policy, err = cliutil.ParsePolicy(*policy); err != nil {
+			return err
+		}
+		rng := edn.NewRand(*seed)
+		res, err := edn.MeasureLatency(cfg, edn.Uniform{Rate: *load, Rng: rng}, qopts, opts)
+		if err != nil {
+			return err
+		}
+		rep, network = res.Observed, cfg.String()
+	case "dilated":
+		dcfg, err := edn.DilatedCounterpart(cfg)
+		if err != nil {
+			return err
+		}
+		dopts := edn.DilatedQueueOptions{Depth: *depth, Factory: opts.Factory}
+		if dopts.Policy, err = cliutil.ParsePolicy(*policy); err != nil {
+			return err
+		}
+		rng := edn.NewRand(*seed)
+		res, err := edn.MeasureDilatedLatency(dcfg, edn.Uniform{Rate: *load, Rng: rng}, dopts, opts)
+		if err != nil {
+			return err
+		}
+		rep, network = res.Observed, dcfg.String()
+	case "loop":
+		qopts := edn.QueueOptions{Depth: *depth, Factory: opts.Factory}
+		if qopts.Policy, err = cliutil.ParsePolicy(*policy); err != nil {
+			return err
+		}
+		lo := edn.ClosedLoopOptions{
+			Window:      *window,
+			Timeout:     *timeout,
+			MaxAttempts: *attempts,
+			BackoffBase: 2,
+			BackoffCap:  16,
+		}
+		if lo.Retry, err = edn.ParseRetryPolicy(*retry); err != nil {
+			return err
+		}
+		results, err := edn.MeasureClosedLoop(cfg, []float64{*load}, lo, qopts, opts, 1)
+		if err != nil {
+			return err
+		}
+		rep, network = results[0].Observed, cfg.String()
+	default:
+		return fmt.Errorf("unknown engine %q (want core, edn, dilated or loop)", *engine)
+	}
+
+	if rep == nil {
+		return fmt.Errorf("no probe report collected")
+	}
+	defer stopProf()
+
+	if *export != "" {
+		reg := edn.NewMetricsRegistry()
+		reg.AddReport(rep, []edn.MetricLabel{
+			{Key: "network", Value: network},
+			{Key: "engine", Value: *engine},
+			{Key: "load", Value: fmt.Sprintf("%g", *load)},
+		})
+		switch *export {
+		case "prom":
+			return reg.WritePrometheus(w)
+		case "jsonl":
+			return reg.WriteJSONLines(w)
+		default:
+			return fmt.Errorf("unknown export %q (want prom or jsonl)", *export)
+		}
+	}
+
+	if *dump {
+		return dumpTraces(w, rep)
+	}
+
+	if *format == "json" {
+		return cliutil.WriteJSON(w, traceReport{
+			Network: network,
+			Engine:  *engine,
+			Load:    *load,
+			Seed:    *seed,
+			Sampled: rep.Sampled,
+			Traces:  rep.Traces,
+			Cohort:  cohortRows(rep),
+		})
+	}
+
+	fmt.Fprintf(w, "%s engine=%s load=%g cycles=%d sample=1/%d\n", network, *engine, *load, *cycles, *sample)
+	if err := cliutil.WriteProbeReport(w, rep, *heatmap); err != nil {
+		return err
+	}
+	rows := cohortRows(rep)
+	if len(rows) == 0 {
+		fmt.Fprintln(w, "cohort breakdown: too few completed traces")
+		return nil
+	}
+	cells := make([][]any, len(rows))
+	for i, r := range rows {
+		cells[i] = []any{r.Stage, r.MedianVisits, r.MedianStalls, r.TailVisits, r.TailStalls}
+	}
+	fmt.Fprintln(w, "cohort breakdown (stall events per trace: block/park/timeout/retry):")
+	if *format == "csv" {
+		return cliutil.WriteCSV(w, cohortColumns, cells)
+	}
+	return cliutil.WriteTable(w, cohortColumns, cells)
+}
+
+var cohortColumns = []cliutil.Column{
+	{Name: "stage", Format: "%5d"},
+	{Name: "median_visits", Head: "med-vis", Format: "%8.2f"},
+	{Name: "median_stalls", Head: "med-stall", Format: "%9.2f"},
+	{Name: "tail_visits", Head: "p99-vis", Format: "%8.2f"},
+	{Name: "tail_stalls", Head: "p99-stall", Format: "%9.2f"},
+}
+
+// cohortRow compares the median-latency cohort against the P99 cohort
+// at one stage: how often each cohort's traces touched the stage and
+// how many stall events they accumulated there.
+type cohortRow struct {
+	Stage        int     `json:"stage"`
+	MedianVisits float64 `json:"medianVisits"`
+	MedianStalls float64 `json:"medianStalls"`
+	TailVisits   float64 `json:"tailVisits"`
+	TailStalls   float64 `json:"tailStalls"`
+}
+
+// cohortRows splits completed traces into the at-or-under-median
+// cohort and the at-or-over-P99 cohort and reports each cohort's mean
+// per-stage visit and stall-event counts — the hop-by-hop answer to
+// "where does the tail spend its extra cycles".
+func cohortRows(rep *edn.ProbeReport) []cohortRow {
+	type done struct {
+		idx int
+		lat float64
+	}
+	var completed []done
+	maxStage := 0
+	for i := range rep.Traces {
+		if lat, ok := rep.Traces[i].Latency(); ok {
+			completed = append(completed, done{i, lat})
+		}
+		for _, h := range rep.Traces[i].Hops {
+			if h.Stage > maxStage {
+				maxStage = h.Stage
+			}
+		}
+	}
+	if len(completed) < 4 {
+		return nil
+	}
+	sort.Slice(completed, func(i, j int) bool { return completed[i].lat < completed[j].lat })
+	p50 := completed[len(completed)/2].lat
+	p99 := completed[(len(completed)-1)*99/100].lat
+
+	visits := make([][2]float64, maxStage+1)
+	stalls := make([][2]float64, maxStage+1)
+	var n [2]int
+	for _, d := range completed {
+		var cohort int
+		switch {
+		case d.lat <= p50:
+			cohort = 0
+		case d.lat >= p99:
+			cohort = 1
+		default:
+			continue
+		}
+		n[cohort]++
+		for _, h := range rep.Traces[d.idx].Hops {
+			visits[h.Stage][cohort]++
+			switch h.Event {
+			case edn.EvBlock, edn.EvPark, edn.EvTimeout, edn.EvRetry:
+				stalls[h.Stage][cohort]++
+			}
+		}
+	}
+	rows := make([]cohortRow, 0, maxStage+1)
+	for s := 0; s <= maxStage; s++ {
+		r := cohortRow{Stage: s}
+		if n[0] > 0 {
+			r.MedianVisits = visits[s][0] / float64(n[0])
+			r.MedianStalls = stalls[s][0] / float64(n[0])
+		}
+		if n[1] > 0 {
+			r.TailVisits = visits[s][1] / float64(n[1])
+			r.TailStalls = stalls[s][1] / float64(n[1])
+		}
+		rows = append(rows, r)
+	}
+	return rows
+}
+
+// dumpTraces prints every sampled trace, one hop per line.
+func dumpTraces(w io.Writer, rep *edn.ProbeReport) error {
+	for i := range rep.Traces {
+		t := &rep.Traces[i]
+		status := "open"
+		if t.Done {
+			status = "done"
+		}
+		if _, err := fmt.Fprintf(w, "trace %d input=%d dest=%d inject=%d %s\n", t.ID, t.Input, t.Dest, t.Inject, status); err != nil {
+			return err
+		}
+		for _, h := range t.Hops {
+			if _, err := fmt.Fprintf(w, "  cycle=%-8d stage=%-3d %s\n", h.Cycle, h.Stage, h.Event); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// traceReport is the machine-readable summary.
+type traceReport struct {
+	Network string            `json:"network"`
+	Engine  string            `json:"engine"`
+	Load    float64           `json:"load"`
+	Seed    uint64            `json:"seed"`
+	Sampled int64             `json:"sampled"`
+	Traces  []edn.PacketTrace `json:"traces"`
+	Cohort  []cohortRow       `json:"cohort,omitempty"`
+}

@@ -78,6 +78,23 @@
 //     allocation-free (BenchmarkClosedLoopCycle). Batch-repair
 //     maintenance windows (LifecycleSpec.RepairWindow) model repairs
 //     that only land on epoch boundaries. See cmd/edn-loop.
+//   - Observability: a flight-recorder Probe attaches to any of the
+//     four engines (SetProbe) and records three things without moving
+//     a single measured number — sampled packet traces (every ~Nth
+//     accepted injection gets a per-hop event log in a preallocated
+//     ring: inject/traverse/block/park/drop/strand/deliver for the
+//     packet engines, issue/timeout/retry/complete/giveup with attempt
+//     numbers for the closed-loop layer), per-stage per-cycle heat
+//     surfaces (queue occupancy, blocked and parked packets, folded
+//     into time bins), and an exportable metrics registry (Prometheus
+//     text and JSON-lines). With no probe attached every hook is one
+//     nil check and the hot loops stay at 0 allocs/op
+//     (BenchmarkProbeOff, CI-gated); with a probe attached the results
+//     are bit-identical to an unprobed run, and sweeps collect their
+//     observation from a dedicated pass whose seed ignores the shard
+//     split, so the same Options yield the same trace set at any shard
+//     count. See cmd/edn-trace and the -trace/-heatmap flags on
+//     edn-latency, edn-lifetime and edn-loop.
 //   - Reproduction: Figure7, Figure8, Figure11, CostTable and
 //     MasParCaseStudy regenerate the paper's evaluation artifacts (see
 //     cmd/edn-figures and EXPERIMENTS.md).

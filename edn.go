@@ -11,6 +11,7 @@ import (
 	"edn/internal/lifecycle"
 	"edn/internal/mimd"
 	"edn/internal/netlist"
+	"edn/internal/probe"
 	"edn/internal/queuesim"
 	"edn/internal/routing"
 	"edn/internal/simd"
@@ -780,6 +781,75 @@ func ClosedLoopLifetimeSweep(cfg Config, lopts LifetimeOptions, lo ClosedLoopOpt
 func DilatedClosedLoopLifetimeSweep(cfg DilatedDelta, lopts LifetimeOptions, lo ClosedLoopOptions, dopts DilatedQueueOptions, opts SimOptions, shards int) (ClosedLoopLifetimeResult, error) {
 	return simulate.DilatedClosedLoopLifetimeSweep(cfg, lopts, lo, dopts, opts, shards)
 }
+
+// ---------------------------------------------------------------------------
+// Observability: flight-recorder probes and metrics export
+//
+// A Probe attaches to any of the four engines (Network, QueueNetwork,
+// DilatedQueueNetwork, ClosedLoop via SetProbe) and records two things
+// without perturbing the run: sampled per-packet flight traces (every
+// ~Nth accepted injection gets a hop-by-hop event record) and
+// per-stage, per-cycle heat series (occupancy, head-of-line blocking,
+// parked and dropped counts). A nil probe keeps every hot path
+// bit-for-bit identical and allocation-free. The simulate sweeps
+// accept SimOptions.Probe and surface the merged ProbeReport on their
+// results; cmd/edn-trace turns reports into hop-by-hop breakdowns.
+
+// Probe is a flight recorder for one engine instance.
+type Probe = probe.Probe
+
+// ProbeOptions configures sampling rate, trace ring capacity and heat
+// binning. The zero value of SampleEvery disables tracing (heat only).
+type ProbeOptions = probe.Options
+
+// NewProbe builds a probe; attach it with an engine's SetProbe.
+func NewProbe(opts ProbeOptions) *Probe { return probe.New(opts) }
+
+// ProbeReport is a probe's collected output: sampled traces plus heat
+// series, mergeable across shards.
+type ProbeReport = probe.Report
+
+// PacketTrace is one sampled packet's recorded flight: identity,
+// injection, and the per-hop event list.
+type PacketTrace = probe.Trace
+
+// PacketHop is one recorded event of a sampled packet's flight.
+type PacketHop = probe.Hop
+
+// ProbeEvent enumerates the recordable flight events.
+type ProbeEvent = probe.Event
+
+// Flight events: packet-level inject/traverse/block/park/drop/strand/
+// deliver, and closed-loop request-level issue/timeout/retry/complete/
+// give-up.
+const (
+	EvInject   = probe.EvInject
+	EvTraverse = probe.EvTraverse
+	EvBlock    = probe.EvBlock
+	EvPark     = probe.EvPark
+	EvDrop     = probe.EvDrop
+	EvStrand   = probe.EvStrand
+	EvDeliver  = probe.EvDeliver
+	EvIssue    = probe.EvIssue
+	EvTimeout  = probe.EvTimeout
+	EvRetry    = probe.EvRetry
+	EvComplete = probe.EvComplete
+	EvGiveUp   = probe.EvGiveUp
+)
+
+// Heatmap is the per-stage, per-bin heat series a probe folds each
+// cycle's occupancy and blocking scratch into.
+type Heatmap = probe.Heat
+
+// MetricsRegistry collects final counter/gauge samples and exports
+// them deterministically as JSON lines or Prometheus text.
+type MetricsRegistry = probe.Registry
+
+// MetricLabel is one metric dimension (key="value").
+type MetricLabel = probe.Label
+
+// NewMetricsRegistry returns an empty registry.
+func NewMetricsRegistry() *MetricsRegistry { return probe.NewRegistry() }
 
 // ---------------------------------------------------------------------------
 // Design-space exploration and physical netlists

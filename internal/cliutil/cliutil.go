@@ -12,11 +12,15 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"sync"
 
 	"edn/internal/core"
+	"edn/internal/probe"
 	"edn/internal/queuesim"
 	"edn/internal/switchfab"
 	"edn/internal/xrand"
@@ -196,4 +200,190 @@ func WriteJSON(w io.Writer, v any) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(v)
+}
+
+// ProbeFlagSet holds the shared flight-recorder flags: -trace selects
+// the packet sampling stride, -heatmap turns on per-stage heat series,
+// and the two shape knobs bound the recorder's memory.
+type ProbeFlagSet struct {
+	Sample  *int
+	Cap     *int
+	Heatmap *bool
+	Bins    *int
+}
+
+// ProbeFlags registers the flight-recorder flags on fs.
+func ProbeFlags(fs *flag.FlagSet) *ProbeFlagSet {
+	return &ProbeFlagSet{
+		Sample:  fs.Int("trace", 0, "sample every ~Nth accepted packet into the flight recorder (0 = off)"),
+		Cap:     fs.Int("trace-cap", 256, "flight-recorder trace ring capacity"),
+		Heatmap: fs.Bool("heatmap", false, "collect and print per-stage occupancy/blocking heat series"),
+		Bins:    fs.Int("heat-bins", 32, "heat series time bins"),
+	}
+}
+
+// Enabled reports whether any probe output was requested.
+func (p *ProbeFlagSet) Enabled() bool { return *p.Sample > 0 || *p.Heatmap }
+
+// Options builds the probe configuration, or nil when no probe output
+// was requested — the nil keeps the measurement paths untouched.
+func (p *ProbeFlagSet) Options() *probe.Options {
+	if !p.Enabled() {
+		return nil
+	}
+	return &probe.Options{SampleEvery: *p.Sample, TraceCap: *p.Cap, Bins: *p.Bins}
+}
+
+// heatLevels is the 10-step intensity scale heat rows render with.
+const heatLevels = " .:-=+*#%@"
+
+// WriteProbeReport renders a probe report for humans: the trace cohort
+// summary with its latency quantiles, the per-stage event counts, and
+// (when showHeat) one intensity row per stage per heat metric, each
+// bin normalized against the metric's hottest bin.
+func WriteProbeReport(w io.Writer, rep *probe.Report, showHeat bool) error {
+	if rep == nil {
+		_, err := fmt.Fprintln(w, "probe: no report")
+		return err
+	}
+	completed := 0
+	maxStage := 0
+	for i := range rep.Traces {
+		if _, ok := rep.Traces[i].Latency(); ok {
+			completed++
+		}
+		for _, hp := range rep.Traces[i].Hops {
+			if hp.Stage > maxStage {
+				maxStage = hp.Stage
+			}
+		}
+	}
+	if _, err := fmt.Fprintf(w, "probe: sampled=%d traces=%d completed=%d\n", rep.Sampled, len(rep.Traces), completed); err != nil {
+		return err
+	}
+	if h := rep.LatencyHistogram(); h.N() > 0 {
+		if _, err := fmt.Fprintf(w, "trace latency: %s\n", h); err != nil {
+			return err
+		}
+	}
+	if len(rep.Traces) > 0 {
+		counts := rep.EventCounts(maxStage) // counts[event][stage]
+		// Only events that actually occurred earn a column.
+		var events []probe.Event
+		for ev := range counts {
+			var total int64
+			for _, n := range counts[ev] {
+				total += n
+			}
+			if total > 0 {
+				events = append(events, probe.Event(ev))
+			}
+		}
+		var sb strings.Builder
+		sb.WriteString("stage")
+		for _, ev := range events {
+			fmt.Fprintf(&sb, " %8s", ev)
+		}
+		if _, err := fmt.Fprintln(w, sb.String()); err != nil {
+			return err
+		}
+		for s := 0; s <= maxStage; s++ {
+			sb.Reset()
+			fmt.Fprintf(&sb, "%5d", s)
+			for _, ev := range events {
+				fmt.Fprintf(&sb, " %8d", counts[ev][s])
+			}
+			if _, err := fmt.Fprintln(w, sb.String()); err != nil {
+				return err
+			}
+		}
+	}
+	if showHeat && rep.Heat != nil {
+		ht := rep.Heat
+		for m, name := range ht.Metrics {
+			var peak float64
+			for s := 0; s < ht.Stages; s++ {
+				for b := 0; b < ht.Bins; b++ {
+					if ht.Series[m][s].N(b) > 0 && ht.Series[m][s].Mean(b) > peak {
+						peak = ht.Series[m][s].Mean(b)
+					}
+				}
+			}
+			if _, err := fmt.Fprintf(w, "heat %s (bin=%d cycles, peak=%.3g/cycle):\n", name, ht.BinCycles, peak); err != nil {
+				return err
+			}
+			for s := 0; s < ht.Stages; s++ {
+				row := make([]byte, ht.Bins)
+				for b := 0; b < ht.Bins; b++ {
+					row[b] = ' '
+					if ht.Series[m][s].N(b) > 0 && peak > 0 {
+						lvl := int(ht.Series[m][s].Mean(b) / peak * float64(len(heatLevels)-1))
+						if lvl < 0 {
+							lvl = 0
+						}
+						if lvl >= len(heatLevels) {
+							lvl = len(heatLevels) - 1
+						}
+						row[b] = heatLevels[lvl]
+					}
+				}
+				if _, err := fmt.Fprintf(w, "  s%-2d |%s|\n", s+1, row); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// ProfileFlagSet holds the optional pprof flags every sweep command
+// shares.
+type ProfileFlagSet struct {
+	cpu *string
+	mem *string
+}
+
+// ProfileFlags registers -cpuprofile and -memprofile on fs.
+func ProfileFlags(fs *flag.FlagSet) *ProfileFlagSet {
+	return &ProfileFlagSet{
+		cpu: fs.String("cpuprofile", "", "write a CPU profile to this file"),
+		mem: fs.String("memprofile", "", "write a heap profile to this file at exit"),
+	}
+}
+
+// Start begins CPU profiling when requested and returns a stop
+// function that finalizes both requested profiles; call the stop
+// exactly once (deferred) after the measured work.
+func (p *ProfileFlagSet) Start() (stop func() error, err error) {
+	var cpuFile *os.File
+	if *p.cpu != "" {
+		cpuFile, err = os.Create(*p.cpu)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, err
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return err
+			}
+		}
+		if *p.mem != "" {
+			f, err := os.Create(*p.mem)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return err
+			}
+		}
+		return nil
+	}, nil
 }

@@ -42,6 +42,7 @@ package closedloop
 import (
 	"fmt"
 
+	"edn/internal/probe"
 	"edn/internal/queuesim"
 	"edn/internal/ringbuf"
 	"edn/internal/stats"
@@ -261,6 +262,7 @@ type slot struct {
 	nextRetry int64 // earliest re-issue cycle (slotRetry)
 	prev      int32
 	next      int32
+	trace     int32 // probe trace record handle, -1 = untraced
 }
 
 // Loop orchestrates one closed-loop workload over a forward and a
@@ -294,6 +296,10 @@ type Loop struct {
 	lat    *stats.Histogram
 	slaSum float64
 	cycle  CycleStats
+
+	// probe, when set, flight-records sampled requests (Hop.Stage is the
+	// attempt number) and per-cycle ledger gauges; see SetProbe.
+	probe *probe.Probe
 }
 
 // New builds a closed-loop workload over the given fabrics. fwd and rev
@@ -345,7 +351,7 @@ func New(fwd, rev Engine, inputs, outputs int, opts Options) (*Loop, error) {
 	l.destRng = root.Split()
 	l.backoffRng = root.Split()
 	for i := range l.slots {
-		l.slots[i].prev, l.slots[i].next = -1, -1
+		l.slots[i].prev, l.slots[i].next, l.slots[i].trace = -1, -1, -1
 	}
 	// Power-of-two backlog backing at least MaxBacklog deep, so the
 	// bounded Push never grows.
@@ -397,6 +403,34 @@ func (l *Loop) ResetLatency() { l.lat.Reset() }
 // completions: each completed round trip adds Options.SLA.Weight of its
 // end-to-end latency. With the zero SLA this equals Ledger().Completed.
 func (l *Loop) SLACredit() float64 { return l.slaSum }
+
+// ProbeMetrics names the per-cycle heat gauges this layer reports, in
+// the AddStage index order of the pm* constants. The closed-loop probe
+// has a single "stage": its metrics are ledger gauges, not per-network-
+// stage counters (attach probes to the fabrics for those).
+var ProbeMetrics = []string{"backlogged", "in_flight", "retry_waiting", "timeouts"}
+
+const (
+	pmBacklogged = iota
+	pmInFlight
+	pmRetryWaiting
+	pmTimeouts
+)
+
+// SetProbe attaches a flight-recorder probe to the request layer (nil
+// detaches). Sampled requests record issue/timeout/retry/complete/
+// give-up hops with Hop.Stage carrying the attempt number; the
+// non-perturbation contract matches the engines' SetProbe. Not safe to
+// swap mid-cycle.
+func (l *Loop) SetProbe(p *probe.Probe) {
+	l.probe = p
+	for i := range l.slots {
+		l.slots[i].trace = -1
+	}
+	if p != nil {
+		p.Bind(1, ProbeMetrics)
+	}
+}
 
 // SetLiveOutputs installs the avoidance list: live[m] reports whether
 // memory port m is currently reachable (typically a fault mask's
@@ -514,6 +548,10 @@ func (l *Loop) onReplyDelivered(dest int, inject int64) {
 			l.led.InFlight--
 			sl.state = slotFree
 			l.cycle.Completed++
+			if l.probe != nil {
+				l.probe.CloseRec(sl.trace, int(sl.attempts), probe.EvComplete, l.now)
+				sl.trace = -1
+			}
 			return
 		}
 	}
@@ -566,10 +604,18 @@ func (l *Loop) Cycle() (CycleStats, error) {
 		l.led.Timeouts++
 		l.led.InFlight--
 		l.cycle.TimedOut++
+		if l.probe != nil {
+			l.probe.AddStage(pmTimeouts, 0, 1)
+			l.probe.HopRec(sl.trace, int(sl.attempts), probe.EvTimeout, l.now)
+		}
 		if l.opts.MaxAttempts > 0 && int(sl.attempts) >= l.opts.MaxAttempts {
 			sl.state = slotFree
 			l.led.GivenUp++
 			l.cycle.GivenUp++
+			if l.probe != nil {
+				l.probe.CloseRec(sl.trace, int(sl.attempts), probe.EvGiveUp, l.now)
+				sl.trace = -1
+			}
 			continue
 		}
 		sl.state = slotRetry
@@ -626,6 +672,17 @@ func (l *Loop) Cycle() (CycleStats, error) {
 		l.led.InFlight++
 		l.listAppend(l.fwdHead, l.fwdTail, int(sl.dest), s)
 		l.destFwd[i] = int(sl.dest)
+		if l.probe != nil {
+			if pick >= 0 {
+				l.probe.HopRec(sl.trace, int(sl.attempts), probe.EvRetry, l.now)
+			} else {
+				sl.trace = -1
+				if rec := l.probe.SampleInject(i, int(sl.dest), l.now); rec >= 0 {
+					sl.trace = rec
+					l.probe.HopRec(rec, 1, probe.EvIssue, l.now)
+				}
+			}
+		}
 	}
 	if _, err := l.fwd.Cycle(l.destFwd); err != nil {
 		return CycleStats{}, err
@@ -649,6 +706,12 @@ func (l *Loop) Cycle() (CycleStats, error) {
 	}
 	if _, err := l.rev.Cycle(l.destRev); err != nil {
 		return CycleStats{}, err
+	}
+	if l.probe != nil {
+		l.probe.AddStage(pmBacklogged, 0, float64(l.led.Backlogged))
+		l.probe.AddStage(pmInFlight, 0, float64(l.led.InFlight))
+		l.probe.AddStage(pmRetryWaiting, 0, float64(l.led.RetryWaiting))
+		l.probe.EndCycle()
 	}
 	return l.cycle, nil
 }

@@ -23,6 +23,7 @@ import (
 	"math"
 
 	"edn/internal/faults"
+	"edn/internal/probe"
 	"edn/internal/switchfab"
 	"edn/internal/topology"
 )
@@ -82,6 +83,16 @@ type Network struct {
 	blocked   []int   // CycleStats.Blocked backing store
 	scratch   stageScratch
 	wscratch  []stageScratch // per-worker scratch, parallel mode only
+
+	// Optional flight-recorder probe. All hooks live at the cycle level
+	// (injection loop and per-stage outcome scan), never inside the
+	// routeStage kernels, so the parallel workers and the fused fast
+	// paths are untouched and a nil probe costs one predictable branch.
+	probe    *probe.Probe
+	traceIn  []int   // input index of each sampled request this cycle
+	traceRec []int32 // matching open trace record handles
+	traceN   int
+	pcycle   int64 // probe timestamp: cycles routed since SetProbe
 }
 
 // stageScratch is the per-goroutine working set of routeStage: the digit
@@ -191,6 +202,35 @@ func (n *Network) UpdateFaults(m *faults.Masks) error {
 // mask.
 func (n *Network) Faulted() bool { return n.liveIn != nil || n.live != nil }
 
+// ProbeMetrics is the per-stage heat metric set a core network binds
+// its probe to: requests offered (stage 1 row), requests dropped per
+// stage, and requests delivered (crossbar row).
+var ProbeMetrics = []string{"offered", "blocked", "delivered"}
+
+const (
+	pmOffered = iota
+	pmBlocked
+	pmDelivered
+)
+
+// SetProbe attaches (or with nil, detaches) a flight-recorder probe.
+// The probe's cycle clock starts at 0 on attach: core networks keep no
+// wall time of their own, so hop stamps count RouteCycle calls since
+// SetProbe. A nil probe restores the uninstrumented cycle path
+// bit-for-bit. Not safe to call concurrently with RouteCycleInto.
+func (n *Network) SetProbe(p *probe.Probe) {
+	n.probe = p
+	if p != nil {
+		p.Bind(n.cfg.Stages(), ProbeMetrics)
+		if n.traceIn == nil {
+			n.traceIn = make([]int, n.cfg.Inputs())
+			n.traceRec = make([]int32, n.cfg.Inputs())
+		}
+	}
+	n.traceN = 0
+	n.pcycle = 0
+}
+
 // Config returns the network's configuration.
 func (n *Network) Config() topology.Config { return n.cfg }
 
@@ -281,6 +321,9 @@ func (n *Network) RouteCycleInto(dest []int, outcomes []Outcome) (CycleStats, er
 		n.blocked[i] = 0
 	}
 	stats := CycleStats{Blocked: n.blocked}
+	if n.probe != nil {
+		n.traceN = 0
+	}
 
 	// Live message bookkeeping: line[i] = current wire of input i's
 	// request, or NoRequest once dropped/idle. The destination of every
@@ -317,6 +360,14 @@ func (n *Network) RouteCycleInto(dest []int, outcomes []Outcome) (CycleStats, er
 			v >>= n.logB
 		}
 		tags[lastRow+i] = int32(d) & n.maskC
+		if n.probe != nil {
+			if rec := n.probe.SampleInject(i, d, n.pcycle); rec >= 0 {
+				n.traceIn[n.traceN] = i
+				n.traceRec[n.traceN] = rec
+				n.traceN++
+				n.probe.HopRec(rec, 0, probe.EvInject, n.pcycle)
+			}
+		}
 	}
 
 	for s := 1; s <= cfg.L+1; s++ {
@@ -342,8 +393,45 @@ func (n *Network) RouteCycleInto(dest []int, outcomes []Outcome) (CycleStats, er
 		}
 		stats.Blocked[s-1] += blocked
 		stats.Delivered += delivered
+		if n.probe != nil {
+			n.traceStage(s, outcomes)
+		}
+	}
+	if n.probe != nil {
+		n.probe.AddStage(pmOffered, 0, float64(stats.Offered))
+		for s := 0; s < cfg.Stages(); s++ {
+			n.probe.AddStage(pmBlocked, s, float64(stats.Blocked[s]))
+		}
+		n.probe.AddStage(pmDelivered, cfg.Stages()-1, float64(stats.Delivered))
+		n.probe.EndCycle()
+		n.pcycle++
 	}
 	return stats, nil
+}
+
+// traceStage advances every open trace record past stage s: a request
+// still holding a wire traversed, a request whose outcome shows an
+// output was delivered at the crossbar, and a request dropped by
+// arbitration closes at its blocking stage (circuit switching makes
+// every loss terminal).
+func (n *Network) traceStage(s int, outcomes []Outcome) {
+	for t := 0; t < n.traceN; t++ {
+		rec := n.traceRec[t]
+		if rec < 0 {
+			continue
+		}
+		i := n.traceIn[t]
+		switch {
+		case outcomes[i].Delivered():
+			n.probe.CloseRec(rec, s, probe.EvDeliver, n.pcycle)
+			n.traceRec[t] = -1
+		case n.line[i] == NoRequest:
+			n.probe.CloseRec(rec, outcomes[i].BlockedStage, probe.EvDrop, n.pcycle)
+			n.traceRec[t] = -1
+		default:
+			n.probe.HopRec(rec, s, probe.EvTraverse, n.pcycle)
+		}
+	}
 }
 
 // routeStage arbitrates switches [lo, hi) of one stage: it gathers each

@@ -47,6 +47,7 @@ import (
 
 	"edn/internal/core"
 	"edn/internal/dilated"
+	"edn/internal/probe"
 	"edn/internal/queuesim"
 	"edn/internal/ringbuf"
 	"edn/internal/stats"
@@ -169,6 +170,12 @@ type Network struct {
 
 	// deliver, when set, observes every retirement (see SetDeliveryHook).
 	deliver func(dest int, inject int64)
+
+	// probe, when set, flight-records sampled packets and per-stage heat
+	// (see SetProbe). pendTrace holds the unbuffered corner's per-input
+	// trace record handles (-1 = untraced), mirroring pending.
+	probe     *probe.Probe
+	pendTrace []int32
 }
 
 // New builds a queueing network over dcfg. See Options for the depth
@@ -389,12 +396,23 @@ func (n *Network) refreshLiveView() {
 		stranded := int64(r.N)
 		if drop {
 			for r.N > 0 {
-				r.Pop()
+				pkt := r.Pop()
+				if n.probe != nil && pkt&ringbuf.TraceBit != 0 {
+					n.probe.Close(pkt, n.ringStage(i), probe.EvStrand, n.now)
+				}
 			}
 			n.queued -= stranded
 			n.totals.Stranded += stranded
 		} else {
 			n.strandedQueued += stranded
+			if n.probe != nil {
+				for k := int32(0); k < r.N; k++ {
+					pkt := r.Buf[(int(r.Head)+int(k))&(len(r.Buf)-1)]
+					if pkt&ringbuf.TraceBit != 0 {
+						n.probe.Hop(pkt, n.ringStage(i), probe.EvPark, n.now)
+					}
+				}
+			}
 		}
 	}
 }
@@ -443,6 +461,69 @@ func (n *Network) ResetLatency() { n.lat.Reset() }
 // fn removes the hook. This is the same seam queuesim exposes, so
 // closed-loop drivers treat both engines identically.
 func (n *Network) SetDeliveryHook(fn func(dest int, inject int64)) { n.deliver = fn }
+
+// ProbeMetrics names the per-stage heat metrics this engine reports,
+// in the AddStage index order of the pm* constants — the same set as
+// queuesim's so EDN/dilated heatmaps compare stage for stage.
+var ProbeMetrics = []string{"occupancy", "hol_blocked", "parked", "dropped"}
+
+const (
+	pmOccupancy = iota
+	pmHolBlocked
+	pmParked
+	pmDropped
+)
+
+// SetProbe attaches a flight-recorder probe (nil detaches), with the
+// same non-perturbation contract as queuesim.SetProbe: decisions are
+// identical with or without it, and the nil path costs one predictable
+// branch per site (BenchmarkProbeOff pins 0 allocs/op). Not safe to
+// swap mid-cycle.
+func (n *Network) SetProbe(p *probe.Probe) {
+	n.probe = p
+	if p == nil {
+		return
+	}
+	p.Bind(n.stages, ProbeMetrics)
+	if n.opts.Depth == 0 && n.pendTrace == nil {
+		n.pendTrace = make([]int32, n.ports)
+	}
+	for i := range n.pendTrace {
+		n.pendTrace[i] = -1
+	}
+}
+
+// ringStage returns the 1-based stage fed by ring i (boundary-l rings
+// feed the output-port stage).
+func (n *Network) ringStage(i int) int {
+	s := 1
+	for s < len(n.base) && i >= n.base[s] {
+		s++
+	}
+	return s
+}
+
+// recordHeat folds this cycle's occupancy census into the probe and
+// closes the heat cycle. Only called with a probe attached.
+func (n *Network) recordHeat() {
+	if n.opts.Depth == 0 {
+		n.probe.AddStage(pmOccupancy, 0, float64(n.queued))
+	} else {
+		for s := 1; s <= n.stages; s++ {
+			lo := n.base[s-1]
+			hi := len(n.rings)
+			if s < len(n.base) {
+				hi = n.base[s]
+			}
+			occ := int64(0)
+			for i := lo; i < hi; i++ {
+				occ += int64(n.rings[i].N)
+			}
+			n.probe.AddStage(pmOccupancy, s-1, float64(occ))
+		}
+	}
+	n.probe.EndCycle()
+}
 
 // Stages returns the stage count: l switch stages plus the output-port
 // stage.
@@ -498,9 +579,16 @@ func (n *Network) Cycle(dest []int) (CycleStats, error) {
 				cs.Refused++
 				continue
 			}
-			r.Push(ringbuf.Pack(dst, n.now))
+			pkt := ringbuf.Pack(dst, n.now)
+			if n.probe != nil {
+				pkt = n.probe.TagInject(i, pkt, n.now)
+			}
+			r.Push(pkt)
 			n.queued++
 		}
+	}
+	if n.probe != nil {
+		n.recordHeat()
 	}
 	n.totals.Injected += int64(cs.Injected)
 	n.totals.Refused += int64(cs.Refused)
@@ -537,6 +625,9 @@ func (n *Network) retire(pkt uint64, cs *CycleStats) {
 	n.lat.Add(ringbuf.Latency(pkt, n.now))
 	n.queued--
 	cs.Delivered++
+	if n.probe != nil {
+		n.probe.Close(pkt, n.stages, probe.EvDeliver, n.now)
+	}
 	if n.deliver != nil {
 		n.deliver(ringbuf.Dest(pkt), int64(uint32(pkt>>32)))
 	}
@@ -596,9 +687,24 @@ func (n *Network) advanceStage(s int, cs *CycleStats) {
 						n.queued--
 						cs.Dropped++
 						n.perStage[s-1]++
+						if n.probe != nil {
+							n.probe.AddStage(pmDropped, s-1, 1)
+							n.probe.Close(pkt, s, probe.EvDrop, n.now)
+						}
 					case liveCap != nil && liveCap[sw*n.b+dgt] == 0:
 						cs.ParkedOnDead++ // every sub-wire of its bucket is dead
+						if n.probe != nil {
+							n.probe.AddStage(pmParked, s-1, 1)
+							n.probe.Hop(pkt, s, probe.EvPark, n.now)
+						}
+					default:
+						if n.probe != nil {
+							n.probe.AddStage(pmHolBlocked, s-1, 1)
+							n.probe.Hop(pkt, s, probe.EvBlock, n.now)
+						}
 					}
+				} else if n.probe != nil {
+					n.probe.Hop(pkt, s, probe.EvTraverse, n.now)
 				}
 			}
 		}
@@ -635,16 +741,32 @@ func (n *Network) advanceStage(s int, cs *CycleStats) {
 				continue
 			}
 			r := &n.rings[swIn+p]
-			if !n.advancePacket(r, r.Peek(), dgt, sw*bc, depth, tab, outRings, live) {
+			pkt := r.Peek()
+			if !n.advancePacket(r, pkt, dgt, sw*bc, depth, tab, outRings, live) {
 				switch {
 				case drop:
 					r.Pop()
 					n.queued--
 					cs.Dropped++
 					n.perStage[s-1]++
+					if n.probe != nil {
+						n.probe.AddStage(pmDropped, s-1, 1)
+						n.probe.Close(pkt, s, probe.EvDrop, n.now)
+					}
 				case liveCap != nil && liveCap[sw*n.b+dgt] == 0:
 					cs.ParkedOnDead++
+					if n.probe != nil {
+						n.probe.AddStage(pmParked, s-1, 1)
+						n.probe.Hop(pkt, s, probe.EvPark, n.now)
+					}
+				default:
+					if n.probe != nil {
+						n.probe.AddStage(pmHolBlocked, s-1, 1)
+						n.probe.Hop(pkt, s, probe.EvBlock, n.now)
+					}
 				}
+			} else if n.probe != nil {
+				n.probe.Hop(pkt, s, probe.EvTraverse, n.now)
 			}
 		}
 	}
@@ -707,10 +829,17 @@ func (n *Network) advanceOutput(cs *CycleStats) {
 					taken = true
 					n.retire(r.Pop(), cs)
 				} else if drop {
-					r.Pop()
+					pkt := r.Pop()
 					n.queued--
 					cs.Dropped++
 					n.perStage[n.stages-1]++
+					if n.probe != nil {
+						n.probe.AddStage(pmDropped, n.stages-1, 1)
+						n.probe.Close(pkt, n.stages, probe.EvDrop, n.now)
+					}
+				} else if n.probe != nil {
+					n.probe.AddStage(pmHolBlocked, n.stages-1, 1)
+					n.probe.Hop(r.Peek(), n.stages, probe.EvBlock, n.now)
 				}
 			}
 		}
@@ -747,10 +876,17 @@ func (n *Network) advanceOutput(cs *CycleStats) {
 				taken = true
 				n.retire(r.Pop(), cs)
 			} else if drop {
-				r.Pop()
+				pkt := r.Pop()
 				n.queued--
 				cs.Dropped++
 				n.perStage[n.stages-1]++
+				if n.probe != nil {
+					n.probe.AddStage(pmDropped, n.stages-1, 1)
+					n.probe.Close(pkt, n.stages, probe.EvDrop, n.now)
+				}
+			} else if n.probe != nil {
+				n.probe.AddStage(pmHolBlocked, n.stages-1, 1)
+				n.probe.Hop(r.Peek(), n.stages, probe.EvBlock, n.now)
 			}
 		}
 	}
@@ -798,6 +934,12 @@ func (n *Network) cycleUnbuffered(dest []int, cs *CycleStats) {
 		n.pending[i] = dst
 		n.pendAt[i] = n.now
 		n.queued++
+		if n.probe != nil {
+			if rec := n.probe.SampleInject(i, dst, n.now); rec >= 0 {
+				n.pendTrace[i] = rec
+				n.probe.HopRec(rec, 0, probe.EvInject, n.now)
+			}
+		}
 	}
 
 	cur := n.waveA[:n.ports]
@@ -965,6 +1107,10 @@ func (n *Network) retireWave(org int32, cs *CycleStats) {
 	n.lat.Add(float64(n.now-n.pendAt[org]) + 1)
 	n.queued--
 	cs.Delivered++
+	if n.probe != nil {
+		n.probe.CloseRec(n.pendTrace[org], n.stages, probe.EvDeliver, n.now)
+		n.pendTrace[org] = -1
+	}
 	if n.deliver != nil {
 		n.deliver(n.pending[org], int64(uint32(n.pendAt[org])))
 	}
@@ -983,10 +1129,25 @@ func (n *Network) blockWave(org int32, s int, cs *CycleStats) {
 		n.queued--
 		cs.Dropped++
 		n.perStage[s-1]++
+		if n.probe != nil {
+			n.probe.AddStage(pmDropped, s-1, 1)
+			n.probe.CloseRec(n.pendTrace[org], s, probe.EvDrop, n.now)
+			n.pendTrace[org] = -1
+		}
 		return
 	}
-	if n.live != nil && n.pinnedDead(int(org)) {
+	parked := n.live != nil && n.pinnedDead(int(org))
+	if parked {
 		cs.ParkedOnDead++
+	}
+	if n.probe != nil {
+		if parked {
+			n.probe.AddStage(pmParked, s-1, 1)
+			n.probe.HopRec(n.pendTrace[org], s, probe.EvPark, n.now)
+		} else {
+			n.probe.AddStage(pmHolBlocked, s-1, 1)
+			n.probe.HopRec(n.pendTrace[org], s, probe.EvBlock, n.now)
+		}
 	}
 }
 

@@ -1,0 +1,85 @@
+package probe
+
+import (
+	"fmt"
+
+	"edn/internal/stats"
+)
+
+// Heat is a per-stage, per-time-bin metric surface. Series[m][s] holds
+// the time series of metric m at stage s: each of its Bins cells
+// accumulates one sample per measured cycle (via stats.Accumulator
+// inside TimeSeries), so Mean(bin) is the per-cycle average of that
+// metric over the bin's BinCycles-cycle window, and Merge across
+// replayed shards is the exact pooled statistic.
+type Heat struct {
+	Metrics   []string
+	Stages    int
+	Bins      int
+	BinCycles int
+	Series    [][]*stats.TimeSeries
+}
+
+func newHeat(metrics []string, stages, bins, binCycles int) *Heat {
+	h := &Heat{
+		Metrics:   metrics,
+		Stages:    stages,
+		Bins:      bins,
+		BinCycles: binCycles,
+		Series:    make([][]*stats.TimeSeries, len(metrics)),
+	}
+	for m := range metrics {
+		h.Series[m] = make([]*stats.TimeSeries, stages)
+		for s := 0; s < stages; s++ {
+			h.Series[m][s] = stats.NewTimeSeries(bins)
+		}
+	}
+	return h
+}
+
+// Clone deep-copies the heat surface.
+func (h *Heat) Clone() *Heat {
+	c := newHeat(h.Metrics, h.Stages, h.Bins, h.BinCycles)
+	for m := range h.Series {
+		for s := range h.Series[m] {
+			c.Series[m][s] = h.Series[m][s].Clone()
+		}
+	}
+	return c
+}
+
+// Merge pools another shard's heat surface into h. Both surfaces must
+// have identical shape (same metrics, stages, bins, bin width), which
+// holds by construction for shards replaying the same timeline.
+func (h *Heat) Merge(o *Heat) error {
+	if o == nil {
+		return nil
+	}
+	if len(h.Metrics) != len(o.Metrics) || h.Stages != o.Stages ||
+		h.Bins != o.Bins || h.BinCycles != o.BinCycles {
+		return fmt.Errorf("probe: heat shape mismatch: %dx%dx%d/%d vs %dx%dx%d/%d",
+			len(h.Metrics), h.Stages, h.Bins, h.BinCycles,
+			len(o.Metrics), o.Stages, o.Bins, o.BinCycles)
+	}
+	for m := range h.Series {
+		if h.Metrics[m] != o.Metrics[m] {
+			return fmt.Errorf("probe: heat metric mismatch: %q vs %q", h.Metrics[m], o.Metrics[m])
+		}
+		for s := range h.Series[m] {
+			if err := h.Series[m][s].Merge(o.Series[m][s]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Metric returns the index of the named metric, or -1.
+func (h *Heat) Metric(name string) int {
+	for i, m := range h.Metrics {
+		if m == name {
+			return i
+		}
+	}
+	return -1
+}

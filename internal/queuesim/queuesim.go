@@ -48,6 +48,7 @@ import (
 
 	"edn/internal/core"
 	"edn/internal/faults"
+	"edn/internal/probe"
 	"edn/internal/ringbuf"
 	"edn/internal/stats"
 	"edn/internal/switchfab"
@@ -233,6 +234,12 @@ type Network struct {
 
 	// deliver, when set, observes every retirement (see SetDeliveryHook).
 	deliver func(dest int, inject int64)
+
+	// probe, when set, flight-records sampled packets and per-stage heat
+	// (see SetProbe). pendTrace holds the unbuffered corner's per-input
+	// trace record handles (-1 = untraced), mirroring pending.
+	probe     *probe.Probe
+	pendTrace []int32
 }
 
 // New builds a queueing network over cfg. See Options for the depth and
@@ -479,12 +486,23 @@ func (n *Network) refreshDeadRings() {
 		stranded := int64(r.N)
 		if drop {
 			for r.N > 0 {
-				r.Pop()
+				pkt := r.Pop()
+				if n.probe != nil && pkt&ringbuf.TraceBit != 0 {
+					n.probe.Close(pkt, n.ringStage(i), probe.EvStrand, n.now)
+				}
 			}
 			n.queued -= stranded
 			n.totals.Stranded += stranded
 		} else {
 			n.strandedQueued += stranded
+			if n.probe != nil {
+				for k := int32(0); k < r.N; k++ {
+					pkt := r.Buf[(int(r.Head)+int(k))&(len(r.Buf)-1)]
+					if pkt&ringbuf.TraceBit != 0 {
+						n.probe.Hop(pkt, n.ringStage(i), probe.EvPark, n.now)
+					}
+				}
+			}
 		}
 	}
 }
@@ -536,6 +554,70 @@ func (n *Network) ResetLatency() { n.lat.Reset() }
 // per-packet state; installing the hook once at construction keeps the
 // steady-state advance allocation-free.
 func (n *Network) SetDeliveryHook(fn func(dest int, inject int64)) { n.deliver = fn }
+
+// ProbeMetrics names the per-stage heat metrics this engine reports,
+// in the AddStage index order of the pm* constants.
+var ProbeMetrics = []string{"occupancy", "hol_blocked", "parked", "dropped"}
+
+const (
+	pmOccupancy = iota
+	pmHolBlocked
+	pmParked
+	pmDropped
+)
+
+// SetProbe attaches a flight-recorder probe (nil detaches). The probe
+// observes without perturbing: every routing, arbitration and queueing
+// decision is identical with or without it, and the nil check costs one
+// predictable branch per site (BenchmarkProbeOff pins the nil path at
+// 0 allocs/op). Heat rows are bound per stage; sampled packets carry
+// ringbuf.TraceBit through the rings. Not safe to swap mid-cycle.
+func (n *Network) SetProbe(p *probe.Probe) {
+	n.probe = p
+	if p == nil {
+		return
+	}
+	p.Bind(n.stages, ProbeMetrics)
+	if n.opts.Depth == 0 && n.pendTrace == nil {
+		n.pendTrace = make([]int32, n.inputs)
+	}
+	for i := range n.pendTrace {
+		n.pendTrace[i] = -1
+	}
+}
+
+// ringStage returns the 1-based stage fed by ring i.
+func (n *Network) ringStage(i int) int {
+	s := 1
+	for s < len(n.base) && i >= n.base[s] {
+		s++
+	}
+	return s
+}
+
+// recordHeat folds this cycle's occupancy census into the probe and
+// closes the heat cycle. Only called with a probe attached; the scan is
+// O(wires), a cost the attached probe accepts and the nil path never
+// pays.
+func (n *Network) recordHeat() {
+	if n.opts.Depth == 0 {
+		n.probe.AddStage(pmOccupancy, 0, float64(n.queued))
+	} else {
+		for s := 1; s <= n.stages; s++ {
+			lo := n.base[s-1]
+			hi := len(n.rings)
+			if s < len(n.base) {
+				hi = n.base[s]
+			}
+			occ := int64(0)
+			for i := lo; i < hi; i++ {
+				occ += int64(n.rings[i].N)
+			}
+			n.probe.AddStage(pmOccupancy, s-1, float64(occ))
+		}
+	}
+	n.probe.EndCycle()
+}
 
 // InputFree reports whether input i can accept an injection this cycle:
 // its stage-1 FIFO has room (pipelined) or its in-flight slot is empty
@@ -602,9 +684,16 @@ func (n *Network) Cycle(dest []int) (CycleStats, error) {
 				cs.Refused++
 				continue
 			}
-			r.Push(ringbuf.Pack(d, n.now))
+			pkt := ringbuf.Pack(d, n.now)
+			if n.probe != nil {
+				pkt = n.probe.TagInject(i, pkt, n.now)
+			}
+			r.Push(pkt)
 			n.queued++
 		}
+	}
+	if n.probe != nil {
+		n.recordHeat()
 	}
 	n.totals.Injected += int64(cs.Injected)
 	n.totals.Refused += int64(cs.Refused)
@@ -644,6 +733,9 @@ func (n *Network) retire(pkt uint64, cs *CycleStats) {
 	n.lat.Add(ringbuf.Latency(pkt, n.now))
 	n.queued--
 	cs.Delivered++
+	if n.probe != nil {
+		n.probe.Close(pkt, n.stages, probe.EvDeliver, n.now)
+	}
 	if n.deliver != nil {
 		n.deliver(ringbuf.Dest(pkt), int64(uint32(pkt>>32)))
 	}
@@ -726,9 +818,24 @@ func (n *Network) advanceStage(s int, cs *CycleStats) {
 						n.queued--
 						cs.Dropped++
 						n.perStage[s-1]++
+						if n.probe != nil {
+							n.probe.AddStage(pmDropped, s-1, 1)
+							n.probe.Close(pkt, s, probe.EvDrop, n.now)
+						}
 					case headDeadBlocked(sw, d, isCrossbar, cfg, live, liveCap):
 						cs.ParkedOnDead++
+						if n.probe != nil {
+							n.probe.AddStage(pmParked, s-1, 1)
+							n.probe.Hop(pkt, s, probe.EvPark, n.now)
+						}
+					default:
+						if n.probe != nil {
+							n.probe.AddStage(pmHolBlocked, s-1, 1)
+							n.probe.Hop(pkt, s, probe.EvBlock, n.now)
+						}
 					}
+				} else if n.probe != nil && !isCrossbar {
+					n.probe.Hop(pkt, s, probe.EvTraverse, n.now)
 				}
 			}
 		}
@@ -782,16 +889,32 @@ func (n *Network) advanceStage(s int, cs *CycleStats) {
 				continue
 			}
 			r := &n.rings[swIn+p]
-			if !n.advancePacket(r, r.Peek(), d, sw*bc, capacity, isCrossbar, depth, tab, outRings, live, cs) {
+			pkt := r.Peek()
+			if !n.advancePacket(r, pkt, d, sw*bc, capacity, isCrossbar, depth, tab, outRings, live, cs) {
 				switch {
 				case drop:
 					r.Pop()
 					n.queued--
 					cs.Dropped++
 					n.perStage[s-1]++
+					if n.probe != nil {
+						n.probe.AddStage(pmDropped, s-1, 1)
+						n.probe.Close(pkt, s, probe.EvDrop, n.now)
+					}
 				case headDeadBlocked(sw, d, isCrossbar, cfg, live, liveCap):
 					cs.ParkedOnDead++
+					if n.probe != nil {
+						n.probe.AddStage(pmParked, s-1, 1)
+						n.probe.Hop(pkt, s, probe.EvPark, n.now)
+					}
+				default:
+					if n.probe != nil {
+						n.probe.AddStage(pmHolBlocked, s-1, 1)
+						n.probe.Hop(pkt, s, probe.EvBlock, n.now)
+					}
 				}
+			} else if n.probe != nil && !isCrossbar {
+				n.probe.Hop(pkt, s, probe.EvTraverse, n.now)
 			}
 		}
 	}
@@ -897,6 +1020,12 @@ func (n *Network) cycleUnbuffered(dest []int, cs *CycleStats) error {
 		n.pendAt[i] = n.now
 		n.queued++
 		n.destBuf[i] = d
+		if n.probe != nil {
+			if rec := n.probe.SampleInject(i, d, n.now); rec >= 0 {
+				n.pendTrace[i] = rec
+				n.probe.HopRec(rec, 0, probe.EvInject, n.now)
+			}
+		}
 	}
 	if _, err := n.net.RouteCycleInto(n.destBuf, n.outBuf); err != nil {
 		return err
@@ -918,6 +1047,10 @@ func (n *Network) cycleUnbuffered(dest []int, cs *CycleStats) error {
 			n.lat.Add(float64(n.now-n.pendAt[i]) + 1)
 			n.queued--
 			cs.Delivered++
+			if n.probe != nil {
+				n.probe.CloseRec(n.pendTrace[i], n.stages, probe.EvDeliver, n.now)
+				n.pendTrace[i] = -1
+			}
 			if n.deliver != nil {
 				n.deliver(n.pending[i], int64(uint32(n.pendAt[i])))
 			}
@@ -926,6 +1059,11 @@ func (n *Network) cycleUnbuffered(dest []int, cs *CycleStats) error {
 			n.queued--
 			cs.Dropped++
 			n.perStage[o.BlockedStage-1]++
+			if n.probe != nil {
+				n.probe.AddStage(pmDropped, o.BlockedStage-1, 1)
+				n.probe.CloseRec(n.pendTrace[i], o.BlockedStage, probe.EvDrop, n.now)
+				n.pendTrace[i] = -1
+			}
 			n.pending[i] = NoRequest
 		default:
 			// Retained for resubmission. A packet is parked — it will
@@ -938,14 +1076,27 @@ func (n *Network) cycleUnbuffered(dest []int, cs *CycleStats) error {
 			// parking; the c=1 delta corner's longer pinned paths are
 			// not classified).
 			d := n.pending[i]
+			parkStage := 0
 			switch {
 			case n.liveIn != nil && !n.liveIn[i]:
 				cs.ParkedOnDead++
+				parkStage = 1
 			case termRow != nil && !termRow[d]:
 				cs.ParkedOnDead++
+				parkStage = n.stages
 			case n.live != nil && n.live[0] != nil &&
 				n.s1cap[(i/n.cfg.A)*n.cfg.B+int((uint32(d)>>n.s1shift)&n.maskB)] == 0:
 				cs.ParkedOnDead++
+				parkStage = 1
+			}
+			if n.probe != nil {
+				if parkStage != 0 {
+					n.probe.AddStage(pmParked, parkStage-1, 1)
+					n.probe.HopRec(n.pendTrace[i], parkStage, probe.EvPark, n.now)
+				} else {
+					n.probe.AddStage(pmHolBlocked, o.BlockedStage-1, 1)
+					n.probe.HopRec(n.pendTrace[i], o.BlockedStage, probe.EvBlock, n.now)
+				}
 			}
 		}
 	}

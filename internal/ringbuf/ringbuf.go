@@ -66,13 +66,21 @@ func (r *Ring) grow() {
 // arithmetic, so individual latencies stay correct as long as no packet
 // waits more than 2^32 cycles.
 
+// TraceBit marks a packet carrying a flight-recorder trace record (see
+// internal/probe). Every engine validates destinations against an
+// output count no larger than 2^30, so bit 31 of the low word is never
+// a destination bit; Dest masks it out and Latency reads only the high
+// word, which is what makes a tagged packet route, queue and measure
+// exactly like its untagged twin.
+const TraceBit uint64 = 1 << 31
+
 // Pack encodes a packet injected for dest at cycle now.
 func Pack(dest int, now int64) uint64 {
 	return uint64(uint32(now))<<32 | uint64(uint32(dest))
 }
 
 // Dest extracts the packet's destination terminal.
-func Dest(p uint64) int { return int(uint32(p)) }
+func Dest(p uint64) int { return int(uint32(p) &^ uint32(TraceBit)) }
 
 // Latency returns the packet's age in cycles at time now.
 func Latency(p uint64, now int64) float64 {

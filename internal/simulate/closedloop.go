@@ -10,6 +10,7 @@ import (
 	"edn/internal/dilatedsim"
 	"edn/internal/faults"
 	"edn/internal/lifecycle"
+	"edn/internal/probe"
 	"edn/internal/queuesim"
 	"edn/internal/stats"
 	"edn/internal/topology"
@@ -52,6 +53,13 @@ type ClosedLoopResult struct {
 	LatencyP99  float64
 	LatencyMax  float64
 	Histogram   *stats.Histogram
+
+	// Observed carries the flight-recorder report when Options.Probe
+	// was set: sampled request traces (attempt-numbered issue, timeout,
+	// retry and completion events) plus per-cycle ledger-gauge heat,
+	// from a dedicated sequential observation pass (see sweepLoads for
+	// the determinism argument).
+	Observed *probe.Report
 }
 
 // Network names the measured network.
@@ -75,6 +83,7 @@ type closedLoopPartial struct {
 	sla    float64
 	hist   *stats.Histogram
 	cycles int
+	rep    *probe.Report
 	err    error
 }
 
@@ -117,7 +126,7 @@ func ledgerAdd(into *closedloop.Ledger, d closedloop.Ledger) {
 // runClosedLoopShard builds a fresh loop over fresh fabrics, runs
 // warmup + cycles, asserts conservation, and returns the
 // measurement-window deltas.
-func runClosedLoopShard(build func() (fwd, rev closedloop.Engine, err error), inputs, outputs int, lo closedloop.Options, warmup, cycles int) closedLoopPartial {
+func runClosedLoopShard(build func() (fwd, rev closedloop.Engine, err error), inputs, outputs int, lo closedloop.Options, warmup, cycles int, po *probe.Options) closedLoopPartial {
 	fwd, rev, err := build()
 	if err != nil {
 		return closedLoopPartial{err: err}
@@ -133,6 +142,10 @@ func runClosedLoopShard(build func() (fwd, rev closedloop.Engine, err error), in
 	}
 	warmLed, warmSLA := loop.Ledger(), loop.SLACredit()
 	loop.ResetLatency()
+	pr := newProbe(po, cycles)
+	if pr != nil {
+		loop.SetProbe(pr)
+	}
 	for c := 0; c < cycles; c++ {
 		if _, err := loop.Cycle(); err != nil {
 			return closedLoopPartial{err: err}
@@ -141,12 +154,16 @@ func runClosedLoopShard(build func() (fwd, rev closedloop.Engine, err error), in
 	if err := loop.CheckConservation(); err != nil {
 		return closedLoopPartial{err: err}
 	}
-	return closedLoopPartial{
+	part := closedLoopPartial{
 		led:    ledgerDelta(loop.Ledger(), warmLed),
 		sla:    loop.SLACredit() - warmSLA,
 		hist:   loop.Latency().Clone(),
 		cycles: cycles,
 	}
+	if pr != nil {
+		part.rep = pr.Report()
+	}
+	return part
 }
 
 // sweepClosedLoop is the engine-agnostic rate sweep: one merged result
@@ -176,7 +193,7 @@ func sweepClosedLoop(inputs, outputs int, rates []float64, lo closedloop.Options
 			slo := lo
 			slo.Rate = rate
 			slo.Seed = seeds[w]
-			parts[w] = runClosedLoopShard(build, inputs, outputs, slo, opts.Warmup, cycles)
+			parts[w] = runClosedLoopShard(build, inputs, outputs, slo, opts.Warmup, cycles, nil)
 		})
 
 		res := ClosedLoopResult{Rate: rate, Shards: shards}
@@ -198,6 +215,21 @@ func sweepClosedLoop(inputs, outputs int, rates []float64, lo closedloop.Options
 			}
 		}
 		res.fill(inputs)
+		if opts.Probe != nil {
+			// Dedicated sequential observation pass under seeds[0] (the
+			// first root draw, shard-count independent) at the full cycle
+			// budget: the trace set is a pure function of Options, and
+			// the measured merge above stays bit-identical to an
+			// unprobed sweep.
+			slo := lo
+			slo.Rate = rate
+			slo.Seed = seeds[0]
+			obs := runClosedLoopShard(build, inputs, outputs, slo, opts.Warmup, opts.Cycles, opts.Probe)
+			if obs.err != nil {
+				return nil, obs.err
+			}
+			res.Observed = obs.rep
+		}
 		results = append(results, res)
 	}
 	return results, nil
@@ -370,6 +402,11 @@ type ClosedLoopLifetimeResult struct {
 	GoodputOverall       float64
 	SLAAttainmentOverall float64
 	CostOfDowntime       float64
+
+	// Observed carries the flight-recorder report when Options.Probe
+	// was set: ledger-gauge heat binned one bin per epoch, merged
+	// across every shard, plus request traces from shard 0's replay.
+	Observed *probe.Report
 }
 
 // Network names the measured network.
@@ -394,6 +431,7 @@ type closedLoopLifetimePartial struct {
 	led     closedloop.Ledger
 	credit  float64
 	offered int64
+	rep     *probe.Report
 	err     error
 }
 
@@ -406,7 +444,7 @@ type closedLoopStep func(loop *closedloop.Loop) (reachable, deadFrac float64, er
 // closed-loop lifetime sweeps share: fault-free warmup, then Epochs
 // iterations of (step, run EpochCycles cycles, record), with the full
 // conservation invariant asserted at every epoch boundary.
-func runClosedLoopLifetimeShard(build func() (fwd, rev closedloop.Engine, err error), inputs, outputs int, lopts LifetimeOptions, lo closedloop.Options, warmup int, step closedLoopStep) closedLoopLifetimePartial {
+func runClosedLoopLifetimeShard(build func() (fwd, rev closedloop.Engine, err error), inputs, outputs int, lopts LifetimeOptions, lo closedloop.Options, warmup int, pr *probe.Probe, step closedLoopStep) closedLoopLifetimePartial {
 	p := closedLoopLifetimePartial{
 		goodput:   stats.NewTimeSeries(lopts.Epochs),
 		sla:       stats.NewTimeSeries(lopts.Epochs),
@@ -432,6 +470,10 @@ func runClosedLoopLifetimeShard(build func() (fwd, rev closedloop.Engine, err er
 		}
 	}
 	warmLed, warmSLA := loop.Ledger(), loop.SLACredit()
+	if pr != nil {
+		// Attached at the churn boundary: heat bin e is exactly epoch e.
+		loop.SetProbe(pr)
+	}
 
 	perEpoch := float64(lopts.EpochCycles * inputs)
 	for e := 0; e < lopts.Epochs; e++ {
@@ -470,6 +512,9 @@ func runClosedLoopLifetimeShard(build func() (fwd, rev closedloop.Engine, err er
 	p.led = ledgerDelta(loop.Ledger(), warmLed)
 	p.credit = loop.SLACredit() - warmSLA
 	p.offered = p.led.Offered
+	if pr != nil {
+		p.rep = pr.Report()
+	}
 	return p
 }
 
@@ -477,7 +522,7 @@ func runClosedLoopLifetimeShard(build func() (fwd, rev closedloop.Engine, err er
 // seeds derived exactly as runLifetimeShards derives them, so the EDN
 // and dilated sweeps stay replay-matched — and merges series, ledger
 // and aggregates.
-func runClosedLoopLifetime(inputs, outputs int, lopts LifetimeOptions, lo closedloop.Options, opts Options, shards int, shard func(procSeed, trafficSeed uint64) closedLoopLifetimePartial) (ClosedLoopLifetimeResult, error) {
+func runClosedLoopLifetime(inputs, outputs int, lopts LifetimeOptions, lo closedloop.Options, opts Options, shards int, shard func(w int, procSeed, trafficSeed uint64) closedLoopLifetimePartial) (ClosedLoopLifetimeResult, error) {
 	root := xrand.New(opts.Seed ^ 0x5bf0_3635_d1c2_a94f)
 	type shardSeed struct{ proc, traffic uint64 }
 	seeds := make([]shardSeed, shards)
@@ -490,7 +535,7 @@ func runClosedLoopLifetime(inputs, outputs int, lopts LifetimeOptions, lo closed
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			parts[w] = shard(seeds[w].proc, seeds[w].traffic)
+			parts[w] = shard(w, seeds[w].proc, seeds[w].traffic)
 		}(w)
 	}
 	wg.Wait()
@@ -531,6 +576,13 @@ func runClosedLoopLifetime(inputs, outputs int, lopts LifetimeOptions, lo closed
 		ledgerAdd(&res.Ledger, p.led)
 		credit += p.credit
 		offered += p.offered
+		if p.rep != nil {
+			if res.Observed == nil {
+				res.Observed = p.rep
+			} else if err := res.Observed.Merge(p.rep); err != nil {
+				return ClosedLoopLifetimeResult{}, err
+			}
+		}
 	}
 	res.GoodputOverall = res.Goodput.MeanOverall()
 	if offered > 0 {
@@ -587,7 +639,7 @@ func ClosedLoopLifetimeSweep(cfg topology.Config, lopts LifetimeOptions, lo clos
 	}
 	qopts.Faults = nil // the lifetime starts healthy; epochs swap masks in
 
-	res, err := runClosedLoopLifetime(cfg.Inputs(), cfg.Outputs(), lopts, lo, opts, shards, func(procSeed, trafficSeed uint64) closedLoopLifetimePartial {
+	res, err := runClosedLoopLifetime(cfg.Inputs(), cfg.Outputs(), lopts, lo, opts, shards, func(w int, procSeed, trafficSeed uint64) closedLoopLifetimePartial {
 		procRoot := xrand.New(procSeed)
 		fwdProc, err := lifecycle.New(cfg, lopts.Spec, procRoot.Split())
 		if err != nil {
@@ -632,7 +684,7 @@ func ClosedLoopLifetimeSweep(cfg topology.Config, lopts LifetimeOptions, lo clos
 		slo := lo
 		slo.Rate = lopts.Load
 		slo.Seed = trafficSeed
-		return runClosedLoopLifetimeShard(build, cfg.Inputs(), cfg.Outputs(), lopts, slo, opts.Warmup, step)
+		return runClosedLoopLifetimeShard(build, cfg.Inputs(), cfg.Outputs(), lopts, slo, opts.Warmup, lifetimeProbe(opts.Probe, lopts, w), step)
 	})
 	if err != nil {
 		return ClosedLoopLifetimeResult{}, err
@@ -671,7 +723,7 @@ func DilatedClosedLoopLifetimeSweep(dcfg dilated.Config, lopts LifetimeOptions, 
 	dopts.Faults = nil
 	ports := dcfg.Ports()
 
-	res, err := runClosedLoopLifetime(ports, ports, lopts, lo, opts, shards, func(procSeed, trafficSeed uint64) closedLoopLifetimePartial {
+	res, err := runClosedLoopLifetime(ports, ports, lopts, lo, opts, shards, func(w int, procSeed, trafficSeed uint64) closedLoopLifetimePartial {
 		procRoot := xrand.New(procSeed)
 		fwdChurn, err := dilatedsim.NewChurn(dcfg, lopts.Spec.MTBF, lopts.Spec.MTTR, lopts.Spec.Timing, procRoot.Split())
 		if err != nil {
@@ -716,7 +768,7 @@ func DilatedClosedLoopLifetimeSweep(dcfg dilated.Config, lopts LifetimeOptions, 
 		slo := lo
 		slo.Rate = lopts.Load
 		slo.Seed = trafficSeed
-		return runClosedLoopLifetimeShard(build, ports, ports, lopts, slo, opts.Warmup, step)
+		return runClosedLoopLifetimeShard(build, ports, ports, lopts, slo, opts.Warmup, lifetimeProbe(opts.Probe, lopts, w), step)
 	})
 	if err != nil {
 		return ClosedLoopLifetimeResult{}, err

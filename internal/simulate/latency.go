@@ -7,6 +7,7 @@ import (
 
 	"edn/internal/dilated"
 	"edn/internal/dilatedsim"
+	"edn/internal/probe"
 	"edn/internal/queuesim"
 	"edn/internal/stats"
 	"edn/internal/topology"
@@ -55,6 +56,13 @@ type LatencyResult struct {
 	LatencyMax  float64
 	// Histogram is the full merged distribution backing the quantiles.
 	Histogram *stats.Histogram
+
+	// Observed carries the flight-recorder report when Options.Probe
+	// was set. Sharded sweeps fill it from a dedicated sequential
+	// observation pass (deterministic for a given Options regardless of
+	// shard count); the probed pass never feeds the measured counters
+	// above.
+	Observed *probe.Report
 }
 
 // Network names the measured network: the EDN configuration, or the
@@ -104,6 +112,7 @@ type packetEngine interface {
 	Totals() queuesim.Totals
 	Latency() *stats.Histogram
 	ResetLatency()
+	SetProbe(*probe.Probe)
 }
 
 // measurePacketEngine drives pattern through net for opts.Warmup +
@@ -117,10 +126,16 @@ func measurePacketEngine(net packetEngine, inputs, outputs int, pattern traffic.
 	gen, inPlace := pattern.(traffic.IntoGenerator)
 	var queuedSum int64
 	var before queuesim.Totals
+	pr := newProbe(opts.Probe, opts.Cycles)
 	for cycle := 0; cycle < opts.Warmup+opts.Cycles; cycle++ {
 		if cycle == opts.Warmup {
 			net.ResetLatency()
 			before = net.Totals()
+			if pr != nil {
+				// Attach at the measurement boundary so traces and heat
+				// bins cover exactly the measured window.
+				net.SetProbe(pr)
+			}
 		}
 		if inPlace {
 			gen.GenerateInto(dest, outputs)
@@ -142,6 +157,9 @@ func measurePacketEngine(net packetEngine, inputs, outputs int, pattern traffic.
 	res.AvgQueued = float64(queuedSum) / float64(opts.Cycles)
 	res.Histogram = net.Latency().Clone()
 	res.fillQuantiles(inputs)
+	if pr != nil {
+		res.Observed = pr.Report()
+	}
 	return nil
 }
 
@@ -256,9 +274,10 @@ func SaturationSweep(cfg topology.Config, loads []float64, src LoadPattern, qopt
 	if src == nil {
 		src = UniformLoad
 	}
-	return sweepLoads(cfg.Inputs(), loads, opts, shards, func(load float64, seed uint64, cycles int) (LatencyResult, error) {
+	return sweepLoads(cfg.Inputs(), loads, opts, shards, func(load float64, seed uint64, cycles int, po *probe.Options) (LatencyResult, error) {
 		sub := opts
 		sub.Cycles = cycles
+		sub.Probe = po
 		return MeasureLatency(cfg, src(load, xrand.New(seed)), qopts, sub)
 	})
 }
@@ -274,9 +293,10 @@ func DilatedSaturationSweep(dcfg dilated.Config, loads []float64, src LoadPatter
 	if src == nil {
 		src = UniformLoad
 	}
-	return sweepLoads(dcfg.Ports(), loads, opts, shards, func(load float64, seed uint64, cycles int) (LatencyResult, error) {
+	return sweepLoads(dcfg.Ports(), loads, opts, shards, func(load float64, seed uint64, cycles int, po *probe.Options) (LatencyResult, error) {
 		sub := opts
 		sub.Cycles = cycles
+		sub.Probe = po
 		return MeasureDilatedLatency(dcfg, src(load, xrand.New(seed)), dopts, sub)
 	})
 }
@@ -314,7 +334,15 @@ func runShards(totalCycles, shards int, fn func(w, cycles int)) {
 // index, shard), independent of scheduling) and merging counters and
 // histograms exactly. It is the engine-agnostic core of the saturation
 // sweeps; measure runs one shard.
-func sweepLoads(inputs int, loads []float64, opts Options, shards int, measure func(load float64, seed uint64, cycles int) (LatencyResult, error)) ([]LatencyResult, error) {
+//
+// When opts.Probe is set, every shard still runs unprobed — the merged
+// counters and histograms are bit-identical either way — and each load
+// point's Observed report comes from one extra sequential observation
+// pass at the full cycle budget under seeds[0]. The first root draw
+// does not depend on the shard count, so the sampled trace set is a
+// pure function of Options, regardless of how the measured budget was
+// sharded.
+func sweepLoads(inputs int, loads []float64, opts Options, shards int, measure func(load float64, seed uint64, cycles int, po *probe.Options) (LatencyResult, error)) ([]LatencyResult, error) {
 	if shards <= 0 {
 		shards = runtime.GOMAXPROCS(0)
 	}
@@ -336,7 +364,7 @@ func sweepLoads(inputs int, loads []float64, opts Options, shards int, measure f
 		}
 		parts := make([]partial, shards)
 		runShards(opts.Cycles, shards, func(w, cycles int) {
-			parts[w].res, parts[w].err = measure(load, seeds[w], cycles)
+			parts[w].res, parts[w].err = measure(load, seeds[w], cycles, nil)
 		})
 
 		var merged LatencyResult
@@ -372,6 +400,13 @@ func sweepLoads(inputs int, loads []float64, opts Options, shards int, measure f
 			merged.AvgQueued = queuedWeighted / float64(merged.Cycles)
 		}
 		merged.fillQuantiles(inputs)
+		if opts.Probe != nil {
+			obs, err := measure(load, seeds[0], opts.Cycles, opts.Probe)
+			if err != nil {
+				return nil, err
+			}
+			merged.Observed = obs.Observed
+		}
 		results = append(results, merged)
 	}
 	return results, nil

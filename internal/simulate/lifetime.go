@@ -10,6 +10,7 @@ import (
 	"edn/internal/dilatedsim"
 	"edn/internal/faults"
 	"edn/internal/lifecycle"
+	"edn/internal/probe"
 	"edn/internal/queuesim"
 	"edn/internal/stats"
 	"edn/internal/topology"
@@ -96,6 +97,13 @@ type LifetimeResult struct {
 	// (a >10% bandwidth drop) took to recover halfway back; NaN when the
 	// lifetime had no such event.
 	RecoveryHalfLife float64
+
+	// Observed carries the flight-recorder report when Options.Probe
+	// was set: heat series binned one bin per epoch and merged exactly
+	// across every shard, plus sampled packet traces from shard 0's
+	// replay (the first seed pair does not depend on the shard count,
+	// so the trace set is a pure function of Options).
+	Observed *probe.Report
 }
 
 // String renders the headline numbers.
@@ -144,8 +152,8 @@ func LifetimeSweep(cfg topology.Config, lopts LifetimeOptions, src LoadPattern, 
 		shards = runtime.GOMAXPROCS(0)
 	}
 
-	m, err := runLifetimeShards(lopts, opts, shards, func(procSeed, trafficSeed uint64) partialLifetime {
-		return runLifetimeShard(cfg, lopts, src, qopts, opts, procSeed, trafficSeed)
+	m, err := runLifetimeShards(lopts, opts, shards, func(w int, procSeed, trafficSeed uint64) partialLifetime {
+		return runLifetimeShard(cfg, lopts, src, qopts, opts, w, procSeed, trafficSeed)
 	})
 	if err != nil {
 		return LifetimeResult{}, err
@@ -173,6 +181,7 @@ func LifetimeSweep(cfg topology.Config, lopts LifetimeOptions, src LoadPattern, 
 		DeliveredFraction:  m.deliveredFraction,
 		TimeBelowThreshold: m.timeBelowThreshold,
 		RecoveryHalfLife:   m.recoveryHalfLife,
+		Observed:           m.rep,
 	}, nil
 }
 
@@ -184,6 +193,7 @@ func LifetimeSweep(cfg topology.Config, lopts LifetimeOptions, src LoadPattern, 
 type lifetimeMerge struct {
 	bandwidth, reachable, deadFrac, p99, parked *stats.TimeSeries
 	totals                                      queuesim.Totals
+	rep                                         *probe.Report
 
 	lifetimeBandwidth  float64
 	deliveredFraction  float64
@@ -191,11 +201,30 @@ type lifetimeMerge struct {
 	recoveryHalfLife   float64
 }
 
+// lifetimeProbe builds shard w's probe for a lifetime sweep: heat bins
+// align one-to-one with epochs (so per-shard series merge exactly, the
+// same rule as every other epoch series), and only shard 0 samples
+// traces — its seed pair is shard-count independent, which keeps the
+// trace set deterministic under re-sharding while every shard still
+// contributes heat.
+func lifetimeProbe(po *probe.Options, lopts LifetimeOptions, w int) *probe.Probe {
+	if po == nil {
+		return nil
+	}
+	p := *po
+	p.Bins = lopts.Epochs
+	p.BinCycles = lopts.EpochCycles
+	if w > 0 {
+		p.SampleEvery = 0
+	}
+	return probe.New(p)
+}
+
 // runLifetimeShards derives one (process, traffic) seed pair per shard
 // from opts.Seed — the derivation is shared by both sweeps, which is
 // what makes "same Options" mean "same replays" — runs the shard
 // lifetimes in parallel and merges series, counters and aggregates.
-func runLifetimeShards(lopts LifetimeOptions, opts Options, shards int, runShard func(procSeed, trafficSeed uint64) partialLifetime) (lifetimeMerge, error) {
+func runLifetimeShards(lopts LifetimeOptions, opts Options, shards int, runShard func(w int, procSeed, trafficSeed uint64) partialLifetime) (lifetimeMerge, error) {
 	// Derive per-shard seeds up front so the assignment does not depend
 	// on scheduling.
 	root := xrand.New(opts.Seed ^ 0x5bf0_3635_d1c2_a94f)
@@ -211,7 +240,7 @@ func runLifetimeShards(lopts LifetimeOptions, opts Options, shards int, runShard
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			parts[w] = runShard(seeds[w].proc, seeds[w].traffic)
+			parts[w] = runShard(w, seeds[w].proc, seeds[w].traffic)
 		}(w)
 	}
 	wg.Wait()
@@ -244,6 +273,13 @@ func runLifetimeShards(lopts LifetimeOptions, opts Options, shards int, runShard
 		m.totals.Delivered += p.totals.Delivered
 		m.totals.Dropped += p.totals.Dropped
 		m.totals.Stranded += p.totals.Stranded
+		if p.rep != nil {
+			if m.rep == nil {
+				m.rep = p.rep
+			} else if err := m.rep.Merge(p.rep); err != nil {
+				return lifetimeMerge{}, err
+			}
+		}
 	}
 	m.lifetimeBandwidth = m.bandwidth.MeanOverall()
 	if m.totals.Injected > 0 {
@@ -259,7 +295,7 @@ func runLifetimeShards(lopts LifetimeOptions, opts Options, shards int, runShard
 // runLifetimeShard simulates one independent lifetime: warmup
 // fault-free, then Epochs iterations of (advance the failure process,
 // compile, swap the masks in place, run EpochCycles cycles, record).
-func runLifetimeShard(cfg topology.Config, lopts LifetimeOptions, src LoadPattern, qopts queuesim.Options, opts Options, procSeed, trafficSeed uint64) partialLifetime {
+func runLifetimeShard(cfg topology.Config, lopts LifetimeOptions, src LoadPattern, qopts queuesim.Options, opts Options, w int, procSeed, trafficSeed uint64) partialLifetime {
 	proc, err := lifecycle.New(cfg, lopts.Spec, xrand.New(procSeed))
 	if err != nil {
 		return partialLifetime{err: err}
@@ -281,7 +317,7 @@ func runLifetimeShard(cfg topology.Config, lopts LifetimeOptions, src LoadPatter
 		}
 		return float64(masks.ReachableOutputs()) / float64(outputs), proc.DeadFraction(), nil
 	}
-	return runLifetimeLoop(net, inputs, outputs, lopts, src(lopts.Load, xrand.New(trafficSeed)), opts.Warmup, step)
+	return runLifetimeLoop(net, inputs, outputs, lopts, src(lopts.Load, xrand.New(trafficSeed)), opts.Warmup, lifetimeProbe(opts.Probe, lopts, w), step)
 }
 
 // runLifetimeLoop is the per-shard epoch loop both lifetime sweeps
@@ -291,7 +327,7 @@ func runLifetimeShard(cfg topology.Config, lopts LifetimeOptions, src LoadPatter
 // EpochCycles cycles and record the epoch's series). step returns the
 // epoch's reachable-output and dead-population fractions alongside any
 // compile/swap error.
-func runLifetimeLoop(net packetEngine, inputs, outputs int, lopts LifetimeOptions, pattern traffic.Pattern, warmup int, step func() (reachable, deadFrac float64, err error)) partialLifetime {
+func runLifetimeLoop(net packetEngine, inputs, outputs int, lopts LifetimeOptions, pattern traffic.Pattern, warmup int, pr *probe.Probe, step func() (reachable, deadFrac float64, err error)) partialLifetime {
 	var p partialLifetime
 	p.bandwidth = stats.NewTimeSeries(lopts.Epochs)
 	p.reachable = stats.NewTimeSeries(lopts.Epochs)
@@ -314,8 +350,12 @@ func runLifetimeLoop(net packetEngine, inputs, outputs int, lopts LifetimeOption
 	// Lifetime counters exclude the fault-free warmup (the same
 	// open-loop truncation MeasureLatency applies): the reported
 	// delivered fraction describes the churned lifetime, not the
-	// healthy fill.
+	// healthy fill. The probe attaches at the same boundary, so heat
+	// bin e is exactly epoch e.
 	warm := net.Totals()
+	if pr != nil {
+		net.SetProbe(pr)
+	}
 
 	for e := 0; e < lopts.Epochs; e++ {
 		reachable, deadFrac, err := step()
@@ -360,6 +400,9 @@ func runLifetimeLoop(net packetEngine, inputs, outputs int, lopts LifetimeOption
 		Dropped:   tot.Dropped - warm.Dropped,
 		Stranded:  tot.Stranded - warm.Stranded,
 	}
+	if pr != nil {
+		p.rep = pr.Report()
+	}
 	return p
 }
 
@@ -367,6 +410,7 @@ func runLifetimeLoop(net packetEngine, inputs, outputs int, lopts LifetimeOption
 type partialLifetime struct {
 	bandwidth, reachable, deadFrac, p99, parked *stats.TimeSeries
 	totals                                      queuesim.Totals
+	rep                                         *probe.Report
 	err                                         error
 }
 
@@ -401,6 +445,9 @@ type DilatedLifetimeResult struct {
 	DeliveredFraction  float64
 	TimeBelowThreshold float64
 	RecoveryHalfLife   float64
+
+	// Observed: see LifetimeResult.Observed.
+	Observed *probe.Report
 }
 
 // String renders the headline numbers.
@@ -451,8 +498,8 @@ func DilatedLifetimeSweep(dcfg dilated.Config, lopts LifetimeOptions, src LoadPa
 
 	// Seed derivation and merging are the shared core, so they match
 	// LifetimeSweep draw for draw and rule for rule.
-	m, err := runLifetimeShards(lopts, opts, shards, func(procSeed, trafficSeed uint64) partialLifetime {
-		return runDilatedLifetimeShard(dcfg, lopts, src, dopts, opts, procSeed, trafficSeed)
+	m, err := runLifetimeShards(lopts, opts, shards, func(w int, procSeed, trafficSeed uint64) partialLifetime {
+		return runDilatedLifetimeShard(dcfg, lopts, src, dopts, opts, w, procSeed, trafficSeed)
 	})
 	if err != nil {
 		return DilatedLifetimeResult{}, err
@@ -482,13 +529,14 @@ func DilatedLifetimeSweep(dcfg dilated.Config, lopts LifetimeOptions, src LoadPa
 		DeliveredFraction:  m.deliveredFraction,
 		TimeBelowThreshold: m.timeBelowThreshold,
 		RecoveryHalfLife:   m.recoveryHalfLife,
+		Observed:           m.rep,
 	}, nil
 }
 
 // runDilatedLifetimeShard simulates one independent dilated lifetime —
 // the same epoch loop as the EDN shard (runLifetimeLoop), driving the
 // dilated engine through sub-wire churn.
-func runDilatedLifetimeShard(dcfg dilated.Config, lopts LifetimeOptions, src LoadPattern, dopts dilatedsim.Options, opts Options, procSeed, trafficSeed uint64) partialLifetime {
+func runDilatedLifetimeShard(dcfg dilated.Config, lopts LifetimeOptions, src LoadPattern, dopts dilatedsim.Options, opts Options, w int, procSeed, trafficSeed uint64) partialLifetime {
 	churn, err := dilatedsim.NewChurn(dcfg, lopts.Spec.MTBF, lopts.Spec.MTTR, lopts.Spec.Timing, xrand.New(procSeed))
 	if err != nil {
 		return partialLifetime{err: err}
@@ -510,5 +558,5 @@ func runDilatedLifetimeShard(dcfg dilated.Config, lopts LifetimeOptions, src Loa
 		}
 		return float64(masks.ReachableOutputs()) / float64(ports), churn.DeadFraction(), nil
 	}
-	return runLifetimeLoop(net, ports, ports, lopts, src(lopts.Load, xrand.New(trafficSeed)), opts.Warmup, step)
+	return runLifetimeLoop(net, ports, ports, lopts, src(lopts.Load, xrand.New(trafficSeed)), opts.Warmup, lifetimeProbe(opts.Probe, lopts, w), step)
 }

@@ -63,6 +63,7 @@ func MeasureUniformPAParallel(cfg topology.Config, r float64, opts Options, work
 			sub := opts
 			sub.Cycles = cycles
 			sub.Seed = seeds[w]
+			sub.Probe = nil // probes observe sequential runs only
 			parts[w].res, parts[w].err = measureUniformWithAccumulator(cfg, r, sub)
 		}(w, cycles)
 	}

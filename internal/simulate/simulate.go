@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"edn/internal/core"
+	"edn/internal/probe"
 	"edn/internal/stats"
 	"edn/internal/topology"
 	"edn/internal/traffic"
@@ -21,6 +22,36 @@ type Options struct {
 	Warmup  int                 // cycles discarded before measuring (default 0)
 	Seed    uint64              // RNG seed for the traffic source (default 1)
 	Factory core.ArbiterFactory // switch arbitration (default: paper's priority rule)
+
+	// Probe, when non-nil, attaches a flight-recorder probe to the
+	// measurement and fills the result's Observed report: sampled packet
+	// traces plus per-stage heat series over the measurement window.
+	// Sharded sweeps keep their shard runs unprobed and gather the
+	// report from a dedicated deterministic observation pass (see
+	// sweepLoads) or from per-shard heat probes (lifetime sweeps), so
+	// the measured results are bit-identical with and without a probe.
+	Probe *probe.Options
+}
+
+// newProbe instantiates a measurement probe: the zero BinCycles means
+// "split the measured window across the configured bins", which is the
+// natural default for a one-shot run of measCycles cycles.
+func newProbe(po *probe.Options, measCycles int) *probe.Probe {
+	if po == nil {
+		return nil
+	}
+	p := *po
+	bins := p.Bins
+	if bins <= 0 {
+		bins = 64
+	}
+	if p.BinCycles <= 0 {
+		p.BinCycles = (measCycles + bins - 1) / bins
+		if p.BinCycles <= 0 {
+			p.BinCycles = 1
+		}
+	}
+	return probe.New(p)
 }
 
 func (o Options) withDefaults() Options {
@@ -50,6 +81,11 @@ type Result struct {
 	// BlockedPerStage[s-1] is the total number of requests dropped at
 	// stage s across the run.
 	BlockedPerStage []int
+
+	// Observed carries the flight-recorder report when Options.Probe
+	// was set: sampled request traces and per-stage heat series over
+	// the measurement window.
+	Observed *probe.Report
 
 	// paAcc retains the per-cycle PA accumulator so parallel runs can
 	// merge confidence intervals exactly.
@@ -97,7 +133,11 @@ func measurePA(cfg topology.Config, pattern traffic.Pattern, opts Options) (Resu
 	dest := make([]int, inputs)
 	outcomes := make([]core.Outcome, inputs)
 	gen, inPlace := pattern.(traffic.IntoGenerator)
+	pr := newProbe(opts.Probe, opts.Cycles)
 	for cycle := 0; cycle < opts.Warmup+opts.Cycles; cycle++ {
+		if cycle == opts.Warmup && pr != nil {
+			net.SetProbe(pr)
+		}
 		if inPlace {
 			gen.GenerateInto(dest, outputs)
 		} else {
@@ -127,6 +167,9 @@ func measurePA(cfg topology.Config, pattern traffic.Pattern, opts Options) (Resu
 	res.PACI = paAcc.CI95()
 	res.Bandwidth = float64(delivered) / float64(opts.Cycles)
 	res.OfferedRate = float64(offered) / float64(opts.Cycles*cfg.Inputs())
+	if pr != nil {
+		res.Observed = pr.Report()
+	}
 	return res, &paAcc, nil
 }
 

@@ -183,3 +183,18 @@ func TestHistogramBadShapePanics(t *testing.T) {
 	}()
 	NewHistogram(0, 1)
 }
+
+func TestHistogramString(t *testing.T) {
+	h := NewHistogram(64, 1)
+	for _, v := range []float64{1, 2, 2, 3, 50} {
+		h.Add(v)
+	}
+	got := h.String()
+	want := "n=5 mean=11.6 p50=2 p95=50 p99=50 max=50"
+	if got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+	if empty := NewHistogram(4, 1).String(); empty != "n=0 mean=0 p50=0 p95=0 p99=0 max=0" {
+		t.Errorf("empty String() = %q", empty)
+	}
+}

@@ -1,0 +1,399 @@
+package edn
+
+import (
+	"fmt"
+	"testing"
+)
+
+// testProbeOptions samples aggressively so short runs still collect a
+// meaningful trace population.
+func testProbeOptions() ProbeOptions {
+	return ProbeOptions{SampleEvery: 2, TraceCap: 512, Bins: 8, BinCycles: 64}
+}
+
+// TestProbeDoesNotPerturb pins the observer contract on every engine:
+// a run with a probe attached is bit-identical to the same run without
+// one — per-cycle stats, totals/ledger and the latency histogram all
+// match exactly. The probe may watch; it may never steer.
+func TestProbeDoesNotPerturb(t *testing.T) {
+	cfg, err := New(16, 4, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	masks, err := CompileFaults(cfg, BernoulliFaults(cfg, FaultWires, 0.08, NewRand(13)))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("core", func(t *testing.T) {
+		plain, err := NewNetwork(cfg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		probed, err := NewNetwork(cfg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		probed.SetProbe(NewProbe(testProbeOptions()))
+		rng := NewRand(11)
+		gen := Uniform{Rate: 0.9, Rng: rng}
+		dest := make([]int, cfg.Inputs())
+		out1 := make([]Outcome, cfg.Inputs())
+		out2 := make([]Outcome, cfg.Inputs())
+		for c := 0; c < 200; c++ {
+			gen.GenerateInto(dest, cfg.Outputs())
+			cs1, err := plain.RouteCycleInto(dest, out1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cs2, err := probed.RouteCycleInto(dest, out2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cs1.Offered != cs2.Offered || cs1.Delivered != cs2.Delivered {
+				t.Fatalf("cycle %d: stats diverged: %+v vs %+v", c, cs1, cs2)
+			}
+			for s := range cs1.Blocked {
+				if cs1.Blocked[s] != cs2.Blocked[s] {
+					t.Fatalf("cycle %d stage %d: blocked diverged", c, s)
+				}
+			}
+			for i := range out1 {
+				if out1[i] != out2[i] {
+					t.Fatalf("cycle %d input %d: outcome diverged", c, i)
+				}
+			}
+		}
+	})
+
+	for _, bp := range []struct {
+		name   string
+		policy QueuePolicy
+	}{{"backpressure", QueueBackpressure}, {"drop", QueueDrop}} {
+		t.Run("queue/"+bp.name, func(t *testing.T) {
+			mk := func() *QueueNetwork {
+				n, err := NewQueueNetwork(cfg, QueueOptions{Depth: 4, Policy: bp.policy})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return n
+			}
+			plain, probed := mk(), mk()
+			probed.SetProbe(NewProbe(testProbeOptions()))
+			runPerturbPair(t, cfg.Inputs(), cfg.Outputs(),
+				plain.Cycle, probed.Cycle,
+				func(c int) error { // churn both identically mid-run
+					if c == 100 {
+						if err := plain.UpdateFaults(masks); err != nil {
+							return err
+						}
+						return probed.UpdateFaults(masks)
+					}
+					return nil
+				})
+			if plain.Totals() != probed.Totals() {
+				t.Fatalf("totals diverged: %+v vs %+v", plain.Totals(), probed.Totals())
+			}
+			if plain.Latency().String() != probed.Latency().String() {
+				t.Fatalf("latency diverged: %s vs %s", plain.Latency(), probed.Latency())
+			}
+		})
+	}
+
+	t.Run("dilated", func(t *testing.T) {
+		dcfg, err := DilatedCounterpart(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mk := func() *DilatedQueueNetwork {
+			n, err := NewDilatedQueueNetwork(dcfg, DilatedQueueOptions{Depth: 4, Policy: QueueBackpressure})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return n
+		}
+		plain, probed := mk(), mk()
+		probed.SetProbe(NewProbe(testProbeOptions()))
+		dmasks, err := CompileDilatedMasks(dcfg, BernoulliDilatedSubWires(dcfg, 0.08, NewRand(13)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		runPerturbPair(t, dcfg.Ports(), dcfg.Ports(),
+			plain.Cycle, probed.Cycle,
+			func(c int) error {
+				if c == 100 {
+					if err := plain.UpdateFaults(dmasks); err != nil {
+						return err
+					}
+					return probed.UpdateFaults(dmasks)
+				}
+				return nil
+			})
+		if plain.Totals() != probed.Totals() {
+			t.Fatalf("totals diverged: %+v vs %+v", plain.Totals(), probed.Totals())
+		}
+		if plain.Latency().String() != probed.Latency().String() {
+			t.Fatalf("latency diverged: %s vs %s", plain.Latency(), probed.Latency())
+		}
+	})
+
+	t.Run("loop", func(t *testing.T) {
+		lo := ClosedLoopOptions{
+			Window: 4, Rate: 0.5, Timeout: 16, MaxAttempts: 4,
+			Retry: RetryBackoff, BackoffBase: 2, BackoffCap: 8, Seed: 5,
+		}
+		mk := func() *ClosedLoop {
+			fwd, err := NewQueueNetwork(cfg, QueueOptions{Depth: 1, Policy: QueueDrop})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rev, err := NewQueueNetwork(cfg, QueueOptions{Depth: 1, Policy: QueueDrop})
+			if err != nil {
+				t.Fatal(err)
+			}
+			loop, err := NewClosedLoop(fwd, rev, cfg.Inputs(), cfg.Outputs(), lo)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return loop
+		}
+		plain, probed := mk(), mk()
+		probed.SetProbe(NewProbe(testProbeOptions()))
+		for c := 0; c < 300; c++ {
+			cs1, err := plain.Cycle()
+			if err != nil {
+				t.Fatal(err)
+			}
+			cs2, err := probed.Cycle()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cs1 != cs2 {
+				t.Fatalf("cycle %d: stats diverged: %+v vs %+v", c, cs1, cs2)
+			}
+		}
+		if plain.Ledger() != probed.Ledger() {
+			t.Fatalf("ledger diverged: %+v vs %+v", plain.Ledger(), probed.Ledger())
+		}
+		if plain.Latency().String() != probed.Latency().String() {
+			t.Fatalf("latency diverged: %s vs %s", plain.Latency(), probed.Latency())
+		}
+	})
+}
+
+// runPerturbPair feeds both engines the identical destination stream
+// and compares per-cycle stats. The generic S keeps the helper usable
+// for both packet engines' CycleStats types.
+func runPerturbPair[S comparable](t *testing.T, inputs, outputs int, plain, probed func([]int) (S, error), hook func(int) error) {
+	t.Helper()
+	rng := NewRand(11)
+	gen := Uniform{Rate: 0.9, Rng: rng}
+	dest := make([]int, inputs)
+	for c := 0; c < 250; c++ {
+		if err := hook(c); err != nil {
+			t.Fatal(err)
+		}
+		gen.GenerateInto(dest, outputs)
+		cs1, err := plain(dest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cs2, err := probed(dest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cs1 != cs2 {
+			t.Fatalf("cycle %d: stats diverged: %+v vs %+v", c, cs1, cs2)
+		}
+	}
+}
+
+// TestProbeTraceConsistency runs both packet engines across the
+// depth × policy × fault grid and checks every collected trace is
+// internally consistent: it opens with an inject, its cycle stamps
+// never run backwards, nothing follows a terminal event, and park and
+// strand events only ever appear in runs where a fault mask was live.
+func TestProbeTraceConsistency(t *testing.T) {
+	cfg, err := New(16, 4, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dcfg, err := DilatedCounterpart(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, depth := range []int{0, 1, 4} {
+		for _, bp := range []struct {
+			name   string
+			policy QueuePolicy
+		}{{"backpressure", QueueBackpressure}, {"drop", QueueDrop}} {
+			for _, faulted := range []bool{false, true} {
+				name := fmt.Sprintf("depth%d/%s/faulted=%v", depth, bp.name, faulted)
+				t.Run("queue/"+name, func(t *testing.T) {
+					net, err := NewQueueNetwork(cfg, QueueOptions{Depth: depth, Policy: bp.policy})
+					if err != nil {
+						t.Fatal(err)
+					}
+					churn := func(c int) error {
+						if faulted && c == 100 {
+							m, err := CompileFaults(cfg, BernoulliFaults(cfg, FaultWires, 0.1, NewRand(29)))
+							if err != nil {
+								return err
+							}
+							return net.UpdateFaults(m)
+						}
+						return nil
+					}
+					rep := collectTraces(t, net.SetProbe, func(dest []int) error {
+						_, err := net.Cycle(dest)
+						return err
+					}, cfg.Inputs(), cfg.Outputs(), churn)
+					checkTraces(t, rep, faulted)
+				})
+				t.Run("dilated/"+name, func(t *testing.T) {
+					net, err := NewDilatedQueueNetwork(dcfg, DilatedQueueOptions{Depth: depth, Policy: bp.policy})
+					if err != nil {
+						t.Fatal(err)
+					}
+					churn := func(c int) error {
+						if faulted && c == 100 {
+							m, err := CompileDilatedMasks(dcfg, BernoulliDilatedSubWires(dcfg, 0.1, NewRand(29)))
+							if err != nil {
+								return err
+							}
+							return net.UpdateFaults(m)
+						}
+						return nil
+					}
+					rep := collectTraces(t, net.SetProbe, func(dest []int) error {
+						_, err := net.Cycle(dest)
+						return err
+					}, dcfg.Ports(), dcfg.Ports(), churn)
+					checkTraces(t, rep, faulted)
+				})
+			}
+		}
+	}
+}
+
+func collectTraces(t *testing.T, attach func(*Probe), cycle func([]int) error, inputs, outputs int, hook func(int) error) *ProbeReport {
+	t.Helper()
+	p := NewProbe(testProbeOptions())
+	attach(p)
+	rng := NewRand(17)
+	gen := Uniform{Rate: 0.9, Rng: rng}
+	dest := make([]int, inputs)
+	for c := 0; c < 300; c++ {
+		if err := hook(c); err != nil {
+			t.Fatal(err)
+		}
+		gen.GenerateInto(dest, outputs)
+		if err := cycle(dest); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep := p.Report()
+	if rep.Sampled == 0 || len(rep.Traces) == 0 {
+		t.Fatalf("no traces collected (sampled=%d)", rep.Sampled)
+	}
+	return rep
+}
+
+func checkTraces(t *testing.T, rep *ProbeReport, faulted bool) {
+	t.Helper()
+	for _, tr := range rep.Traces {
+		if len(tr.Hops) == 0 {
+			t.Fatalf("trace %d has no hops", tr.ID)
+		}
+		if first := tr.Hops[0]; first.Event != EvInject || first.Cycle < tr.Inject {
+			t.Fatalf("trace %d opens with %s@%d (inject stamp %d)", tr.ID, first.Event, first.Cycle, tr.Inject)
+		}
+		for i, h := range tr.Hops {
+			if i > 0 && h.Cycle < tr.Hops[i-1].Cycle {
+				t.Fatalf("trace %d: cycle stamps run backwards at hop %d: %+v", tr.ID, i, tr.Hops)
+			}
+			terminal := h.Event.Terminal()
+			if terminal && i != len(tr.Hops)-1 {
+				t.Fatalf("trace %d: terminal %s mid-flight: %+v", tr.ID, h.Event, tr.Hops)
+			}
+			if (h.Event == EvPark || h.Event == EvStrand) && !faulted {
+				t.Fatalf("trace %d: %s in a fault-free run", tr.ID, h.Event)
+			}
+		}
+		last := tr.Hops[len(tr.Hops)-1]
+		if tr.Done && !last.Event.Terminal() {
+			t.Fatalf("trace %d closed without a terminal event: %+v", tr.ID, tr.Hops)
+		}
+		if !tr.Done && last.Event.Terminal() {
+			t.Fatalf("trace %d has a terminal event but stayed open: %+v", tr.ID, tr.Hops)
+		}
+		if lat, ok := tr.Latency(); ok && lat < 0 {
+			t.Fatalf("trace %d: negative latency %g", tr.ID, lat)
+		}
+	}
+}
+
+// TestProbeClosedLoopRetriesMatchLedger samples every request (a trace
+// ring big enough that nothing is refused or overwritten) and checks
+// the trace stream agrees with the loop's own accounting event for
+// event: issues, retries, timeouts, completions and give-ups.
+func TestProbeClosedLoopRetriesMatchLedger(t *testing.T) {
+	cfg, err := New(8, 4, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo := ClosedLoopOptions{
+		Window: 4, Rate: 0.5, Timeout: 8, MaxAttempts: 4,
+		Retry: RetryBackoff, BackoffBase: 2, BackoffCap: 8, Seed: 3,
+	}
+	mkFabric := func() ClosedLoopEngine {
+		n, err := NewQueueNetwork(cfg, QueueOptions{Depth: 1, Policy: QueueDrop})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+	loop, err := NewClosedLoop(mkFabric(), mkFabric(), cfg.Inputs(), cfg.Outputs(), lo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewProbe(ProbeOptions{SampleEvery: 1, TraceCap: 1 << 15, Bins: 4, BinCycles: 128})
+	loop.SetProbe(p)
+	for c := 0; c < 400; c++ {
+		if _, err := loop.Cycle(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep := p.Report()
+	led := loop.Ledger()
+	if rep.Sampled != led.Issued {
+		t.Fatalf("sampled %d of %d issued requests (ring refused some?)", rep.Sampled, led.Issued)
+	}
+	counts := map[ProbeEvent]int64{}
+	for _, tr := range rep.Traces {
+		for _, h := range tr.Hops {
+			counts[h.Event]++
+		}
+		if tr.Hops[0].Event != EvIssue || tr.Hops[0].Stage != 1 {
+			t.Fatalf("trace %d opens with %s@attempt %d, want issue@1", tr.ID, tr.Hops[0].Event, tr.Hops[0].Stage)
+		}
+	}
+	if counts[EvIssue] != led.Issued {
+		t.Fatalf("issue hops %d != ledger issued %d", counts[EvIssue], led.Issued)
+	}
+	if counts[EvRetry] != led.Retries {
+		t.Fatalf("retry hops %d != ledger retries %d", counts[EvRetry], led.Retries)
+	}
+	if counts[EvTimeout] != led.Timeouts {
+		t.Fatalf("timeout hops %d != ledger timeouts %d", counts[EvTimeout], led.Timeouts)
+	}
+	if counts[EvComplete] != led.Completed {
+		t.Fatalf("complete hops %d != ledger completed %d", counts[EvComplete], led.Completed)
+	}
+	if counts[EvGiveUp] != led.GivenUp {
+		t.Fatalf("giveup hops %d != ledger givenup %d", counts[EvGiveUp], led.GivenUp)
+	}
+	if led.Retries == 0 {
+		t.Fatalf("workload produced no retries; tighten the timeout so the test bites")
+	}
+}
