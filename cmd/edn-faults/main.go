@@ -22,9 +22,15 @@
 // (seed, shards) pair. With -expected the analytic per-wire recursion
 // (the Theorem 3 generalization over the masked topology) is evaluated
 // on every sampled fault set and reported alongside the measurement.
+//
+// The sweep is one edn.JobSpec availability job executed through
+// edn.Run: -dump-spec prints that spec as JSON instead of running it,
+// and -spec file.json replays a saved spec — whatever its mode — and
+// emits the JobResult as JSON, exactly as the edn-serve daemon would.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -56,10 +62,23 @@ func run(args []string, w io.Writer) error {
 	arb := fs.String("arb", "priority", "arbitration: priority, roundrobin, random")
 	expected := fs.Bool("expected", false, "also evaluate the analytic degradation recursion per fault sample")
 	dilatedCmp := cliutil.DilatedFlag(fs, "analytic sub-wire model at each fraction")
+	sf := cliutil.SpecFlags(fs)
 	format := fs.String("format", "table", "output: table, csv, json")
 	fs.SetOutput(w)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *sf.Path != "" {
+		var spec edn.JobSpec
+		if err := cliutil.LoadSpec(*sf.Path, &spec); err != nil {
+			return err
+		}
+		res, err := edn.Run(context.Background(), spec)
+		if err != nil {
+			return err
+		}
+		return cliutil.WriteJSON(w, res)
 	}
 
 	cfg, err := edn.New(*a, *b, *c, *l)
@@ -77,24 +96,26 @@ func run(args []string, w io.Writer) error {
 	if *load <= 0 || *load > 1 {
 		return fmt.Errorf("load %g out of (0,1]", *load)
 	}
-	qopts := edn.QueueOptions{Depth: *depth}
-	if qopts.Policy, err = cliutil.ParsePolicy(*policy); err != nil {
-		return err
+	spec := edn.JobSpec{
+		Mode:     edn.JobAvailability,
+		Geometry: &edn.GeometrySpec{A: *a, B: *b, C: *c, L: *l},
+		Queue:    &edn.QueueSpec{Depth: *depth, Policy: *policy, Arbiter: *arb},
+		Avail: &edn.AvailabilitySpec{
+			Fractions:    fractions,
+			Mode:         *mode,
+			Load:         *load,
+			WithExpected: *expected,
+		},
+		Sim: edn.SimSpec{Cycles: *cycles, Warmup: *warmup, Seed: *seed, Shards: *shards},
 	}
-	if qopts.Factory, err = cliutil.ArbiterFactory(*arb, *seed); err != nil {
-		return err
+	if *sf.Dump {
+		return cliutil.WriteJSON(w, spec)
 	}
-	aopts := edn.AvailabilityOptions{
-		Fractions:    fractions,
-		Mode:         faultMode,
-		Load:         *load,
-		WithExpected: *expected,
-	}
-	opts := edn.SimOptions{Cycles: *cycles, Warmup: *warmup, Seed: *seed}
-	results, err := edn.AvailabilitySweep(cfg, aopts, nil, qopts, opts, *shards)
+	res, err := edn.Run(context.Background(), spec)
 	if err != nil {
 		return err
 	}
+	results := res.Availability
 
 	// The dilated comparison kills the counterpart's sub-wires at the
 	// same fraction the sweep applies to the EDN — the two networks lose

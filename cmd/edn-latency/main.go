@@ -20,9 +20,16 @@
 // With -drain q the command instead runs the closed-loop permutation
 // drain (q packets per input) and compares the measured cycle count
 // against the Section 5.1 closed form ExpectedPermutationTime.
+//
+// Every run is one (or, with -dilated, two) edn.JobSpec jobs executed
+// through edn.Run: -dump-spec prints those specs as JSON instead of
+// running them, and -spec file.json replays a saved spec — whatever
+// its mode — and emits the JobResult as JSON, exactly as the edn-serve
+// daemon would.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -74,6 +81,7 @@ func run(args []string, w io.Writer) error {
 	format := fs.String("format", "table", "output: table, csv, json")
 	drain := fs.Int("drain", 0, "instead of a sweep, drain this many permutation packets per input")
 	dilatedCmp := cliutil.DilatedFlag(fs, "measured packet-level sweep from the same traffic replay")
+	sf := cliutil.SpecFlags(fs)
 	pf := cliutil.ProbeFlags(fs)
 	prof := cliutil.ProfileFlags(fs)
 	fs.SetOutput(w)
@@ -86,66 +94,95 @@ func run(args []string, w io.Writer) error {
 	}
 	defer stopProf()
 
+	if *sf.Path != "" {
+		var spec edn.JobSpec
+		if err := cliutil.LoadSpec(*sf.Path, &spec); err != nil {
+			return err
+		}
+		res, err := edn.Run(context.Background(), spec)
+		if err != nil {
+			return err
+		}
+		return cliutil.WriteJSON(w, res)
+	}
+
 	cfg, err := edn.New(*a, *b, *c, *l)
 	if err != nil {
 		return err
 	}
-	qopts := edn.QueueOptions{Depth: *depth}
-	if qopts.Policy, err = cliutil.ParsePolicy(*policy); err != nil {
-		return err
+	spec := edn.JobSpec{
+		Mode:     edn.JobSaturation,
+		Geometry: &edn.GeometrySpec{A: *a, B: *b, C: *c, L: *l},
+		Queue:    &edn.QueueSpec{Depth: *depth, Policy: *policy, Arbiter: *arb},
+		Probe:    edn.NewProbeSpec(pf.Options()),
+		Sim:      edn.SimSpec{Cycles: *cycles, Warmup: *warmup, Seed: *seed, Shards: *shards},
 	}
-	if qopts.Factory, err = cliutil.ArbiterFactory(*arb, *seed); err != nil {
-		return err
-	}
-	opts := edn.SimOptions{Cycles: *cycles, Warmup: *warmup, Seed: *seed, Probe: pf.Options()}
 
 	if *drain > 0 {
 		if *dilatedCmp {
 			return fmt.Errorf("-dilated applies to load sweeps, not -drain")
 		}
-		return runDrain(w, cfg, *drain, qopts, opts)
+		spec.Mode, spec.DrainQ = edn.JobDrain, *drain
+		if *sf.Dump {
+			return cliutil.WriteJSON(w, spec)
+		}
+		res, err := edn.Run(context.Background(), spec)
+		if err != nil {
+			return err
+		}
+		return renderDrain(w, cfg, *drain, *depth, res.Drain)
 	}
 
 	loads, err := cliutil.ParseFloatList(*loadsFlag, 0, 1, "load")
 	if err != nil {
 		return err
 	}
-	var src edn.LoadPattern
+	spec.Loads = loads
 	switch *pattern {
 	case "uniform":
-		src = nil
 	case "onoff":
-		src = edn.BurstyLoad(*burst)
+		spec.Traffic = &edn.TrafficSpec{Kind: "bursty", MeanBurst: *burst}
 	case "hotspot":
-		f := *hotFraction
-		src = func(load float64, rng *edn.Rand) edn.Pattern {
-			return edn.HotSpot{Rate: load, Fraction: f, Hot: 0, Rng: rng}
-		}
+		spec.Traffic = &edn.TrafficSpec{Kind: "hotspot", HotFraction: *hotFraction}
 	default:
 		return fmt.Errorf("unknown traffic %q", *pattern)
 	}
-	results, err := edn.SaturationSweep(cfg, loads, src, qopts, opts, *shards)
-	if err != nil {
-		return err
-	}
 
-	// The measured counterpart runs the same loads with the same shard
-	// seeding, so both networks see the identical per-input injection
-	// realization (destinations are drawn in each network's own output
-	// space from the same stream).
+	// The measured counterpart is the same job on the dilated engine: it
+	// runs the same loads with the same shard seeding, so both networks
+	// see the identical per-input injection realization (destinations
+	// are drawn in each network's own output space from the same
+	// stream).
+	specs := []edn.JobSpec{spec}
 	var dcfg edn.DilatedDelta
-	var dresults []edn.LatencyResult
 	if *dilatedCmp {
 		if dcfg, err = cliutil.DilatedCounterpart(cfg); err != nil {
 			return err
 		}
-		dopts := edn.DilatedQueueOptions{Depth: *depth, Policy: qopts.Policy}
-		if dopts.Factory, err = cliutil.ArbiterFactory(*arb, *seed); err != nil {
+		dspec := spec
+		dspec.Engine = edn.EngineDilated
+		specs = append(specs, dspec)
+	}
+	if *sf.Dump {
+		for _, s := range specs {
+			if err := cliutil.WriteJSON(w, s); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	res, err := edn.Run(context.Background(), spec)
+	if err != nil {
+		return err
+	}
+	results := res.Points
+	var dresults []edn.LatencyResult
+	if *dilatedCmp {
+		dres, err := edn.Run(context.Background(), specs[1])
+		if err != nil {
 			return err
 		}
-		if dresults, err = edn.DilatedSaturationSweep(dcfg, loads, src, dopts, opts, *shards); err != nil {
-			return err
-		}
+		dresults = dres.Points
 	}
 
 	cols := sweepColumns
@@ -256,13 +293,9 @@ func run(args []string, w io.Writer) error {
 	}
 }
 
-func runDrain(w io.Writer, cfg edn.Config, q int, qopts edn.QueueOptions, opts edn.SimOptions) error {
-	res, err := edn.DrainPermutations(cfg, q, qopts, opts)
-	if err != nil {
-		return err
-	}
+func renderDrain(w io.Writer, cfg edn.Config, q, depth int, res *edn.DrainResult) error {
 	fmt.Fprintf(w, "%v closed-loop drain of %d permutation packets per input (depth=%d)\n",
-		cfg, q, qopts.Depth)
+		cfg, q, depth)
 	fmt.Fprintf(w, "  measured   %d cycles, mean latency %.2f, P95 %.0f\n",
 		res.Cycles, res.LatencyMean, res.LatencyP95)
 	if model, err := edn.ExpectedPermutationTime(cfg, q); err == nil {

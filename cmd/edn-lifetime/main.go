@@ -28,9 +28,16 @@
 // except under -arb random with more than one shard, where the
 // stream-to-switch assignment depends on goroutine scheduling (see
 // cliutil.ArbiterFactory) and reproducibility is statistical only.
+//
+// Every run is one (or, with -dilated, two) edn.JobSpec lifetime jobs
+// executed through edn.Run: -dump-spec prints those specs as JSON
+// instead of running them, and -spec file.json replays a saved spec —
+// whatever its mode — and emits the JobResult as JSON, exactly as the
+// edn-serve daemon would.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -70,6 +77,7 @@ func run(args []string, w io.Writer) error {
 	arb := fs.String("arb", "priority", "arbitration: priority, roundrobin, random")
 	format := fs.String("format", "table", "output: table, csv, json")
 	dilatedCmp := cliutil.DilatedFlag(fs, "measured sub-wire churn from the same traffic replay")
+	sf := cliutil.SpecFlags(fs)
 	pf := cliutil.ProbeFlags(fs)
 	prof := cliutil.ProfileFlags(fs)
 	fs.SetOutput(w)
@@ -81,6 +89,18 @@ func run(args []string, w io.Writer) error {
 		return err
 	}
 	defer stopProf()
+
+	if *sf.Path != "" {
+		var spec edn.JobSpec
+		if err := cliutil.LoadSpec(*sf.Path, &spec); err != nil {
+			return err
+		}
+		res, err := edn.Run(context.Background(), spec)
+		if err != nil {
+			return err
+		}
+		return cliutil.WriteJSON(w, res)
+	}
 
 	cfg, err := edn.New(*a, *b, *c, *l)
 	if err != nil {
@@ -97,50 +117,72 @@ func run(args []string, w io.Writer) error {
 	if *load <= 0 || *load > 1 {
 		return fmt.Errorf("load %g out of (0,1]", *load)
 	}
-	qopts := edn.QueueOptions{Depth: *depth}
-	if qopts.Policy, err = cliutil.ParsePolicy(*policy); err != nil {
-		return err
+	// lspec is the display copy of the churn process (the steady-state
+	// dead fraction in the header); the job compiles its own from the
+	// same fields.
+	lspec := edn.LifecycleSpec{
+		Mode:         faultMode,
+		MTBF:         *mtbf,
+		MTTR:         *mttr,
+		Timing:       lifeTiming,
+		BlastRate:    *blastRate,
+		BlastRadius:  *blastRadius,
+		RepairWindow: *repairWindow,
 	}
-	if qopts.Factory, err = cliutil.ArbiterFactory(*arb, *seed); err != nil {
-		return err
-	}
-	lopts := edn.LifetimeOptions{
-		Epochs:      *epochs,
-		EpochCycles: *epochCycles,
-		Load:        *load,
-		Threshold:   *threshold,
-		Spec: edn.LifecycleSpec{
-			Mode:         faultMode,
+	spec := edn.JobSpec{
+		Mode:     edn.JobLifetime,
+		Geometry: &edn.GeometrySpec{A: *a, B: *b, C: *c, L: *l},
+		Queue:    &edn.QueueSpec{Depth: *depth, Policy: *policy, Arbiter: *arb},
+		Lifetime: &edn.LifetimeSpec{
+			Epochs:       *epochs,
+			EpochCycles:  *epochCycles,
+			Load:         *load,
+			Threshold:    *threshold,
+			Mode:         *mode,
 			MTBF:         *mtbf,
 			MTTR:         *mttr,
-			Timing:       lifeTiming,
+			Timing:       *timing,
 			BlastRate:    *blastRate,
 			BlastRadius:  *blastRadius,
 			RepairWindow: *repairWindow,
 		},
-	}
-	opts := edn.SimOptions{Warmup: *warmup, Seed: *seed, Probe: pf.Options()}
-	res, err := edn.LifetimeSweep(cfg, lopts, nil, qopts, opts, *shards)
-	if err != nil {
-		return err
+		Probe: edn.NewProbeSpec(pf.Options()),
+		Sim:   edn.SimSpec{Warmup: *warmup, Seed: *seed, Shards: *shards},
 	}
 
 	// The measured counterpart lives the same epochs with the same
-	// shard seeding: identical traffic replays, identically distributed
-	// sub-wire outages.
+	// shard seeding — the same job on the dilated engine: identical
+	// traffic replays, identically distributed sub-wire outages.
+	specs := []edn.JobSpec{spec}
 	var dcfg edn.DilatedDelta
-	var dres edn.DilatedLifetimeResult
 	if *dilatedCmp {
 		if dcfg, err = cliutil.DilatedCounterpart(cfg); err != nil {
 			return err
 		}
-		dopts := edn.DilatedQueueOptions{Depth: *depth, Policy: qopts.Policy}
-		if dopts.Factory, err = cliutil.ArbiterFactory(*arb, *seed); err != nil {
+		dspec := spec
+		dspec.Engine = edn.EngineDilated
+		specs = append(specs, dspec)
+	}
+	if *sf.Dump {
+		for _, s := range specs {
+			if err := cliutil.WriteJSON(w, s); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	out, err := edn.Run(context.Background(), spec)
+	if err != nil {
+		return err
+	}
+	res := *out.Lifetime
+	var dres edn.DilatedLifetimeResult
+	if *dilatedCmp {
+		dout, err := edn.Run(context.Background(), specs[1])
+		if err != nil {
 			return err
 		}
-		if dres, err = edn.DilatedLifetimeSweep(dcfg, lopts, nil, dopts, opts, *shards); err != nil {
-			return err
-		}
+		dres = *dout.DilatedLifetime
 	}
 
 	cols := []cliutil.Column{
@@ -178,7 +220,7 @@ func run(args []string, w io.Writer) error {
 	case "table":
 		fmt.Fprintf(w, "%v — %d inputs, %d paths/pair, mode=%s, mtbf=%g, mttr=%g (steady-state dead %.1f%%), timing=%s, load=%g, depth=%d, policy=%s\n",
 			cfg, cfg.Inputs(), cfg.PathCount(), faultMode, *mtbf, *mttr,
-			100*lopts.Spec.DeadFractionSteadyState(), lifeTiming, *load, *depth, *policy)
+			100*lspec.DeadFractionSteadyState(), lifeTiming, *load, *depth, *policy)
 		if *dilatedCmp {
 			cliutil.DilatedHeader(w, cfg, dcfg)
 		}

@@ -20,9 +20,17 @@
 // doing, not the workload's. Runs are deterministic for a fixed
 // (seed, shards) pair, except under -arb random with more than one
 // shard (see cliutil.ArbiterFactory).
+//
+// Every run is an edn.JobSpec job executed through edn.Run — the rate
+// sweep with -dilated is the single pair-engine job, the lifetime
+// comparison two jobs: -dump-spec prints those specs as JSON instead
+// of running them, and -spec file.json replays a saved spec — whatever
+// its mode — and emits the JobResult as JSON, exactly as the edn-serve
+// daemon would.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -71,6 +79,7 @@ func run(args []string, w io.Writer) error {
 	timing := fs.String("timing", "exponential", "lifetime: holding times: exponential, deterministic")
 	mode := fs.String("mode", "wires", "lifetime: churning population: wires, switches, mixed")
 	repairWindow := fs.Int("repair-window", 0, "lifetime: batch repairs to epoch-multiple maintenance windows (0/1 = immediate)")
+	sf := cliutil.SpecFlags(fs)
 	pf := cliutil.ProbeFlags(fs)
 	prof := cliutil.ProfileFlags(fs)
 	fs.SetOutput(w)
@@ -83,41 +92,46 @@ func run(args []string, w io.Writer) error {
 	}
 	defer stopProf()
 
+	if *sf.Path != "" {
+		var spec edn.JobSpec
+		if err := cliutil.LoadSpec(*sf.Path, &spec); err != nil {
+			return err
+		}
+		res, err := edn.Run(context.Background(), spec)
+		if err != nil {
+			return err
+		}
+		return cliutil.WriteJSON(w, res)
+	}
+
 	cfg, err := edn.New(*a, *b, *c, *l)
 	if err != nil {
 		return err
 	}
-	lo := edn.ClosedLoopOptions{
-		Window:        *window,
-		ServiceCycles: *service,
-		Timeout:       *timeout,
-		MaxAttempts:   *maxAttempts,
-		BackoffBase:   *backoffBase,
-		BackoffCap:    *backoffCap,
-		MaxBacklog:    *maxBacklog,
-		SLA:           edn.SLA{Deadline: *slaDeadline, Zero: *slaZero},
-	}
-	if lo.Retry, err = edn.ParseRetryPolicy(*retry); err != nil {
-		return err
-	}
-	qopts := edn.QueueOptions{Depth: *depth}
-	if qopts.Policy, err = cliutil.ParsePolicy(*policy); err != nil {
-		return err
-	}
-	if qopts.Factory, err = cliutil.ArbiterFactory(*arb, *seed); err != nil {
-		return err
-	}
 	var dcfg edn.DilatedDelta
-	dopts := edn.DilatedQueueOptions{Depth: *depth, Policy: qopts.Policy}
 	if *dilatedCmp {
 		if dcfg, err = cliutil.DilatedCounterpart(cfg); err != nil {
 			return err
 		}
-		if dopts.Factory, err = cliutil.ArbiterFactory(*arb, *seed); err != nil {
-			return err
-		}
 	}
-	opts := edn.SimOptions{Cycles: *cycles, Warmup: *warmup, Seed: *seed, Probe: pf.Options()}
+	spec := edn.JobSpec{
+		Geometry: &edn.GeometrySpec{A: *a, B: *b, C: *c, L: *l},
+		Queue:    &edn.QueueSpec{Depth: *depth, Policy: *policy, Arbiter: *arb},
+		Loop: &edn.ClosedLoopSpec{
+			Window:        *window,
+			ServiceCycles: *service,
+			Timeout:       *timeout,
+			MaxAttempts:   *maxAttempts,
+			Retry:         *retry,
+			BackoffBase:   *backoffBase,
+			BackoffCap:    *backoffCap,
+			MaxBacklog:    *maxBacklog,
+			SLAZero:       *slaZero,
+			SLADeadline:   *slaDeadline,
+		},
+		Probe: edn.NewProbeSpec(pf.Options()),
+		Sim:   edn.SimSpec{Cycles: *cycles, Warmup: *warmup, Seed: *seed, Shards: *shards},
+	}
 
 	if *lifetime {
 		faultMode, err := edn.ParseFaultMode(*mode)
@@ -128,40 +142,79 @@ func run(args []string, w io.Writer) error {
 		if err != nil {
 			return err
 		}
-		lopts := edn.LifetimeOptions{
-			Epochs:      *epochs,
-			EpochCycles: *epochCycles,
-			Load:        *rate,
-			Spec: edn.LifecycleSpec{
-				Mode:         faultMode,
-				MTBF:         *mtbf,
-				MTTR:         *mttr,
-				Timing:       lifeTiming,
-				RepairWindow: *repairWindow,
-			},
+		lspec := edn.LifecycleSpec{
+			Mode:         faultMode,
+			MTBF:         *mtbf,
+			MTTR:         *mttr,
+			Timing:       lifeTiming,
+			RepairWindow: *repairWindow,
 		}
-		return runLifetime(w, cfg, dcfg, *dilatedCmp, lopts, lo, qopts, dopts, opts, *shards, *format, pf)
+		spec.Mode = edn.JobClosedLoopLifetime
+		spec.Lifetime = &edn.LifetimeSpec{
+			Epochs:       *epochs,
+			EpochCycles:  *epochCycles,
+			Load:         *rate,
+			Mode:         *mode,
+			MTBF:         *mtbf,
+			MTTR:         *mttr,
+			Timing:       *timing,
+			RepairWindow: *repairWindow,
+		}
+		// The lifetime comparison is two jobs: the same churned life on
+		// each engine under the same shard seeding.
+		specs := []edn.JobSpec{spec}
+		if *dilatedCmp {
+			dspec := spec
+			dspec.Engine = edn.EngineDilated
+			specs = append(specs, dspec)
+		}
+		if *sf.Dump {
+			for _, s := range specs {
+				if err := cliutil.WriteJSON(w, s); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		out, err := edn.Run(context.Background(), spec)
+		if err != nil {
+			return err
+		}
+		res := *out.ClosedLoopLifetime
+		var dres edn.ClosedLoopLifetimeResult
+		if *dilatedCmp {
+			dout, err := edn.Run(context.Background(), specs[1])
+			if err != nil {
+				return err
+			}
+			dres = *dout.ClosedLoopLifetime
+		}
+		return renderLifetime(w, cfg, dcfg, *dilatedCmp, spec, lspec, res, dres, *format, pf)
 	}
 
 	rates, err := cliutil.ParseFloatList(*ratesFlag, 0, 1, "rate")
 	if err != nil {
 		return err
 	}
-	return runSweep(w, cfg, dcfg, *dilatedCmp, rates, lo, qopts, dopts, opts, *shards, *format, pf)
-}
-
-func runSweep(w io.Writer, cfg edn.Config, dcfg edn.DilatedDelta, dilatedCmp bool, rates []float64, lo edn.ClosedLoopOptions, qopts edn.QueueOptions, dopts edn.DilatedQueueOptions, opts edn.SimOptions, shards int, format string, pf *cliutil.ProbeFlagSet) error {
-	var results, dresults []edn.ClosedLoopResult
-	var err error
-	if dilatedCmp {
-		results, dresults, err = edn.MeasureClosedLoopPair(cfg, dcfg, rates, lo, qopts, dopts, opts, shards)
-	} else {
-		results, err = edn.MeasureClosedLoop(cfg, rates, lo, qopts, opts, shards)
+	spec.Mode = edn.JobClosedLoop
+	spec.Rates = rates
+	if *dilatedCmp {
+		// The paired comparison is one job on the pair engine: both
+		// networks run replay-matched inside a single barriered sweep.
+		spec.Engine = edn.EnginePair
 	}
+	if *sf.Dump {
+		return cliutil.WriteJSON(w, spec)
+	}
+	out, err := edn.Run(context.Background(), spec)
 	if err != nil {
 		return err
 	}
+	return renderSweep(w, cfg, dcfg, *dilatedCmp, spec, out.ClosedLoop, out.DilatedClosedLoop, *format, pf)
+}
 
+func renderSweep(w io.Writer, cfg edn.Config, dcfg edn.DilatedDelta, dilatedCmp bool, spec edn.JobSpec, results, dresults []edn.ClosedLoopResult, format string, pf *cliutil.ProbeFlagSet) error {
+	rates := spec.Rates
 	cols := []cliutil.Column{
 		{Name: "rate", Format: "%5.2f"},
 		{Name: "offered_per_source", Head: "offered", Format: "%8.3f"},
@@ -198,7 +251,7 @@ func runSweep(w io.Writer, cfg edn.Config, dcfg edn.DilatedDelta, dilatedCmp boo
 	switch format {
 	case "table":
 		fmt.Fprintf(w, "%v closed loop — %d sources, %d memory ports, W=%d, timeout=%d, retry=%s, depth=%d, policy=%v\n",
-			cfg, cfg.Inputs(), cfg.Outputs(), lo.Window, lo.Timeout, lo.Retry, qopts.Depth, qopts.Policy)
+			cfg, cfg.Inputs(), cfg.Outputs(), spec.Loop.Window, spec.Loop.Timeout, spec.Loop.Retry, spec.Queue.Depth, spec.Queue.Policy)
 		if dilatedCmp {
 			cliutil.DilatedHeader(w, cfg, dcfg)
 		}
@@ -221,10 +274,10 @@ func runSweep(w io.Writer, cfg edn.Config, dcfg edn.DilatedDelta, dilatedCmp boo
 			Network: cfg.String(),
 			Inputs:  cfg.Inputs(),
 			Outputs: cfg.Outputs(),
-			Window:  lo.Window,
-			Timeout: lo.Timeout,
-			Retry:   lo.Retry.String(),
-			Seed:    opts.Seed,
+			Window:  spec.Loop.Window,
+			Timeout: spec.Loop.Timeout,
+			Retry:   spec.Loop.Retry,
+			Seed:    spec.Sim.Seed,
 			Points:  sweepPoints(results),
 		}
 		if dilatedCmp {
@@ -237,18 +290,7 @@ func runSweep(w io.Writer, cfg edn.Config, dcfg edn.DilatedDelta, dilatedCmp boo
 	}
 }
 
-func runLifetime(w io.Writer, cfg edn.Config, dcfg edn.DilatedDelta, dilatedCmp bool, lopts edn.LifetimeOptions, lo edn.ClosedLoopOptions, qopts edn.QueueOptions, dopts edn.DilatedQueueOptions, opts edn.SimOptions, shards int, format string, pf *cliutil.ProbeFlagSet) error {
-	res, err := edn.ClosedLoopLifetimeSweep(cfg, lopts, lo, qopts, opts, shards)
-	if err != nil {
-		return err
-	}
-	var dres edn.ClosedLoopLifetimeResult
-	if dilatedCmp {
-		if dres, err = edn.DilatedClosedLoopLifetimeSweep(dcfg, lopts, lo, dopts, opts, shards); err != nil {
-			return err
-		}
-	}
-
+func renderLifetime(w io.Writer, cfg edn.Config, dcfg edn.DilatedDelta, dilatedCmp bool, spec edn.JobSpec, lspec edn.LifecycleSpec, res, dres edn.ClosedLoopLifetimeResult, format string, pf *cliutil.ProbeFlagSet) error {
 	cols := []cliutil.Column{
 		{Name: "epoch", Format: "%5d"},
 		{Name: "dead_fraction", Head: "deadfrac", Format: "%9.3f"},
@@ -266,8 +308,8 @@ func runLifetime(w io.Writer, cfg edn.Config, dcfg edn.DilatedDelta, dilatedCmp 
 			cliutil.Column{Name: "dilated_latency_p95", CSVOnly: true},
 		)
 	}
-	rows := make([][]any, lopts.Epochs)
-	for e := 0; e < lopts.Epochs; e++ {
+	rows := make([][]any, spec.Lifetime.Epochs)
+	for e := 0; e < spec.Lifetime.Epochs; e++ {
 		rows[e] = []any{
 			e, res.DeadFraction.Mean(e), res.Reachable.Mean(e),
 			res.Goodput.Mean(e), res.SLAAttainment.Mean(e),
@@ -281,8 +323,8 @@ func runLifetime(w io.Writer, cfg edn.Config, dcfg edn.DilatedDelta, dilatedCmp 
 	switch format {
 	case "table":
 		fmt.Fprintf(w, "%v closed loop lifetime — mtbf=%g mttr=%g (steady-state dead %.1f%%), rate=%g, W=%d, retry=%s, repair-window=%d\n",
-			cfg, lopts.Spec.MTBF, lopts.Spec.MTTR, 100*lopts.Spec.DeadFractionSteadyState(),
-			lopts.Load, lo.Window, lo.Retry, lopts.Spec.RepairWindow)
+			cfg, spec.Lifetime.MTBF, spec.Lifetime.MTTR, 100*lspec.DeadFractionSteadyState(),
+			spec.Lifetime.Load, spec.Loop.Window, spec.Loop.Retry, spec.Lifetime.RepairWindow)
 		if dilatedCmp {
 			cliutil.DilatedHeader(w, cfg, dcfg)
 		}
@@ -314,19 +356,19 @@ func runLifetime(w io.Writer, cfg edn.Config, dcfg edn.DilatedDelta, dilatedCmp 
 	case "json":
 		report := lifetimeReport{
 			Network:        cfg.String(),
-			MTBF:           lopts.Spec.MTBF,
-			MTTR:           lopts.Spec.MTTR,
-			RepairWindow:   lopts.Spec.RepairWindow,
-			Rate:           lopts.Load,
-			Window:         lo.Window,
-			Retry:          lo.Retry.String(),
-			Seed:           opts.Seed,
+			MTBF:           spec.Lifetime.MTBF,
+			MTTR:           spec.Lifetime.MTTR,
+			RepairWindow:   spec.Lifetime.RepairWindow,
+			Rate:           spec.Lifetime.Load,
+			Window:         spec.Loop.Window,
+			Retry:          spec.Loop.Retry,
+			Seed:           spec.Sim.Seed,
 			Goodput:        res.GoodputOverall,
 			SLAAttainment:  res.SLAAttainmentOverall,
 			CostOfDowntime: res.CostOfDowntime,
 			Ledger:         res.Ledger,
 		}
-		for e := 0; e < lopts.Epochs; e++ {
+		for e := 0; e < spec.Lifetime.Epochs; e++ {
 			le := lifetimeEpoch{
 				Epoch:         e,
 				DeadFraction:  res.DeadFraction.Mean(e),

@@ -1,0 +1,89 @@
+// Command edn-serve is the long-lived simulation service: it keeps
+// built routing tables and compiled fault masks cached across
+// requests, schedules JobSpec jobs over a bounded worker pool, and
+// streams per-point results as sweeps progress — the daemon role in a
+// co-simulation arrangement where an external system-level simulator
+// (or a sweep harness) asks this repository for network timing instead
+// of forking a CLI per question.
+//
+// By default it speaks the JSON-line protocol on stdin/stdout:
+//
+//	echo '{"id":"j1","op":"run","spec":{"mode":"latency",
+//	  "geometry":{"a":16,"b":4,"c":4,"l":2},"sim":{"cycles":2000}}}' | edn-serve
+//
+// With -http it (also) serves the HTTP API:
+//
+//	edn-serve -http :8080 &
+//	curl -s -d @spec.json localhost:8080/v1/jobs      # NDJSON event stream
+//	curl -s localhost:8080/v1/stats                   # scheduler + cache counters
+//	curl -s localhost:8080/metrics                    # Prometheus text
+//
+// The JSON-line grammar and the event stream are documented in
+// internal/serve; specs are the same edn.JobSpec every sweep CLI can
+// emit with -dump-spec, so any CLI run replays through the daemon
+// byte-identically (results are pinned bit-for-bit to the facade
+// functions, cache hits included).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"edn/internal/serve"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "edn-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("edn-serve", flag.ContinueOnError)
+	httpAddr := fs.String("http", "", "serve the HTTP API on this address (e.g. :8080); empty = stdio only")
+	stdio := fs.Bool("stdio", true, "speak the JSON-line protocol on stdin/stdout")
+	workers := fs.Int("workers", 0, "concurrently running jobs (0 = GOMAXPROCS); excess jobs queue")
+	cacheBytes := fs.Int64("cache-bytes", 0, "geometry/mask cache budget in bytes (0 = 256 MiB)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if !*stdio && *httpAddr == "" {
+		return fmt.Errorf("nothing to serve: enable -stdio or set -http")
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	srv := serve.New(serve.Options{Workers: *workers, CacheBytes: *cacheBytes})
+
+	errc := make(chan error, 2)
+	if *httpAddr != "" {
+		hs := &http.Server{Addr: *httpAddr, Handler: srv.Handler()}
+		go func() { errc <- hs.ListenAndServe() }()
+		go func() {
+			<-ctx.Done()
+			hs.Shutdown(context.Background()) //nolint:errcheck
+		}()
+		fmt.Fprintf(os.Stderr, "edn-serve: http on %s\n", *httpAddr)
+	}
+	if *stdio {
+		go func() { errc <- srv.ServeStdio(ctx, os.Stdin, os.Stdout) }()
+	}
+
+	select {
+	case err := <-errc:
+		if err == http.ErrServerClosed || err == context.Canceled {
+			return nil
+		}
+		return err
+	case <-ctx.Done():
+		srv.CancelAll()
+		return nil
+	}
+}

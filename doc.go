@@ -95,6 +95,26 @@
 //     split, so the same Options yield the same trace set at any shard
 //     count. See cmd/edn-trace and the -trace/-heatmap flags on
 //     edn-latency, edn-lifetime and edn-loop.
+//   - Jobs and service: JobSpec is the single serializable description
+//     of any experiment the facade can run — every mode (latency,
+//     saturation, drain, availability, lifetime, closed-loop,
+//     closed-loop lifetime, estimate) on either engine (or the
+//     replay-matched pair), with queueing, faults, lifecycle, probe and
+//     sharding sections — and Run executes one bit-for-bit against the
+//     facade functions. Every sweep CLI emits its JobSpec with
+//     -dump-spec and replays any saved spec with -spec, so a
+//     command-line run, a JSON file and a daemon request are the same
+//     experiment. NewGeometryCache is a byte-budgeted LRU over routing
+//     tables and compiled fault masks (hits return the identical
+//     immutable artifacts, so cached results are bit-equal to
+//     uncached); internal/serve and cmd/edn-serve wrap both in a
+//     long-lived daemon — a JSON-line protocol over stdio and an HTTP
+//     API that schedule jobs across a bounded worker pool, stream
+//     per-point events as sweeps progress, and answer one-shot
+//     estimate requests (geometry + src/dst + load -> latency
+//     quantiles) in the co-simulation role BookSim2 plays for
+//     system-level simulators. See EXPERIMENTS.md for the protocol
+//     grammar and measured cold-vs-warm request latencies.
 //   - Reproduction: Figure7, Figure8, Figure11, CostTable and
 //     MasParCaseStudy regenerate the paper's evaluation artifacts (see
 //     cmd/edn-figures and EXPERIMENTS.md).

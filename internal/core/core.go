@@ -125,6 +125,22 @@ func NewNetwork(cfg topology.Config, factory ArbiterFactory) (*Network, error) {
 // at that stage, and a request arriving on a dead input is blocked at
 // stage 1. A nil or empty mask is exactly NewNetwork.
 func NewNetworkWithFaults(cfg topology.Config, factory ArbiterFactory, m *faults.Masks) (*Network, error) {
+	return newNetwork(cfg, nil, factory, m)
+}
+
+// NewNetworkFromTables is NewNetworkWithFaults over prebuilt interstage
+// tables: the network shares t's read-only slices instead of
+// materializing its own, so repeated constructions over one cached
+// Tables skip the dominant O(wires) build cost while remaining
+// bit-for-bit identical to a fresh build.
+func NewNetworkFromTables(t *topology.Tables, factory ArbiterFactory, m *faults.Masks) (*Network, error) {
+	if t == nil {
+		return nil, fmt.Errorf("core: nil tables")
+	}
+	return newNetwork(t.Config(), t, factory, m)
+}
+
+func newNetwork(cfg topology.Config, tables *topology.Tables, factory ArbiterFactory, m *faults.Masks) (*Network, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -159,7 +175,11 @@ func NewNetworkWithFaults(cfg topology.Config, factory ArbiterFactory, m *faults
 	n.blocked = make([]int, cfg.Stages())
 	n.gammaTab = make([][]int32, cfg.L)
 	for s := 1; s <= cfg.L; s++ {
-		n.gammaTab[s-1] = cfg.InterstageTable(s)
+		if tables != nil {
+			n.gammaTab[s-1] = tables.Interstage(s)
+		} else {
+			n.gammaTab[s-1] = cfg.InterstageTable(s)
+		}
 	}
 	n.logB = topology.Log2(cfg.B)
 	n.logC = topology.Log2(cfg.C)

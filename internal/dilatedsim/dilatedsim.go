@@ -100,6 +100,12 @@ type Options struct {
 	// policy. Nil or empty means fully live. UpdateFaults swaps the
 	// masks of a running network in place.
 	Faults *Masks
+	// Tables, when non-nil, supplies prebuilt routing tables for the
+	// same dilated Config: the network shares the read-only slices
+	// instead of materializing its own, skipping the dominant
+	// O(ports*d) build cost. Must have been built for the identical
+	// Config; results are bit-for-bit those of a fresh build.
+	Tables *Tables
 }
 
 func (o Options) withDefaults() Options {
@@ -192,6 +198,9 @@ func New(dcfg dilated.Config, opts Options) (*Network, error) {
 	default:
 		return nil, fmt.Errorf("dilatedsim: unknown policy %d", int(opts.Policy))
 	}
+	if opts.Tables != nil && opts.Tables.Config() != dcfg {
+		return nil, fmt.Errorf("dilatedsim: tables built for %v, network is %v", opts.Tables.Config(), dcfg)
+	}
 	opts = opts.withDefaults()
 	ports := dcfg.Ports()
 	if int64(ports)*int64(dcfg.D) > math.MaxInt32 {
@@ -222,24 +231,30 @@ func New(dcfg dilated.Config, opts Options) (*Network, error) {
 		n.factory = core.PriorityArbiters
 	}
 	logB := topology.Log2(dcfg.B)
-	n.gtab = make([][]int32, dcfg.L)
-	n.subTab = make([][]int32, dcfg.L)
 	n.shift = make([]uint, dcfg.L)
 	for s := 1; s <= dcfg.L; s++ {
-		tab := delta.InterstageTable(s) // nil at s == l: groups feed ports
-		n.gtab[s-1] = tab
 		n.shift[s-1] = uint((dcfg.L - s) * logB)
-		switch {
-		case tab == nil:
-			// identity at both levels
-		case dcfg.D == 1:
-			n.subTab[s-1] = tab // sub-wire labels are group labels
-		default:
-			sub := make([]int32, ports*dcfg.D)
-			for o := range sub {
-				sub[o] = tab[o/dcfg.D]*int32(dcfg.D) + int32(o%dcfg.D)
+	}
+	if opts.Tables != nil {
+		n.gtab, n.subTab = opts.Tables.gtab, opts.Tables.subTab
+	} else {
+		n.gtab = make([][]int32, dcfg.L)
+		n.subTab = make([][]int32, dcfg.L)
+		for s := 1; s <= dcfg.L; s++ {
+			tab := delta.InterstageTable(s) // nil at s == l: groups feed ports
+			n.gtab[s-1] = tab
+			switch {
+			case tab == nil:
+				// identity at both levels
+			case dcfg.D == 1:
+				n.subTab[s-1] = tab // sub-wire labels are group labels
+			default:
+				sub := make([]int32, ports*dcfg.D)
+				for o := range sub {
+					sub[o] = tab[o/dcfg.D]*int32(dcfg.D) + int32(o%dcfg.D)
+				}
+				n.subTab[s-1] = sub
 			}
-			n.subTab[s-1] = sub
 		}
 	}
 	n.arbiters = make([][]switchfab.Arbiter, n.stages)

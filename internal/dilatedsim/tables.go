@@ -1,0 +1,70 @@
+package dilatedsim
+
+import (
+	"fmt"
+	"math"
+
+	"edn/internal/dilated"
+	"edn/internal/topology"
+)
+
+// Tables is the prebuilt, immutable routing geometry of one dilated
+// delta: the group-level delta tables plus their sub-wire expansion —
+// the O(ports*d) arrays New spends its construction time on. One
+// Tables value can back any number of concurrently running networks;
+// nothing mutates it after construction. The dilated twin of
+// topology.Tables.
+type Tables struct {
+	dcfg   dilated.Config
+	gtab   [][]int32 // group-level delta tables; nil = identity
+	subTab [][]int32 // gtab expanded to sub-wire labels (shared when d == 1)
+	bytes  int64
+}
+
+// NewTables validates dcfg and materializes both table levels.
+// Networks built from the same Tables value share the slices (no copy)
+// and are bit-for-bit identical to networks that built their own.
+func NewTables(dcfg dilated.Config) (*Tables, error) {
+	if err := dcfg.Validate(); err != nil {
+		return nil, err
+	}
+	ports := dcfg.Ports()
+	if int64(ports)*int64(dcfg.D) > math.MaxInt32 {
+		return nil, fmt.Errorf("dilatedsim: %v has %d sub-wires per boundary, beyond the simulable limit", dcfg, int64(ports)*int64(dcfg.D))
+	}
+	delta, err := topology.New(dcfg.B, dcfg.B, 1, dcfg.L)
+	if err != nil {
+		return nil, fmt.Errorf("dilatedsim: %v has no delta skeleton: %w", dcfg, err)
+	}
+	t := &Tables{
+		dcfg:   dcfg,
+		gtab:   make([][]int32, dcfg.L),
+		subTab: make([][]int32, dcfg.L),
+	}
+	for s := 1; s <= dcfg.L; s++ {
+		tab := delta.InterstageTable(s) // nil at s == l: groups feed ports
+		t.gtab[s-1] = tab
+		t.bytes += int64(len(tab)) * 4
+		switch {
+		case tab == nil:
+			// identity at both levels
+		case dcfg.D == 1:
+			t.subTab[s-1] = tab // sub-wire labels are group labels
+		default:
+			sub := make([]int32, ports*dcfg.D)
+			for o := range sub {
+				sub[o] = tab[o/dcfg.D]*int32(dcfg.D) + int32(o%dcfg.D)
+			}
+			t.subTab[s-1] = sub
+			t.bytes += int64(len(sub)) * 4
+		}
+	}
+	return t, nil
+}
+
+// Config returns the configuration the tables were built for.
+func (t *Tables) Config() dilated.Config { return t.dcfg }
+
+// Bytes returns the memory footprint of the table payload, the unit of
+// the serve-layer cache's byte budget.
+func (t *Tables) Bytes() int64 { return t.bytes }

@@ -115,6 +115,13 @@ type Options struct {
 	// masks of a running network in place, which is how time-varying
 	// fault processes (internal/lifecycle) drive this engine.
 	Faults *faults.Masks
+	// Tables, when non-nil, supplies prebuilt interstage routing tables
+	// for the same Config: the network shares the read-only slices
+	// instead of materializing its own, skipping the dominant O(wires)
+	// build cost. Must have been built for the identical Config;
+	// results are bit-for-bit those of a fresh build. The serve-layer
+	// geometry cache is the intended supplier.
+	Tables *topology.Tables
 }
 
 func (o Options) withDefaults() Options {
@@ -256,6 +263,9 @@ func New(cfg topology.Config, opts Options) (*Network, error) {
 	default:
 		return nil, fmt.Errorf("queuesim: unknown policy %d", int(opts.Policy))
 	}
+	if opts.Tables != nil && opts.Tables.Config() != cfg {
+		return nil, fmt.Errorf("queuesim: tables built for %v, network is %v", opts.Tables.Config(), cfg)
+	}
 	opts = opts.withDefaults()
 	n := &Network{
 		cfg:          cfg,
@@ -277,7 +287,13 @@ func New(cfg topology.Config, opts Options) (*Network, error) {
 		// (masks applied below via the shared swap path; dead-input
 		// refusal happens here at the source, so core's own input
 		// masking never fires).
-		net, err := core.NewNetwork(cfg, opts.Factory)
+		var net *core.Network
+		var err error
+		if opts.Tables != nil {
+			net, err = core.NewNetworkFromTables(opts.Tables, opts.Factory, nil)
+		} else {
+			net, err = core.NewNetwork(cfg, opts.Factory)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -326,7 +342,11 @@ func New(cfg topology.Config, opts Options) (*Network, error) {
 	n.shift = make([]uint, cfg.L)
 	logB, logC := topology.Log2(cfg.B), topology.Log2(cfg.C)
 	for s := 1; s <= cfg.L; s++ {
-		n.gammaTab[s-1] = cfg.InterstageTable(s)
+		if opts.Tables != nil {
+			n.gammaTab[s-1] = opts.Tables.Interstage(s)
+		} else {
+			n.gammaTab[s-1] = cfg.InterstageTable(s)
+		}
 		n.shift[s-1] = uint(logC + (cfg.L-s)*logB)
 	}
 	n.maskB = uint32(cfg.B - 1)

@@ -1,0 +1,94 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"edn"
+)
+
+// Handler returns the HTTP face of the server:
+//
+//	POST /v1/jobs        body = one JobSpec JSON document; the response
+//	                     streams the job's event lines as NDJSON
+//	                     (accepted, point..., result|error), flushed per
+//	                     event so a client sees sweep points live. The
+//	                     job id is ?id=... or assigned; closing the
+//	                     request cancels the job.
+//	GET  /v1/healthz     {"ok":true}
+//	GET  /v1/stats       the Stats snapshot
+//	GET  /metrics        the same counters as Prometheus text
+//
+// The estimate mode rides POST /v1/jobs like every other mode: a
+// co-simulating system simulator posts {"mode":"estimate",...} and
+// reads the single result event.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleJob)
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintln(w, `{"ok":true}`)
+	})
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(s.Stats()) //nolint:errcheck
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		s.writeMetrics(w) //nolint:errcheck
+	})
+	return mux
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	var spec edn.JobSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		http.Error(w, fmt.Sprintf("bad spec: %v", err), http.StatusBadRequest)
+		return
+	}
+	if err := spec.Validate(); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	id := s.assignID(r.URL.Query().Get("id"))
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	emit := func(ev Event) {
+		enc.Encode(ev) //nolint:errcheck // client gone = request context cancelled
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	// The request context carries client disconnects: closing the
+	// response cancels the job.
+	s.Execute(r.Context(), id, spec, emit) //nolint:errcheck // reported in the stream
+}
+
+// writeMetrics exports the scheduler and cache counters as Prometheus
+// text through the deterministic probe registry.
+func (s *Server) writeMetrics(w http.ResponseWriter) error {
+	st := s.Stats()
+	reg := edn.NewMetricsRegistry()
+	reg.Add("edn_serve_jobs_accepted_total", "counter", nil, float64(st.Accepted))
+	reg.Add("edn_serve_jobs_completed_total", "counter", nil, float64(st.Completed))
+	reg.Add("edn_serve_jobs_failed_total", "counter", nil, float64(st.Failed))
+	reg.Add("edn_serve_jobs_cancelled_total", "counter", nil, float64(st.Cancelled))
+	reg.Add("edn_serve_jobs_running", "gauge", nil, float64(st.Running))
+	reg.Add("edn_serve_workers", "gauge", nil, float64(st.Workers))
+	reg.Add("edn_serve_uptime_seconds", "gauge", nil, st.UptimeSeconds)
+	reg.Add("edn_serve_cache_entries", "gauge", nil, float64(st.Cache.Entries))
+	reg.Add("edn_serve_cache_bytes", "gauge", nil, float64(st.Cache.Bytes))
+	reg.Add("edn_serve_cache_budget_bytes", "gauge", nil, float64(st.Cache.Budget))
+	reg.Add("edn_serve_cache_hits_total", "counter", nil, float64(st.Cache.Hits))
+	reg.Add("edn_serve_cache_misses_total", "counter", nil, float64(st.Cache.Misses))
+	reg.Add("edn_serve_cache_evictions_total", "counter", nil, float64(st.Cache.Evictions))
+	return reg.WritePrometheus(w)
+}

@@ -1,0 +1,65 @@
+package serve
+
+import "edn"
+
+// The wire protocol is JSON lines in both directions, over stdio or an
+// HTTP chunked response — the shape an external system-level simulator
+// (the uPIMulator/BookSim2 co-simulation arrangement) or a sweep
+// harness scripts against without linking Go.
+//
+// Client → server, one Request per line:
+//
+//	{"id":"j1","op":"run","spec":{...}}   run a JobSpec; events follow
+//	{"id":"j1","op":"cancel"}             cancel the job named id
+//	{"id":"p1","op":"ping"}               liveness check
+//	{"id":"s1","op":"stats"}              scheduler + cache snapshot
+//	{"op":"shutdown"}                     cancel everything and exit
+//
+// Server → client, one Event per line. A run produces "accepted" when
+// the request is parsed and queued, zero or more "point" events as
+// sweep points complete (index/total/point), and exactly one terminal
+// "result" or "error". Per-job Seq increases by one per event, so a
+// client can detect drops; events of concurrent jobs interleave and
+// are distinguished by ID.
+type Request struct {
+	// ID names the job (op run/cancel) or correlates the reply (other
+	// ops). Run requests without an ID are assigned one.
+	ID string `json:"id,omitempty"`
+	// Op is run, cancel, ping, stats or shutdown.
+	Op string `json:"op"`
+	// Spec is the job to run (op run only).
+	Spec *edn.JobSpec `json:"spec,omitempty"`
+}
+
+// Event is one server reply line; see Request for the grammar.
+type Event struct {
+	ID    string `json:"id,omitempty"`
+	Seq   int    `json:"seq"`
+	Event string `json:"event"` // accepted, point, result, error, cancelled, pong, stats, bye
+
+	// Point events: the index-th of total sweep points, carrying the
+	// same result struct the final JobResult aggregates.
+	Index int `json:"index,omitempty"`
+	Total int `json:"total,omitempty"`
+	Point any `json:"point,omitempty"`
+
+	// Terminal events: exactly one of Result (the full JobResult) or
+	// Error per run.
+	Result *edn.JobResult `json:"result,omitempty"`
+	Error  string         `json:"error,omitempty"`
+
+	// Stats events.
+	Stats *Stats `json:"stats,omitempty"`
+}
+
+// Stats is a point-in-time scheduler and cache snapshot.
+type Stats struct {
+	Accepted      int64                  `json:"accepted"`
+	Running       int                    `json:"running"`
+	Completed     int64                  `json:"completed"`
+	Failed        int64                  `json:"failed"`
+	Cancelled     int64                  `json:"cancelled"`
+	Workers       int                    `json:"workers"`
+	UptimeSeconds float64                `json:"uptime_seconds"`
+	Cache         edn.GeometryCacheStats `json:"cache"`
+}

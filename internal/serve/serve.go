@@ -1,0 +1,195 @@
+// Package serve is the long-lived simulation service behind the
+// edn-serve daemon: a scheduler that runs edn.JobSpec jobs on a
+// bounded worker pool, streams incremental per-point results as they
+// complete, and keeps one shared edn.GeometryCache across requests so
+// repeated jobs on the same geometry skip table and mask construction.
+// Results are bit-for-bit those of edn.Run without the cache — caching
+// and streaming are execution details, never measurement details.
+//
+// The same Server serves both transports: a JSON-line conversation
+// over an io.Reader/Writer pair (ServeStdio) and an HTTP API
+// (Handler). See protocol.go for the wire grammar.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"edn"
+)
+
+// Options configure a Server.
+type Options struct {
+	// Workers bounds concurrently running jobs (0 selects GOMAXPROCS).
+	// Jobs past the bound queue in arrival order.
+	Workers int
+	// CacheBytes budgets the shared geometry cache (0 selects the
+	// 256 MiB default).
+	CacheBytes int64
+}
+
+// Server schedules JobSpec runs. Safe for concurrent use by multiple
+// transport goroutines.
+type Server struct {
+	workers int
+	cache   *edn.GeometryCache
+	sem     chan struct{}
+	start   time.Time
+
+	mu        sync.Mutex
+	jobs      map[string]context.CancelFunc
+	nextID    int64
+	accepted  int64
+	completed int64
+	failed    int64
+	cancelled int64
+}
+
+// New returns an idle server; it holds no goroutines of its own, the
+// transports drive it.
+func New(o Options) *Server {
+	w := o.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	return &Server{
+		workers: w,
+		cache:   edn.NewGeometryCache(o.CacheBytes),
+		sem:     make(chan struct{}, w),
+		start:   time.Now(),
+		jobs:    make(map[string]context.CancelFunc),
+	}
+}
+
+// Cache exposes the shared geometry cache (for tests and stats).
+func (s *Server) Cache() *edn.GeometryCache { return s.cache }
+
+// Stats snapshots the scheduler and cache counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Accepted:      s.accepted,
+		Running:       len(s.jobs),
+		Completed:     s.completed,
+		Failed:        s.failed,
+		Cancelled:     s.cancelled,
+		Workers:       s.workers,
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Cache:         s.cache.Stats(),
+	}
+}
+
+// assignID returns id, or a fresh "job-N" when the request named none.
+func (s *Server) assignID(id string) string {
+	if id != "" {
+		return id
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextID++
+	return fmt.Sprintf("job-%d", s.nextID)
+}
+
+func (s *Server) register(id string, cancel context.CancelFunc) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.jobs[id]; dup {
+		return false
+	}
+	s.jobs[id] = cancel
+	s.accepted++
+	return true
+}
+
+func (s *Server) unregister(id string, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.jobs, id)
+	switch {
+	case err == nil:
+		s.completed++
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		s.cancelled++
+	default:
+		s.failed++
+	}
+}
+
+// Cancel cancels the running or queued job named id; false when no
+// such job is live.
+func (s *Server) Cancel(id string) bool {
+	s.mu.Lock()
+	cancel, ok := s.jobs[id]
+	s.mu.Unlock()
+	if ok {
+		cancel()
+	}
+	return ok
+}
+
+// CancelAll cancels every live job (shutdown).
+func (s *Server) CancelAll() {
+	s.mu.Lock()
+	cancels := make([]context.CancelFunc, 0, len(s.jobs))
+	for _, c := range s.jobs {
+		cancels = append(cancels, c)
+	}
+	s.mu.Unlock()
+	for _, c := range cancels {
+		c()
+	}
+}
+
+// Execute runs one job to completion, emitting the run's event stream
+// ("accepted", streamed "point"s, then one terminal "result" or
+// "error") through emit, which is called sequentially from this
+// goroutine. Execute blocks while the worker pool is full — the
+// transports call it from a per-job goroutine — and returns the job's
+// terminal error, nil on success.
+func (s *Server) Execute(ctx context.Context, id string, spec edn.JobSpec, emit func(Event)) error {
+	jctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	if !s.register(id, cancel) {
+		err := fmt.Errorf("duplicate job id %q", id)
+		emit(Event{ID: id, Event: "error", Error: err.Error()})
+		return err
+	}
+	seq := 0
+	next := func(ev Event) {
+		ev.ID, ev.Seq = id, seq
+		seq++
+		emit(ev)
+	}
+	next(Event{Event: "accepted"})
+
+	// One worker slot per running job; queued jobs wait here and can
+	// still be cancelled while waiting.
+	select {
+	case s.sem <- struct{}{}:
+	case <-jctx.Done():
+		err := jctx.Err()
+		s.unregister(id, err)
+		next(Event{Event: "error", Error: err.Error()})
+		return err
+	}
+	defer func() { <-s.sem }()
+
+	res, err := edn.RunJob(jctx, spec, edn.RunOptions{
+		Cache: s.cache,
+		OnPoint: func(index, total int, point any) {
+			next(Event{Event: "point", Index: index, Total: total, Point: point})
+		},
+	})
+	s.unregister(id, err)
+	if err != nil {
+		next(Event{Event: "error", Error: err.Error()})
+		return err
+	}
+	next(Event{Event: "result", Result: res})
+	return nil
+}

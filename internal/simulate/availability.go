@@ -2,7 +2,6 @@ package simulate
 
 import (
 	"fmt"
-	"runtime"
 
 	"edn/internal/dilated"
 	"edn/internal/dilatedsim"
@@ -135,16 +134,30 @@ func AvailabilitySweep(cfg topology.Config, aopts AvailabilityOptions, src LoadP
 	if src == nil {
 		src = UniformLoad
 	}
-	if shards <= 0 {
-		shards = runtime.GOMAXPROCS(0)
-	}
-	if shards > opts.Cycles {
-		shards = opts.Cycles
+	shards, err = normalizeShards(shards, opts.Cycles)
+	if err != nil {
+		return nil, err
 	}
 
-	// Per-shard fault plans and traffic seeds, fixed across the whole
-	// fraction axis: fraction f2 > f1 sees a superset of f1's faults
-	// under an identical traffic replay.
+	plans, trafficSeeds := availabilityPlans(cfg, aopts, opts, shards)
+	results := make([]AvailabilityResult, 0, len(aopts.Fractions))
+	for _, f := range aopts.Fractions {
+		merged, err := availabilityPoint(cfg, aopts, f, src, qopts, opts, shards, plans, trafficSeeds)
+		if err != nil {
+			return nil, err
+		}
+		results = append(results, merged)
+	}
+	return results, nil
+}
+
+// availabilityPlans draws the per-shard fault plans and traffic seeds,
+// fixed across the whole fraction axis: fraction f2 > f1 sees a
+// superset of f1's faults under an identical traffic replay. The draws
+// depend only on (opts.Seed, shards) — never on the fraction — which
+// is what lets AvailabilityPoint reconstruct a batch sweep's failure
+// stories one fraction at a time.
+func availabilityPlans(cfg topology.Config, aopts AvailabilityOptions, opts Options, shards int) ([]*faults.Plan, []uint64) {
 	root := xrand.New(opts.Seed ^ 0xaf63bd4c8601b7df)
 	plans := make([]*faults.Plan, shards)
 	trafficSeeds := make([]uint64, shards)
@@ -152,81 +165,83 @@ func AvailabilitySweep(cfg topology.Config, aopts AvailabilityOptions, src LoadP
 		plans[w] = faults.NewPlan(cfg, aopts.Mode, xrand.New(root.Uint64()|1))
 		trafficSeeds[w] = root.Uint64() | 1
 	}
+	return plans, trafficSeeds
+}
 
-	results := make([]AvailabilityResult, 0, len(aopts.Fractions))
-	for _, f := range aopts.Fractions {
-		type partial struct {
-			res      LatencyResult
-			masks    *faults.Masks
-			expected float64
-			err      error
-		}
-		parts := make([]partial, shards)
-		runShards(opts.Cycles, shards, func(w, cycles int) {
-			p := &parts[w]
-			p.masks, p.err = faults.Compile(cfg, plans[w].At(f))
-			if p.err != nil {
-				return
-			}
-			sq := qopts
-			sq.Faults = p.masks
-			sub := opts
-			sub.Cycles = cycles
-			pattern := src(aopts.Load, xrand.New(trafficSeeds[w]))
-			p.res, p.err = MeasureLatency(cfg, pattern, sq, sub)
-			if p.err == nil && aopts.WithExpected {
-				p.expected = faults.ExpectedUniformBandwidth(p.masks, aopts.Load)
-			}
-		})
-
-		merged := AvailabilityResult{
-			Config:        cfg,
-			FaultFraction: f,
-			Mode:          aopts.Mode,
-		}
-		inputs := cfg.Inputs()
-		outputs := cfg.Outputs()
-		var acc sweepPointAccum
-		for w := range parts {
-			p := &parts[w]
-			if p.err != nil {
-				return nil, p.err
-			}
-			ran, err := acc.add(&p.res)
-			if err != nil {
-				return nil, err
-			}
-			if !ran {
-				continue
-			}
-			merged.DeadSwitches += float64(p.masks.DeadSwitches())
-			merged.DeadWires += float64(p.masks.DeadWires())
-			merged.ReachableFraction += float64(p.masks.ReachableOutputs()) / float64(outputs)
-			merged.LiveInputFraction += float64(p.masks.LiveInputCount()) / float64(inputs)
-			merged.ExpectedThroughput += p.expected
-		}
-		if acc.shards > 0 {
-			n := float64(acc.shards)
-			merged.DeadSwitches /= n
-			merged.DeadWires /= n
-			merged.ReachableFraction /= n
-			merged.LiveInputFraction /= n
-			merged.ExpectedThroughput /= n
-		}
-		merged.Depth = acc.depth
-		merged.Policy = acc.policy
-		merged.Cycles = acc.cycles
-		merged.Shards = acc.shards
-		merged.Injected = acc.injected
-		merged.Refused = acc.refused
-		merged.Delivered = acc.delivered
-		merged.Dropped = acc.dropped
-		merged.Histogram = acc.histogram
-		merged.OfferedRate, merged.Throughput, merged.ThroughputPerInput, merged.AcceptedFraction = acc.rates(inputs)
-		merged.LatencyMean, merged.LatencyP50, merged.LatencyP95, merged.LatencyP99, merged.LatencyMax = acc.quantiles()
-		results = append(results, merged)
+// availabilityPoint measures one fault fraction over pre-drawn shard
+// plans and merges exactly; the engine-specific half of the per-point
+// degradation measurement.
+func availabilityPoint(cfg topology.Config, aopts AvailabilityOptions, f float64, src LoadPattern, qopts queuesim.Options, opts Options, shards int, plans []*faults.Plan, trafficSeeds []uint64) (AvailabilityResult, error) {
+	type partial struct {
+		res      LatencyResult
+		masks    *faults.Masks
+		expected float64
+		err      error
 	}
-	return results, nil
+	parts := make([]partial, shards)
+	runShards(opts.Cycles, shards, func(w, cycles int) {
+		p := &parts[w]
+		p.masks, p.err = faults.Compile(cfg, plans[w].At(f))
+		if p.err != nil {
+			return
+		}
+		sq := qopts
+		sq.Faults = p.masks
+		sub := opts
+		sub.Cycles = cycles
+		pattern := src(aopts.Load, xrand.New(trafficSeeds[w]))
+		p.res, p.err = MeasureLatency(cfg, pattern, sq, sub)
+		if p.err == nil && aopts.WithExpected {
+			p.expected = faults.ExpectedUniformBandwidth(p.masks, aopts.Load)
+		}
+	})
+
+	merged := AvailabilityResult{
+		Config:        cfg,
+		FaultFraction: f,
+		Mode:          aopts.Mode,
+	}
+	inputs := cfg.Inputs()
+	outputs := cfg.Outputs()
+	var acc sweepPointAccum
+	for w := range parts {
+		p := &parts[w]
+		if p.err != nil {
+			return AvailabilityResult{}, p.err
+		}
+		ran, err := acc.add(&p.res)
+		if err != nil {
+			return AvailabilityResult{}, err
+		}
+		if !ran {
+			continue
+		}
+		merged.DeadSwitches += float64(p.masks.DeadSwitches())
+		merged.DeadWires += float64(p.masks.DeadWires())
+		merged.ReachableFraction += float64(p.masks.ReachableOutputs()) / float64(outputs)
+		merged.LiveInputFraction += float64(p.masks.LiveInputCount()) / float64(inputs)
+		merged.ExpectedThroughput += p.expected
+	}
+	if acc.shards > 0 {
+		n := float64(acc.shards)
+		merged.DeadSwitches /= n
+		merged.DeadWires /= n
+		merged.ReachableFraction /= n
+		merged.LiveInputFraction /= n
+		merged.ExpectedThroughput /= n
+	}
+	merged.Depth = acc.depth
+	merged.Policy = acc.policy
+	merged.Cycles = acc.cycles
+	merged.Shards = acc.shards
+	merged.Injected = acc.injected
+	merged.Refused = acc.refused
+	merged.Delivered = acc.delivered
+	merged.Dropped = acc.dropped
+	merged.Histogram = acc.histogram
+	merged.OfferedRate, merged.Throughput, merged.ThroughputPerInput, merged.AcceptedFraction = acc.rates(inputs)
+	merged.LatencyMean, merged.LatencyP50, merged.LatencyP95, merged.LatencyP99, merged.LatencyMax = acc.quantiles()
+	return merged, nil
 }
 
 // sweepPointAccum folds per-shard measurements into the
@@ -364,16 +379,28 @@ func DilatedAvailabilitySweep(dcfg dilated.Config, aopts AvailabilityOptions, sr
 	if src == nil {
 		src = UniformLoad
 	}
-	if shards <= 0 {
-		shards = runtime.GOMAXPROCS(0)
-	}
-	if shards > opts.Cycles {
-		shards = opts.Cycles
+	shards, err = normalizeShards(shards, opts.Cycles)
+	if err != nil {
+		return nil, err
 	}
 
-	// Per-shard fault plans and traffic seeds, fixed across the whole
-	// fraction axis. The derivation (root constant, draw order) matches
-	// AvailabilitySweep draw for draw so the traffic replays pair up.
+	plans, trafficSeeds := dilatedAvailabilityPlans(dcfg, opts, shards)
+	results := make([]DilatedAvailabilityResult, 0, len(aopts.Fractions))
+	for _, f := range aopts.Fractions {
+		merged, err := dilatedAvailabilityPoint(dcfg, aopts, f, src, dopts, opts, shards, plans, trafficSeeds)
+		if err != nil {
+			return nil, err
+		}
+		results = append(results, merged)
+	}
+	return results, nil
+}
+
+// dilatedAvailabilityPlans draws the per-shard fault plans and traffic
+// seeds, fixed across the whole fraction axis. The derivation (root
+// constant, draw order) matches availabilityPlans draw for draw so the
+// traffic replays pair up between a network and its counterpart.
+func dilatedAvailabilityPlans(dcfg dilated.Config, opts Options, shards int) ([]*dilatedsim.Plan, []uint64) {
 	root := xrand.New(opts.Seed ^ 0xaf63bd4c8601b7df)
 	plans := make([]*dilatedsim.Plan, shards)
 	trafficSeeds := make([]uint64, shards)
@@ -381,78 +408,79 @@ func DilatedAvailabilitySweep(dcfg dilated.Config, aopts AvailabilityOptions, sr
 		plans[w] = dilatedsim.NewPlan(dcfg, xrand.New(root.Uint64()|1))
 		trafficSeeds[w] = root.Uint64() | 1
 	}
+	return plans, trafficSeeds
+}
 
+// dilatedAvailabilityPoint measures one sub-wire fault fraction over
+// pre-drawn shard plans, the dilated twin of availabilityPoint.
+func dilatedAvailabilityPoint(dcfg dilated.Config, aopts AvailabilityOptions, f float64, src LoadPattern, dopts dilatedsim.Options, opts Options, shards int, plans []*dilatedsim.Plan, trafficSeeds []uint64) (DilatedAvailabilityResult, error) {
 	ports := dcfg.Ports()
-	results := make([]DilatedAvailabilityResult, 0, len(aopts.Fractions))
-	for _, f := range aopts.Fractions {
-		type partial struct {
-			res      LatencyResult
-			masks    *dilatedsim.Masks
-			expected float64
-			err      error
-		}
-		parts := make([]partial, shards)
-		runShards(opts.Cycles, shards, func(w, cycles int) {
-			p := &parts[w]
-			set := plans[w].At(f)
-			p.masks, p.err = dilatedsim.Compile(dcfg, set)
-			if p.err != nil {
-				return
-			}
-			sd := dopts
-			sd.Faults = p.masks
-			sub := opts
-			sub.Cycles = cycles
-			pattern := src(aopts.Load, xrand.New(trafficSeeds[w]))
-			p.res, p.err = MeasureDilatedLatency(dcfg, pattern, sd, sub)
-			if p.err == nil && aopts.WithExpected {
-				var deg *dilated.Degraded
-				deg, p.err = dcfg.CompileFaults(set)
-				if p.err == nil {
-					p.expected = deg.Bandwidth(aopts.Load)
-				}
-			}
-		})
-
-		merged := DilatedAvailabilityResult{
-			Dilated:       dcfg,
-			FaultFraction: f,
-		}
-		var acc sweepPointAccum
-		for w := range parts {
-			p := &parts[w]
-			if p.err != nil {
-				return nil, p.err
-			}
-			ran, err := acc.add(&p.res)
-			if err != nil {
-				return nil, err
-			}
-			if !ran {
-				continue
-			}
-			merged.DeadSubWires += float64(p.masks.DeadSubWires())
-			merged.ReachableFraction += float64(p.masks.ReachableOutputs()) / float64(ports)
-			merged.ExpectedThroughput += p.expected
-		}
-		if acc.shards > 0 {
-			n := float64(acc.shards)
-			merged.DeadSubWires /= n
-			merged.ReachableFraction /= n
-			merged.ExpectedThroughput /= n
-		}
-		merged.Depth = acc.depth
-		merged.Policy = acc.policy
-		merged.Cycles = acc.cycles
-		merged.Shards = acc.shards
-		merged.Injected = acc.injected
-		merged.Refused = acc.refused
-		merged.Delivered = acc.delivered
-		merged.Dropped = acc.dropped
-		merged.Histogram = acc.histogram
-		merged.OfferedRate, merged.Throughput, merged.ThroughputPerInput, merged.AcceptedFraction = acc.rates(ports)
-		merged.LatencyMean, merged.LatencyP50, merged.LatencyP95, merged.LatencyP99, merged.LatencyMax = acc.quantiles()
-		results = append(results, merged)
+	type partial struct {
+		res      LatencyResult
+		masks    *dilatedsim.Masks
+		expected float64
+		err      error
 	}
-	return results, nil
+	parts := make([]partial, shards)
+	runShards(opts.Cycles, shards, func(w, cycles int) {
+		p := &parts[w]
+		set := plans[w].At(f)
+		p.masks, p.err = dilatedsim.Compile(dcfg, set)
+		if p.err != nil {
+			return
+		}
+		sd := dopts
+		sd.Faults = p.masks
+		sub := opts
+		sub.Cycles = cycles
+		pattern := src(aopts.Load, xrand.New(trafficSeeds[w]))
+		p.res, p.err = MeasureDilatedLatency(dcfg, pattern, sd, sub)
+		if p.err == nil && aopts.WithExpected {
+			var deg *dilated.Degraded
+			deg, p.err = dcfg.CompileFaults(set)
+			if p.err == nil {
+				p.expected = deg.Bandwidth(aopts.Load)
+			}
+		}
+	})
+
+	merged := DilatedAvailabilityResult{
+		Dilated:       dcfg,
+		FaultFraction: f,
+	}
+	var acc sweepPointAccum
+	for w := range parts {
+		p := &parts[w]
+		if p.err != nil {
+			return DilatedAvailabilityResult{}, p.err
+		}
+		ran, err := acc.add(&p.res)
+		if err != nil {
+			return DilatedAvailabilityResult{}, err
+		}
+		if !ran {
+			continue
+		}
+		merged.DeadSubWires += float64(p.masks.DeadSubWires())
+		merged.ReachableFraction += float64(p.masks.ReachableOutputs()) / float64(ports)
+		merged.ExpectedThroughput += p.expected
+	}
+	if acc.shards > 0 {
+		n := float64(acc.shards)
+		merged.DeadSubWires /= n
+		merged.ReachableFraction /= n
+		merged.ExpectedThroughput /= n
+	}
+	merged.Depth = acc.depth
+	merged.Policy = acc.policy
+	merged.Cycles = acc.cycles
+	merged.Shards = acc.shards
+	merged.Injected = acc.injected
+	merged.Refused = acc.refused
+	merged.Delivered = acc.delivered
+	merged.Dropped = acc.dropped
+	merged.Histogram = acc.histogram
+	merged.OfferedRate, merged.Throughput, merged.ThroughputPerInput, merged.AcceptedFraction = acc.rates(ports)
+	merged.LatencyMean, merged.LatencyP50, merged.LatencyP95, merged.LatencyP99, merged.LatencyMax = acc.quantiles()
+	return merged, nil
 }

@@ -2,7 +2,6 @@ package simulate
 
 import (
 	"fmt"
-	"runtime"
 	"sync"
 
 	"edn/internal/closedloop"
@@ -173,66 +172,76 @@ func runClosedLoopShard(build func() (fwd, rev closedloop.Engine, err error), in
 // counterpart replay-matched at the request level.
 func sweepClosedLoop(inputs, outputs int, rates []float64, lo closedloop.Options, opts Options, shards int, build func() (fwd, rev closedloop.Engine, err error)) ([]ClosedLoopResult, error) {
 	opts = opts.withDefaults()
-	if shards <= 0 {
-		shards = runtime.GOMAXPROCS(0)
-	}
-	if shards > opts.Cycles {
-		shards = opts.Cycles
+	shards, err := normalizeShards(shards, opts.Cycles)
+	if err != nil {
+		return nil, err
 	}
 	results := make([]ClosedLoopResult, 0, len(rates))
-	for _, rate := range rates {
-		// Derive shard seeds up front so the assignment does not depend
-		// on scheduling.
-		root := xrand.New(opts.Seed ^ uint64(len(results)+1)*0x9e3779b97f4a7c15)
-		seeds := make([]uint64, shards)
-		for i := range seeds {
-			seeds[i] = root.Uint64() | 1
-		}
-		parts := make([]closedLoopPartial, shards)
-		runShards(opts.Cycles, shards, func(w, cycles int) {
-			slo := lo
-			slo.Rate = rate
-			slo.Seed = seeds[w]
-			parts[w] = runClosedLoopShard(build, inputs, outputs, slo, opts.Warmup, cycles, nil)
-		})
-
-		res := ClosedLoopResult{Rate: rate, Shards: shards}
-		for w := range parts {
-			p := &parts[w]
-			if p.err != nil {
-				return nil, p.err
-			}
-			if p.cycles == 0 && p.hist == nil {
-				continue
-			}
-			res.Cycles += p.cycles
-			ledgerAdd(&res.Ledger, p.led)
-			res.SLAAttainment += p.sla // credit sum; normalized below
-			if res.Histogram == nil {
-				res.Histogram = p.hist
-			} else if err := res.Histogram.Merge(p.hist); err != nil {
-				return nil, err
-			}
-		}
-		res.fill(inputs)
-		if opts.Probe != nil {
-			// Dedicated sequential observation pass under seeds[0] (the
-			// first root draw, shard-count independent) at the full cycle
-			// budget: the trace set is a pure function of Options, and
-			// the measured merge above stays bit-identical to an
-			// unprobed sweep.
-			slo := lo
-			slo.Rate = rate
-			slo.Seed = seeds[0]
-			obs := runClosedLoopShard(build, inputs, outputs, slo, opts.Warmup, opts.Cycles, opts.Probe)
-			if obs.err != nil {
-				return nil, obs.err
-			}
-			res.Observed = obs.rep
+	for i, rate := range rates {
+		res, err := sweepClosedLoopPoint(inputs, outputs, rate, i, lo, opts, shards, build)
+		if err != nil {
+			return nil, err
 		}
 		results = append(results, res)
 	}
 	return results, nil
+}
+
+// sweepClosedLoopPoint measures one demand-rate point — point `index`
+// on the sweep's rate axis — with the seed derivation the batch sweep
+// has always used. Callers must have normalized shards and applied
+// opts.withDefaults.
+func sweepClosedLoopPoint(inputs, outputs int, rate float64, index int, lo closedloop.Options, opts Options, shards int, build func() (fwd, rev closedloop.Engine, err error)) (ClosedLoopResult, error) {
+	// Derive shard seeds up front so the assignment does not depend
+	// on scheduling.
+	root := xrand.New(opts.Seed ^ uint64(index+1)*0x9e3779b97f4a7c15)
+	seeds := make([]uint64, shards)
+	for i := range seeds {
+		seeds[i] = root.Uint64() | 1
+	}
+	parts := make([]closedLoopPartial, shards)
+	runShards(opts.Cycles, shards, func(w, cycles int) {
+		slo := lo
+		slo.Rate = rate
+		slo.Seed = seeds[w]
+		parts[w] = runClosedLoopShard(build, inputs, outputs, slo, opts.Warmup, cycles, nil)
+	})
+
+	res := ClosedLoopResult{Rate: rate, Shards: shards}
+	for w := range parts {
+		p := &parts[w]
+		if p.err != nil {
+			return ClosedLoopResult{}, p.err
+		}
+		if p.cycles == 0 && p.hist == nil {
+			continue
+		}
+		res.Cycles += p.cycles
+		ledgerAdd(&res.Ledger, p.led)
+		res.SLAAttainment += p.sla // credit sum; normalized below
+		if res.Histogram == nil {
+			res.Histogram = p.hist
+		} else if err := res.Histogram.Merge(p.hist); err != nil {
+			return ClosedLoopResult{}, err
+		}
+	}
+	res.fill(inputs)
+	if opts.Probe != nil {
+		// Dedicated sequential observation pass under seeds[0] (the
+		// first root draw, shard-count independent) at the full cycle
+		// budget: the trace set is a pure function of Options, and
+		// the measured merge above stays bit-identical to an
+		// unprobed sweep.
+		slo := lo
+		slo.Rate = rate
+		slo.Seed = seeds[0]
+		obs := runClosedLoopShard(build, inputs, outputs, slo, opts.Warmup, opts.Cycles, opts.Probe)
+		if obs.err != nil {
+			return ClosedLoopResult{}, obs.err
+		}
+		res.Observed = obs.rep
+	}
+	return res, nil
 }
 
 // fill derives the summary fields; SLAAttainment holds the raw credit
@@ -273,20 +282,7 @@ func MeasureClosedLoop(cfg topology.Config, rates []float64, lo closedloop.Optio
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	if qopts.Factory == nil {
-		qopts.Factory = opts.Factory
-	}
-	results, err := sweepClosedLoop(cfg.Inputs(), cfg.Outputs(), rates, lo, opts, shards, func() (closedloop.Engine, closedloop.Engine, error) {
-		fwd, err := queuesim.New(cfg, qopts)
-		if err != nil {
-			return nil, nil, err
-		}
-		rev, err := queuesim.New(cfg, qopts)
-		if err != nil {
-			return nil, nil, err
-		}
-		return fwd, rev, nil
-	})
+	results, err := sweepClosedLoop(cfg.Inputs(), cfg.Outputs(), rates, lo, opts, shards, closedLoopBuild(cfg, qopts, opts))
 	if err != nil {
 		return nil, err
 	}
@@ -308,20 +304,7 @@ func MeasureDilatedClosedLoop(dcfg dilated.Config, rates []float64, lo closedloo
 	if err := dcfg.Validate(); err != nil {
 		return nil, err
 	}
-	if dopts.Factory == nil {
-		dopts.Factory = opts.Factory
-	}
-	results, err := sweepClosedLoop(dcfg.Ports(), dcfg.Ports(), rates, lo, opts, shards, func() (closedloop.Engine, closedloop.Engine, error) {
-		fwd, err := dilatedsim.New(dcfg, dopts)
-		if err != nil {
-			return nil, nil, err
-		}
-		rev, err := dilatedsim.New(dcfg, dopts)
-		if err != nil {
-			return nil, nil, err
-		}
-		return fwd, rev, nil
-	})
+	results, err := sweepClosedLoop(dcfg.Ports(), dcfg.Ports(), rates, lo, opts, shards, dilatedClosedLoopBuild(dcfg, dopts, opts))
 	if err != nil {
 		return nil, err
 	}
@@ -333,6 +316,45 @@ func MeasureDilatedClosedLoop(dcfg dilated.Config, rates []float64, lo closedloo
 		results[i].Retry = lo.Retry
 	}
 	return results, nil
+}
+
+// closedLoopBuild returns the per-shard fabric constructor of an EDN
+// closed-loop run: two fresh queuesim instances per shard (forward and
+// return), with the arbiter-factory default applied once. The sweeps
+// and the per-point entry points share it.
+func closedLoopBuild(cfg topology.Config, qopts queuesim.Options, opts Options) func() (closedloop.Engine, closedloop.Engine, error) {
+	if qopts.Factory == nil {
+		qopts.Factory = opts.Factory
+	}
+	return func() (closedloop.Engine, closedloop.Engine, error) {
+		fwd, err := queuesim.New(cfg, qopts)
+		if err != nil {
+			return nil, nil, err
+		}
+		rev, err := queuesim.New(cfg, qopts)
+		if err != nil {
+			return nil, nil, err
+		}
+		return fwd, rev, nil
+	}
+}
+
+// dilatedClosedLoopBuild is closedLoopBuild for the dilated engine.
+func dilatedClosedLoopBuild(dcfg dilated.Config, dopts dilatedsim.Options, opts Options) func() (closedloop.Engine, closedloop.Engine, error) {
+	if dopts.Factory == nil {
+		dopts.Factory = opts.Factory
+	}
+	return func() (closedloop.Engine, closedloop.Engine, error) {
+		fwd, err := dilatedsim.New(dcfg, dopts)
+		if err != nil {
+			return nil, nil, err
+		}
+		rev, err := dilatedsim.New(dcfg, dopts)
+		if err != nil {
+			return nil, nil, err
+		}
+		return fwd, rev, nil
+	}
 }
 
 // MeasureClosedLoopPair runs the replay-matched EDN vs dilated
@@ -634,8 +656,9 @@ func ClosedLoopLifetimeSweep(cfg topology.Config, lopts LifetimeOptions, lo clos
 	if qopts.Factory == nil {
 		qopts.Factory = opts.Factory
 	}
-	if shards <= 0 {
-		shards = runtime.GOMAXPROCS(0)
+	shards, err = normalizeShards(shards, 0)
+	if err != nil {
+		return ClosedLoopLifetimeResult{}, err
 	}
 	qopts.Faults = nil // the lifetime starts healthy; epochs swap masks in
 
@@ -717,8 +740,9 @@ func DilatedClosedLoopLifetimeSweep(dcfg dilated.Config, lopts LifetimeOptions, 
 	if dopts.Factory == nil {
 		dopts.Factory = opts.Factory
 	}
-	if shards <= 0 {
-		shards = runtime.GOMAXPROCS(0)
+	shards, err = normalizeShards(shards, 0)
+	if err != nil {
+		return ClosedLoopLifetimeResult{}, err
 	}
 	dopts.Faults = nil
 	ports := dcfg.Ports()

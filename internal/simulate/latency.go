@@ -2,7 +2,6 @@ package simulate
 
 import (
 	"fmt"
-	"runtime"
 	"sync"
 
 	"edn/internal/dilated"
@@ -274,12 +273,19 @@ func SaturationSweep(cfg topology.Config, loads []float64, src LoadPattern, qopt
 	if src == nil {
 		src = UniformLoad
 	}
-	return sweepLoads(cfg.Inputs(), loads, opts, shards, func(load float64, seed uint64, cycles int, po *probe.Options) (LatencyResult, error) {
+	return sweepLoads(cfg.Inputs(), loads, opts, shards, saturationMeasure(cfg, src, qopts, opts))
+}
+
+// saturationMeasure builds the one-shard measurement closure of an EDN
+// saturation sweep; SaturationSweep and SaturationPoint share it so a
+// streamed point is the batch sweep's point by construction.
+func saturationMeasure(cfg topology.Config, src LoadPattern, qopts queuesim.Options, opts Options) pointMeasure {
+	return func(load float64, seed uint64, cycles int, po *probe.Options) (LatencyResult, error) {
 		sub := opts
 		sub.Cycles = cycles
 		sub.Probe = po
 		return MeasureLatency(cfg, src(load, xrand.New(seed)), qopts, sub)
-	})
+	}
 }
 
 // DilatedSaturationSweep is SaturationSweep over the dilated packet
@@ -293,12 +299,17 @@ func DilatedSaturationSweep(dcfg dilated.Config, loads []float64, src LoadPatter
 	if src == nil {
 		src = UniformLoad
 	}
-	return sweepLoads(dcfg.Ports(), loads, opts, shards, func(load float64, seed uint64, cycles int, po *probe.Options) (LatencyResult, error) {
+	return sweepLoads(dcfg.Ports(), loads, opts, shards, dilatedSaturationMeasure(dcfg, src, dopts, opts))
+}
+
+// dilatedSaturationMeasure is saturationMeasure for the dilated engine.
+func dilatedSaturationMeasure(dcfg dilated.Config, src LoadPattern, dopts dilatedsim.Options, opts Options) pointMeasure {
+	return func(load float64, seed uint64, cycles int, po *probe.Options) (LatencyResult, error) {
 		sub := opts
 		sub.Cycles = cycles
 		sub.Probe = po
 		return MeasureDilatedLatency(dcfg, src(load, xrand.New(seed)), dopts, sub)
-	})
+	}
 }
 
 // runShards splits a cycle budget across parallel shards — shard w
@@ -342,74 +353,89 @@ func runShards(totalCycles, shards int, fn func(w, cycles int)) {
 // does not depend on the shard count, so the sampled trace set is a
 // pure function of Options, regardless of how the measured budget was
 // sharded.
-func sweepLoads(inputs int, loads []float64, opts Options, shards int, measure func(load float64, seed uint64, cycles int, po *probe.Options) (LatencyResult, error)) ([]LatencyResult, error) {
-	if shards <= 0 {
-		shards = runtime.GOMAXPROCS(0)
-	}
-	if shards > opts.Cycles {
-		shards = opts.Cycles
+func sweepLoads(inputs int, loads []float64, opts Options, shards int, measure pointMeasure) ([]LatencyResult, error) {
+	shards, err := normalizeShards(shards, opts.Cycles)
+	if err != nil {
+		return nil, err
 	}
 	results := make([]LatencyResult, 0, len(loads))
-	for _, load := range loads {
-		// Derive shard seeds up front so the assignment does not depend
-		// on scheduling.
-		root := xrand.New(opts.Seed ^ uint64(len(results)+1)*0x9e3779b97f4a7c15)
-		seeds := make([]uint64, shards)
-		for i := range seeds {
-			seeds[i] = root.Uint64() | 1
-		}
-		type partial struct {
-			res LatencyResult
-			err error
-		}
-		parts := make([]partial, shards)
-		runShards(opts.Cycles, shards, func(w, cycles int) {
-			parts[w].res, parts[w].err = measure(load, seeds[w], cycles, nil)
-		})
-
-		var merged LatencyResult
-		var queuedWeighted float64
-		first := true
-		for w := range parts {
-			p := &parts[w]
-			if p.err != nil {
-				return nil, p.err
-			}
-			if p.res.Cycles == 0 && p.res.Histogram == nil {
-				continue
-			}
-			if first {
-				merged = p.res
-				merged.Histogram = p.res.Histogram.Clone()
-				queuedWeighted = p.res.AvgQueued * float64(p.res.Cycles)
-				first = false
-				continue
-			}
-			merged.Cycles += p.res.Cycles
-			merged.Shards++
-			merged.Injected += p.res.Injected
-			merged.Refused += p.res.Refused
-			merged.Delivered += p.res.Delivered
-			merged.Dropped += p.res.Dropped
-			queuedWeighted += p.res.AvgQueued * float64(p.res.Cycles)
-			if err := merged.Histogram.Merge(p.res.Histogram); err != nil {
-				return nil, err
-			}
-		}
-		if merged.Cycles > 0 {
-			merged.AvgQueued = queuedWeighted / float64(merged.Cycles)
-		}
-		merged.fillQuantiles(inputs)
-		if opts.Probe != nil {
-			obs, err := measure(load, seeds[0], opts.Cycles, opts.Probe)
-			if err != nil {
-				return nil, err
-			}
-			merged.Observed = obs.Observed
+	for i, load := range loads {
+		merged, err := sweepLoadPoint(inputs, load, i, opts, shards, measure)
+		if err != nil {
+			return nil, err
 		}
 		results = append(results, merged)
 	}
 	return results, nil
+}
+
+// pointMeasure runs one shard of one sweep point: the given load at the
+// given traffic seed for the given cycle share (probed when po is set).
+type pointMeasure func(load float64, seed uint64, cycles int, po *probe.Options) (LatencyResult, error)
+
+// sweepLoadPoint measures one point of a load sweep — point `index` on
+// the sweep's axis — splitting the cycle budget across shards with
+// seeds derived from (opts.Seed, index) exactly as the batch sweeps
+// always have, and merging exactly. Callers must have normalized
+// shards and applied opts.withDefaults.
+func sweepLoadPoint(inputs int, load float64, index int, opts Options, shards int, measure pointMeasure) (LatencyResult, error) {
+	// Derive shard seeds up front so the assignment does not depend
+	// on scheduling.
+	root := xrand.New(opts.Seed ^ uint64(index+1)*0x9e3779b97f4a7c15)
+	seeds := make([]uint64, shards)
+	for i := range seeds {
+		seeds[i] = root.Uint64() | 1
+	}
+	type partial struct {
+		res LatencyResult
+		err error
+	}
+	parts := make([]partial, shards)
+	runShards(opts.Cycles, shards, func(w, cycles int) {
+		parts[w].res, parts[w].err = measure(load, seeds[w], cycles, nil)
+	})
+
+	var merged LatencyResult
+	var queuedWeighted float64
+	first := true
+	for w := range parts {
+		p := &parts[w]
+		if p.err != nil {
+			return LatencyResult{}, p.err
+		}
+		if p.res.Cycles == 0 && p.res.Histogram == nil {
+			continue
+		}
+		if first {
+			merged = p.res
+			merged.Histogram = p.res.Histogram.Clone()
+			queuedWeighted = p.res.AvgQueued * float64(p.res.Cycles)
+			first = false
+			continue
+		}
+		merged.Cycles += p.res.Cycles
+		merged.Shards++
+		merged.Injected += p.res.Injected
+		merged.Refused += p.res.Refused
+		merged.Delivered += p.res.Delivered
+		merged.Dropped += p.res.Dropped
+		queuedWeighted += p.res.AvgQueued * float64(p.res.Cycles)
+		if err := merged.Histogram.Merge(p.res.Histogram); err != nil {
+			return LatencyResult{}, err
+		}
+	}
+	if merged.Cycles > 0 {
+		merged.AvgQueued = queuedWeighted / float64(merged.Cycles)
+	}
+	merged.fillQuantiles(inputs)
+	if opts.Probe != nil {
+		obs, err := measure(load, seeds[0], opts.Cycles, opts.Probe)
+		if err != nil {
+			return LatencyResult{}, err
+		}
+		merged.Observed = obs.Observed
+	}
+	return merged, nil
 }
 
 // DrainResult reports a closed-loop drain experiment: every input

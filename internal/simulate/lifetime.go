@@ -1,8 +1,9 @@
 package simulate
 
 import (
+	"encoding/json"
 	"fmt"
-	"runtime"
+	"math"
 	"sync"
 
 	"edn/internal/analytic"
@@ -113,6 +114,20 @@ func (r LifetimeResult) String() string {
 		r.LifetimeBandwidth, 100*r.TimeBelowThreshold, r.RecoveryHalfLife)
 }
 
+// MarshalJSON encodes the NaN sentinel of RecoveryHalfLife ("no
+// degradation event observed") as null, since JSON has no NaN.
+func (r LifetimeResult) MarshalJSON() ([]byte, error) {
+	type alias LifetimeResult
+	aux := struct {
+		alias
+		RecoveryHalfLife *float64 `json:"RecoveryHalfLife"`
+	}{alias: alias(r)}
+	if !math.IsNaN(r.RecoveryHalfLife) {
+		aux.RecoveryHalfLife = &r.RecoveryHalfLife
+	}
+	return json.Marshal(aux)
+}
+
 // LifetimeSweep simulates a network's whole service life: components
 // fail and get repaired epoch by epoch (one lifecycle.Process per
 // shard), the running engines are re-masked in place via UpdateFaults —
@@ -148,8 +163,9 @@ func LifetimeSweep(cfg topology.Config, lopts LifetimeOptions, src LoadPattern, 
 	if qopts.Factory == nil {
 		qopts.Factory = opts.Factory
 	}
-	if shards <= 0 {
-		shards = runtime.GOMAXPROCS(0)
+	shards, err = normalizeShards(shards, 0)
+	if err != nil {
+		return LifetimeResult{}, err
 	}
 
 	m, err := runLifetimeShards(lopts, opts, shards, func(w int, procSeed, trafficSeed uint64) partialLifetime {
@@ -457,6 +473,20 @@ func (r DilatedLifetimeResult) String() string {
 		r.LifetimeBandwidth, 100*r.TimeBelowThreshold, r.RecoveryHalfLife)
 }
 
+// MarshalJSON encodes the NaN sentinel of RecoveryHalfLife as null;
+// see LifetimeResult.MarshalJSON.
+func (r DilatedLifetimeResult) MarshalJSON() ([]byte, error) {
+	type alias DilatedLifetimeResult
+	aux := struct {
+		alias
+		RecoveryHalfLife *float64 `json:"RecoveryHalfLife"`
+	}{alias: alias(r)}
+	if !math.IsNaN(r.RecoveryHalfLife) {
+		aux.RecoveryHalfLife = &r.RecoveryHalfLife
+	}
+	return json.Marshal(aux)
+}
+
 // DilatedLifetimeSweep simulates a dilated delta's whole service life
 // under sub-wire churn: every sub-wire runs an alternating-renewal
 // clock with lopts.Spec's MTBF/MTTR/Timing (the population is always
@@ -492,8 +522,9 @@ func DilatedLifetimeSweep(dcfg dilated.Config, lopts LifetimeOptions, src LoadPa
 	if dopts.Factory == nil {
 		dopts.Factory = opts.Factory
 	}
-	if shards <= 0 {
-		shards = runtime.GOMAXPROCS(0)
+	shards, err := normalizeShards(shards, 0)
+	if err != nil {
+		return DilatedLifetimeResult{}, err
 	}
 
 	// Seed derivation and merging are the shared core, so they match

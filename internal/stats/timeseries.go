@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 )
@@ -48,6 +49,22 @@ func (t *TimeSeries) Means() []float64 {
 		m[i] = t.acc[i].Mean()
 	}
 	return m
+}
+
+// MarshalJSON renders the series as its per-position means and 95%
+// confidence half-widths — the view every renderer consumes. The raw
+// accumulators are a merge representation, not a wire format, so the
+// encoding is one-way: a decoded series cannot be Merged further.
+func (t *TimeSeries) MarshalJSON() ([]byte, error) {
+	v := struct {
+		Means []float64 `json:"means"`
+		CI95  []float64 `json:"ci95"`
+	}{Means: make([]float64, len(t.acc)), CI95: make([]float64, len(t.acc))}
+	for i := range t.acc {
+		v.Means[i] = t.acc[i].Mean()
+		v.CI95[i] = t.acc[i].CI95()
+	}
+	return json.Marshal(v)
 }
 
 // Merge folds another series into this one position by position, as if

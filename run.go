@@ -1,0 +1,416 @@
+package edn
+
+import (
+	"context"
+	"fmt"
+
+	"edn/internal/netcache"
+	"edn/internal/simulate"
+)
+
+// GeometryCache is a byte-budgeted LRU of the immutable artifacts job
+// construction pays for — interstage routing tables and compiled fault
+// masks — shared read-only across concurrently running jobs. A cache
+// hit is bit-for-bit identical to a fresh build (sharing is reference
+// sharing of slices the engines never write), so cached and uncached
+// runs of the same JobSpec produce identical results; the serve layer
+// keeps one of these across requests to amortize table construction.
+type GeometryCache = netcache.Cache
+
+// GeometryCacheStats is a point-in-time cache effectiveness snapshot.
+type GeometryCacheStats = netcache.Stats
+
+// NewGeometryCache returns a cache bounded to budget bytes of cached
+// payload; budget <= 0 selects the 256 MiB default.
+func NewGeometryCache(budget int64) *GeometryCache { return netcache.New(budget) }
+
+// RunOptions tune how Run executes a job without changing what it
+// measures: both fields are invisible in the results.
+type RunOptions struct {
+	// Cache, when non-nil, supplies prebuilt routing tables and fault
+	// masks; results are bit-for-bit those of an uncached run.
+	Cache *GeometryCache
+	// OnPoint, when non-nil, streams each sweep point as it completes:
+	// index is the point's position on the job's axis, total the axis
+	// length, and point the same LatencyResult / AvailabilityResult /
+	// DilatedAvailabilityResult / ClosedLoopResult the final JobResult
+	// carries. Single-shot modes (latency, drain, lifetime, estimate,
+	// pair) deliver one call with the whole result. Called
+	// sequentially from the Run goroutine.
+	OnPoint func(index, total int, point any)
+}
+
+// EstimateResult answers the estimate mode's co-simulation question:
+// measured latency quantiles for traffic near (Src, Dst) under uniform
+// background load, plus the analytic acceptance and the reachability
+// verdict an external system simulator needs to schedule around
+// faults.
+type EstimateResult struct {
+	Config Config  `json:"config"`
+	Src    int     `json:"src"`
+	Dst    int     `json:"dst"`
+	Load   float64 `json:"load"`
+
+	// SrcLive and DstReachable report the fault verdict: whether Src
+	// can inject at all and whether Dst is reachable from any live
+	// input. Both true on a fault-free network.
+	SrcLive      bool `json:"src_live"`
+	DstReachable bool `json:"dst_reachable"`
+	// Hops is the stage count every delivered packet traverses (l
+	// hyperbar stages plus the crossbar stage).
+	Hops int `json:"hops"`
+	// AnalyticPA is Equation 4's acceptance probability at Load.
+	AnalyticPA float64 `json:"analytic_pa"`
+
+	// Measured latency quantiles in cycles under uniform background
+	// load at Load, from a sharded measurement run (zero cycles when
+	// Src cannot inject or Dst is unreachable — the estimate is then
+	// "undeliverable", not a number).
+	Cycles      int     `json:"cycles"`
+	Throughput  float64 `json:"throughput"`
+	LatencyMean float64 `json:"latency_mean"`
+	LatencyP50  float64 `json:"latency_p50"`
+	LatencyP95  float64 `json:"latency_p95"`
+	LatencyP99  float64 `json:"latency_p99"`
+	LatencyMax  float64 `json:"latency_max"`
+}
+
+// JobResult carries one job's output; exactly the sections the spec's
+// mode produces are non-nil. The embedded results are the same values
+// the facade functions return, so a JobSpec run through Run, a CLI, or
+// the daemon is one measurement with one answer.
+type JobResult struct {
+	Spec JobSpec `json:"spec"`
+
+	// Points holds the latency mode's single point or the saturation
+	// mode's per-load curve.
+	Points []LatencyResult `json:"points,omitempty"`
+	// Availability / DilatedAvailability hold the degradation curve
+	// (one of the two, by engine).
+	Availability        []AvailabilityResult        `json:"availability,omitempty"`
+	DilatedAvailability []DilatedAvailabilityResult `json:"dilated_availability,omitempty"`
+	// ClosedLoop holds the closed-loop rate curve; DilatedClosedLoop
+	// additionally holds the counterpart's curve for the pair engine.
+	ClosedLoop        []ClosedLoopResult `json:"closedloop,omitempty"`
+	DilatedClosedLoop []ClosedLoopResult `json:"dilated_closedloop,omitempty"`
+
+	Lifetime           *LifetimeResult           `json:"lifetime,omitempty"`
+	DilatedLifetime    *DilatedLifetimeResult    `json:"dilated_lifetime,omitempty"`
+	ClosedLoopLifetime *ClosedLoopLifetimeResult `json:"closedloop_lifetime,omitempty"`
+	Drain              *DrainResult              `json:"drain,omitempty"`
+	Estimate           *EstimateResult           `json:"estimate,omitempty"`
+}
+
+// Run executes one JobSpec and returns its results: the single
+// serializable entry point behind every sweep CLI and the daemon.
+// Dispatch is by (Mode, Engine); each combination reproduces the
+// corresponding facade function bit for bit (see the jobspec tests for
+// the pins). Cancelling ctx stops the job between sweep points.
+func Run(ctx context.Context, spec JobSpec) (*JobResult, error) {
+	return RunJob(ctx, spec, RunOptions{})
+}
+
+// RunJob is Run with execution options: a shared geometry cache and a
+// per-point streaming callback. Results are independent of both.
+func RunJob(ctx context.Context, spec JobSpec, ro RunOptions) (*JobResult, error) {
+	j, err := compileJob(spec)
+	if err != nil {
+		return nil, err
+	}
+	if err := j.wireCache(ro.Cache); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	res := &JobResult{Spec: spec}
+	switch spec.Mode {
+	case JobLatency:
+		err = j.runLatency(ro, res)
+	case JobSaturation:
+		err = j.runSaturation(ctx, ro, res)
+	case JobDrain:
+		err = j.runDrain(ro, res)
+	case JobAvailability:
+		err = j.runAvailability(ctx, ro, res)
+	case JobLifetime:
+		err = j.runLifetime(ro, res)
+	case JobClosedLoop:
+		err = j.runClosedLoop(ctx, ro, res)
+	case JobClosedLoopLifetime:
+		err = j.runClosedLoopLifetime(ro, res)
+	case JobEstimate:
+		err = j.runEstimate(ro, res)
+	default:
+		err = fmt.Errorf("edn: unknown job mode %q", spec.Mode)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// wireCache swaps cache-built artifacts into the compiled options.
+// Everything wired here is immutable and shared by reference, so the
+// job's results are bit-for-bit those of an uncached run.
+func (j *compiledJob) wireCache(c *GeometryCache) error {
+	if j.faults {
+		// The static fault sample of the latency/estimate modes; its
+		// identity is the (mode, fraction, seed) triple, so a cache hit
+		// replays the identical draw.
+		if j.engine == EngineEDN {
+			var m *FaultMasks
+			var err error
+			if c != nil {
+				m, err = c.Masks(j.cfg, j.fmode, j.ffrac, j.fseed)
+			} else {
+				m, err = CompileFaults(j.cfg, BernoulliFaults(j.cfg, j.fmode, j.ffrac, NewRand(j.fseed)))
+			}
+			if err != nil {
+				return err
+			}
+			j.qopts.Faults = m
+		} else {
+			var m *DilatedMasks
+			var err error
+			if c != nil {
+				m, err = c.DilatedMasks(j.dcfg, j.ffrac, j.fseed)
+			} else {
+				m, err = CompileDilatedMasks(j.dcfg, BernoulliDilatedSubWires(j.dcfg, j.ffrac, NewRand(j.fseed)))
+			}
+			if err != nil {
+				return err
+			}
+			j.dopts.Faults = m
+		}
+	}
+	if c == nil {
+		return nil
+	}
+	if j.engine == EngineEDN || j.engine == EnginePair {
+		t, err := c.Tables(j.cfg)
+		if err != nil {
+			return err
+		}
+		j.qopts.Tables = t
+	}
+	if j.engine == EngineDilated || j.engine == EnginePair {
+		t, err := c.DilatedTables(j.dcfg)
+		if err != nil {
+			return err
+		}
+		j.dopts.Tables = t
+	}
+	return nil
+}
+
+// load returns the single-point modes' offered load (default 1,
+// saturation — the regime the paper reports).
+func (j *compiledJob) load() float64 {
+	if j.spec.Load > 0 {
+		return j.spec.Load
+	}
+	return 1
+}
+
+func (j *compiledJob) runLatency(ro RunOptions, res *JobResult) error {
+	// One sharded measurement, seeded as point 0 of a one-load
+	// saturation sweep — so latency at Load is bit-for-bit
+	// SaturationSweep(cfg, []float64{Load}, ...)[0].
+	var r LatencyResult
+	var err error
+	if j.engine == EngineDilated {
+		r, err = simulate.DilatedSaturationPoint(j.dcfg, j.load(), 0, j.src, j.dopts, j.opts, j.shards)
+	} else {
+		r, err = simulate.SaturationPoint(j.cfg, j.load(), 0, j.src, j.qopts, j.opts, j.shards)
+	}
+	if err != nil {
+		return err
+	}
+	res.Points = []LatencyResult{r}
+	emit(ro, 0, 1, r)
+	return nil
+}
+
+func (j *compiledJob) runSaturation(ctx context.Context, ro RunOptions, res *JobResult) error {
+	loads := j.spec.Loads
+	res.Points = make([]LatencyResult, 0, len(loads))
+	for i, load := range loads {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		var r LatencyResult
+		var err error
+		if j.engine == EngineDilated {
+			r, err = simulate.DilatedSaturationPoint(j.dcfg, load, i, j.src, j.dopts, j.opts, j.shards)
+		} else {
+			r, err = simulate.SaturationPoint(j.cfg, load, i, j.src, j.qopts, j.opts, j.shards)
+		}
+		if err != nil {
+			return err
+		}
+		res.Points = append(res.Points, r)
+		emit(ro, i, len(loads), r)
+	}
+	return nil
+}
+
+func (j *compiledJob) runDrain(ro RunOptions, res *JobResult) error {
+	var r DrainResult
+	var err error
+	if j.engine == EngineDilated {
+		r, err = DilatedDrainPermutations(j.dcfg, j.spec.DrainQ, j.dopts, j.opts)
+	} else {
+		r, err = DrainPermutations(j.cfg, j.spec.DrainQ, j.qopts, j.opts)
+	}
+	if err != nil {
+		return err
+	}
+	res.Drain = &r
+	emit(ro, 0, 1, r)
+	return nil
+}
+
+func (j *compiledJob) runAvailability(ctx context.Context, ro RunOptions, res *JobResult) error {
+	fractions := j.aopts.Fractions
+	if j.engine == EngineDilated {
+		res.DilatedAvailability = make([]DilatedAvailabilityResult, 0, len(fractions))
+	} else {
+		res.Availability = make([]AvailabilityResult, 0, len(fractions))
+	}
+	for i, f := range fractions {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if j.engine == EngineDilated {
+			r, err := simulate.DilatedAvailabilityPoint(j.dcfg, j.aopts, f, j.src, j.dopts, j.opts, j.shards)
+			if err != nil {
+				return err
+			}
+			res.DilatedAvailability = append(res.DilatedAvailability, r)
+			emit(ro, i, len(fractions), r)
+		} else {
+			r, err := simulate.AvailabilityPoint(j.cfg, j.aopts, f, j.src, j.qopts, j.opts, j.shards)
+			if err != nil {
+				return err
+			}
+			res.Availability = append(res.Availability, r)
+			emit(ro, i, len(fractions), r)
+		}
+	}
+	return nil
+}
+
+func (j *compiledJob) runLifetime(ro RunOptions, res *JobResult) error {
+	if j.engine == EngineDilated {
+		r, err := DilatedLifetimeSweep(j.dcfg, j.lopts, j.src, j.dopts, j.opts, j.shards)
+		if err != nil {
+			return err
+		}
+		res.DilatedLifetime = &r
+		emit(ro, 0, 1, r)
+		return nil
+	}
+	r, err := LifetimeSweep(j.cfg, j.lopts, j.src, j.qopts, j.opts, j.shards)
+	if err != nil {
+		return err
+	}
+	res.Lifetime = &r
+	emit(ro, 0, 1, r)
+	return nil
+}
+
+func (j *compiledJob) runClosedLoop(ctx context.Context, ro RunOptions, res *JobResult) error {
+	rates := j.spec.Rates
+	if j.engine == EnginePair {
+		// The paired comparison asserts bit-equal offered demand across
+		// both engines at every rate, so it runs as one barriered call.
+		ednRes, dilRes, err := MeasureClosedLoopPair(j.cfg, j.dcfg, rates, j.lo, j.qopts, j.dopts, j.opts, j.shards)
+		if err != nil {
+			return err
+		}
+		res.ClosedLoop, res.DilatedClosedLoop = ednRes, dilRes
+		emit(ro, 0, 1, res)
+		return nil
+	}
+	res.ClosedLoop = make([]ClosedLoopResult, 0, len(rates))
+	for i, rate := range rates {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		var r ClosedLoopResult
+		var err error
+		if j.engine == EngineDilated {
+			r, err = simulate.DilatedClosedLoopPoint(j.dcfg, rate, i, j.lo, j.dopts, j.opts, j.shards)
+		} else {
+			r, err = simulate.ClosedLoopPoint(j.cfg, rate, i, j.lo, j.qopts, j.opts, j.shards)
+		}
+		if err != nil {
+			return err
+		}
+		res.ClosedLoop = append(res.ClosedLoop, r)
+		emit(ro, i, len(rates), r)
+	}
+	return nil
+}
+
+func (j *compiledJob) runClosedLoopLifetime(ro RunOptions, res *JobResult) error {
+	var r ClosedLoopLifetimeResult
+	var err error
+	if j.engine == EngineDilated {
+		r, err = DilatedClosedLoopLifetimeSweep(j.dcfg, j.lopts, j.lo, j.dopts, j.opts, j.shards)
+	} else {
+		r, err = ClosedLoopLifetimeSweep(j.cfg, j.lopts, j.lo, j.qopts, j.opts, j.shards)
+	}
+	if err != nil {
+		return err
+	}
+	res.ClosedLoopLifetime = &r
+	emit(ro, 0, 1, r)
+	return nil
+}
+
+func (j *compiledJob) runEstimate(ro RunOptions, res *JobResult) error {
+	est := j.spec.Estimate
+	load := j.load()
+	out := &EstimateResult{
+		Config:       j.cfg,
+		Src:          est.Src,
+		Dst:          est.Dst,
+		Load:         load,
+		SrcLive:      true,
+		DstReachable: true,
+		Hops:         j.cfg.Stages(),
+		AnalyticPA:   PA(j.cfg, load),
+	}
+	if m := j.qopts.Faults; m != nil && !m.Empty() {
+		if li := m.LiveInputs(); li != nil {
+			out.SrcLive = li[est.Src]
+		}
+		live := make([]bool, j.cfg.Outputs())
+		m.ReachableOutputsInto(live)
+		out.DstReachable = live[est.Dst]
+	}
+	if out.SrcLive && out.DstReachable {
+		r, err := simulate.SaturationPoint(j.cfg, load, 0, j.src, j.qopts, j.opts, j.shards)
+		if err != nil {
+			return err
+		}
+		out.Cycles = r.Cycles
+		out.Throughput = r.Throughput
+		out.LatencyMean = r.LatencyMean
+		out.LatencyP50 = r.LatencyP50
+		out.LatencyP95 = r.LatencyP95
+		out.LatencyP99 = r.LatencyP99
+		out.LatencyMax = r.LatencyMax
+	}
+	res.Estimate = out
+	emit(ro, 0, 1, *out)
+	return nil
+}
+
+func emit(ro RunOptions, i, total int, point any) {
+	if ro.OnPoint != nil {
+		ro.OnPoint(i, total, point)
+	}
+}
