@@ -29,6 +29,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -50,17 +51,33 @@ func run(args []string) error {
 	stdio := fs.Bool("stdio", true, "speak the JSON-line protocol on stdin/stdout")
 	workers := fs.Int("workers", 0, "concurrently running jobs (0 = GOMAXPROCS); excess jobs queue")
 	cacheBytes := fs.Int64("cache-bytes", 0, "geometry/mask cache budget in bytes (0 = 256 MiB)")
+	spans := fs.Bool("spans", true, "record a span tree per job, delivered on the terminal event")
+	pprofOn := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (requires -http)")
+	logOn := fs.Bool("log", false, "emit structured JSON job-completion logs on stderr")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if !*stdio && *httpAddr == "" {
 		return fmt.Errorf("nothing to serve: enable -stdio or set -http")
 	}
+	if *pprofOn && *httpAddr == "" {
+		return fmt.Errorf("-pprof needs -http: profiles are served over the HTTP API")
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	srv := serve.New(serve.Options{Workers: *workers, CacheBytes: *cacheBytes})
+	var logger *slog.Logger
+	if *logOn {
+		logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	}
+	srv := serve.New(serve.Options{
+		Workers:      *workers,
+		CacheBytes:   *cacheBytes,
+		DisableSpans: !*spans,
+		Pprof:        *pprofOn,
+		Log:          logger,
+	})
 
 	errc := make(chan error, 2)
 	if *httpAddr != "" {

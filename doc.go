@@ -115,6 +115,26 @@
 //     quantiles) in the co-simulation role BookSim2 plays for
 //     system-level simulators. See EXPERIMENTS.md for the protocol
 //     grammar and measured cold-vs-warm request latencies.
+//   - Performance observatory: every daemon job records a
+//     deterministic span tree (SpanCollector) — queue wait, spec
+//     validation, table builds with their cache verdicts, per-shard
+//     execution, merge, serialization — delivered beside (never
+//     inside) the result event, aggregated per stage on /v1/stats, and
+//     summarized as a structured JSON completion log on stderr
+//     (edn-serve -log). The tree's shape is a pure function of the
+//     JobSpec; like the Probe, tracing is observation-only and a
+//     traced run's result is byte-identical to an untraced one
+//     (property-tested). /metrics adds live worker-pool gauges, a job
+//     duration histogram, jobs-by-mode/engine/outcome counters,
+//     geometry-cache hit/miss/eviction/byte counters and Go runtime
+//     stats, and edn-serve -pprof mounts net/http/pprof on the same
+//     mux. Off the daemon path, internal/benchwatch and cmd/edn-bench
+//     form the ns/op regression harness: they parse go test -bench
+//     output into the BENCH_N.json trajectory schema, diff runs
+//     against committed snapshots, and enforce BENCH_BUDGETS.json
+//     per-benchmark ceilings in CI — over budget is a warning inside
+//     the shared-runner noise band, past 2x the budget (or a budgeted
+//     benchmark disappearing) fails the build.
 //   - Reproduction: Figure7, Figure8, Figure11, CostTable and
 //     MasParCaseStudy regenerate the paper's evaluation artifacts (see
 //     cmd/edn-figures and EXPERIMENTS.md).

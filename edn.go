@@ -851,6 +851,14 @@ type MetricLabel = probe.Label
 // NewMetricsRegistry returns an empty registry.
 func NewMetricsRegistry() *MetricsRegistry { return probe.NewRegistry() }
 
+// LiveMetrics is the concurrent instrument surface behind long-lived
+// processes: counters, gauges and histograms updated lock-free from
+// worker goroutines, gathered into a MetricsRegistry for export.
+type LiveMetrics = probe.Metrics
+
+// NewLiveMetrics returns an empty live-instrument surface.
+func NewLiveMetrics() *LiveMetrics { return probe.NewMetrics() }
+
 // ---------------------------------------------------------------------------
 // Design-space exploration and physical netlists
 

@@ -1,0 +1,190 @@
+package benchwatch
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: edn/internal/core
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkRouteCycleInto-8   	   22272	     25889 ns/op	     526.0 delivered	       0 B/op	       0 allocs/op
+BenchmarkQueueCycle/1Kports/depth1-drop-8         	    9033	     65922 ns/op	       15.53 Mports/s	     525.4 delivered/cycle	       0 B/op	       0 allocs/op
+BenchmarkProbeOff-16      	 1000000	      1042 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	edn/internal/core	4.2s
+`
+
+func TestParse(t *testing.T) {
+	bs, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bs) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %+v", len(bs), bs)
+	}
+	if bs[0].Name != "BenchmarkRouteCycleInto" {
+		t.Errorf("GOMAXPROCS suffix not stripped: %q", bs[0].Name)
+	}
+	if bs[0].Iterations != 22272 || bs[0].NsPerOp() != 25889 {
+		t.Errorf("bad first row: %+v", bs[0])
+	}
+	if bs[1].Name != "BenchmarkQueueCycle/1Kports/depth1-drop" {
+		t.Errorf("sub-benchmark name mangled: %q", bs[1].Name)
+	}
+	if got := bs[1].Metrics["Mports/s"]; got != 15.53 {
+		t.Errorf("custom metric lost: %v", bs[1].Metrics)
+	}
+	if got := bs[2].Metrics["allocs/op"]; got != 0 {
+		t.Errorf("allocs/op = %v, want 0", got)
+	}
+}
+
+func TestParseKeepsFastestRepeat(t *testing.T) {
+	in := `BenchmarkX-8	100	2000 ns/op
+BenchmarkX-8	100	1500 ns/op
+BenchmarkX-8	100	1800 ns/op
+`
+	bs, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bs) != 1 || bs[0].NsPerOp() != 1500 {
+		t.Fatalf("want one row at min 1500 ns/op, got %+v", bs)
+	}
+}
+
+func TestParseRejectsEmpty(t *testing.T) {
+	if _, err := Parse(strings.NewReader("PASS\nok edn 1s\n")); err == nil {
+		t.Fatal("want error on output with no benchmarks")
+	}
+}
+
+func TestBudgetsDeriveAndCheck(t *testing.T) {
+	bs, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	budgets := DeriveBudgets(bs, regexp.MustCompile(`RouteCycleInto|ProbeOff`), 1.15)
+	if len(budgets.NsPerOp) != 2 {
+		t.Fatalf("filter ignored: %+v", budgets.NsPerOp)
+	}
+	if want := 25889 * 1.15; budgets.NsPerOp["BenchmarkRouteCycleInto"] != want {
+		t.Errorf("headroom not applied: %v", budgets.NsPerOp)
+	}
+
+	// Same run against its own derived budgets: everything OK.
+	rep := Check(bs, budgets, 2)
+	if rep.Failed() || rep.Warnings != 0 {
+		t.Fatalf("self-check not clean: %+v", rep)
+	}
+
+	// 1.5x the budget: WARN (within the 2x hard factor), not fatal.
+	warm := []Benchmark{
+		{Name: "BenchmarkRouteCycleInto", Metrics: map[string]float64{"ns/op": 25889 * 1.15 * 1.5}},
+		{Name: "BenchmarkProbeOff", Metrics: map[string]float64{"ns/op": 1042}},
+	}
+	rep = Check(warm, budgets, 2)
+	if rep.Failed() || rep.Warnings != 1 {
+		t.Fatalf("noise band should warn, not fail: %+v", rep)
+	}
+
+	// 3x the budget: FAIL.
+	slow := []Benchmark{
+		{Name: "BenchmarkRouteCycleInto", Metrics: map[string]float64{"ns/op": 25889 * 1.15 * 3}},
+		{Name: "BenchmarkProbeOff", Metrics: map[string]float64{"ns/op": 1042}},
+	}
+	rep = Check(slow, budgets, 2)
+	if !rep.Failed() || rep.Failures != 1 {
+		t.Fatalf("3x budget must fail: %+v", rep)
+	}
+
+	// A budgeted benchmark missing from the run: FAIL.
+	rep = Check(slow[1:], budgets, 2)
+	missing := false
+	for _, row := range rep.Rows {
+		if row.Name == "BenchmarkRouteCycleInto" && row.Status == StatusMissing {
+			missing = true
+		}
+	}
+	if !missing || !rep.Failed() {
+		t.Fatalf("missing benchmark must fail: %+v", rep)
+	}
+}
+
+func TestSnapshotRoundTripToleratesHeadline(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_X.json")
+	bs, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := Snapshot{
+		Snapshot: "BENCH_X", Date: "2026-08-08", Go: "go1.24.0",
+		CPU: "test", Command: "go test -bench .", Benchmarks: bs,
+	}
+	headline := map[string]any{"comment": "test headline"}
+	if err := WriteSnapshot(path, snap, "prX_headline", headline); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Snapshot != "BENCH_X" || len(got.Benchmarks) != 3 {
+		t.Fatalf("round trip lost data: %+v", got)
+	}
+	raw, _ := os.ReadFile(path)
+	if !strings.Contains(string(raw), "prX_headline") {
+		t.Error("headline block not embedded")
+	}
+}
+
+func TestLoadCommittedTrajectory(t *testing.T) {
+	// The committed snapshots (with their prN_headline blocks) must
+	// stay loadable — they are the -baseline inputs.
+	for _, name := range []string{"../../BENCH_1.json", "../../BENCH_2.json"} {
+		if _, err := os.Stat(name); err != nil {
+			t.Skipf("%s not present", name)
+		}
+		s, err := LoadSnapshot(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(s.Benchmarks) == 0 {
+			t.Fatalf("%s: no benchmarks decoded", name)
+		}
+		for _, b := range s.Benchmarks {
+			if b.Name == "" || len(b.Metrics) == 0 {
+				t.Fatalf("%s: malformed benchmark %+v", name, b)
+			}
+		}
+	}
+}
+
+func TestDiff(t *testing.T) {
+	old := []Benchmark{
+		{Name: "A", Metrics: map[string]float64{"ns/op": 100}},
+		{Name: "B", Metrics: map[string]float64{"ns/op": 200}},
+		{Name: "Gone", Metrics: map[string]float64{"ns/op": 5}},
+	}
+	cur := []Benchmark{
+		{Name: "A", Metrics: map[string]float64{"ns/op": 150}}, // +50%
+		{Name: "B", Metrics: map[string]float64{"ns/op": 180}}, // -10%
+		{Name: "New", Metrics: map[string]float64{"ns/op": 7}},
+	}
+	rows := Diff(old, cur)
+	if len(rows) != 2 {
+		t.Fatalf("want 2 matched rows, got %+v", rows)
+	}
+	if rows[0].Name != "A" || rows[0].DeltaPc != 50 {
+		t.Errorf("worst regression not first: %+v", rows[0])
+	}
+	if rows[1].Name != "B" || rows[1].DeltaPc != -10 {
+		t.Errorf("improvement wrong: %+v", rows[1])
+	}
+}

@@ -51,7 +51,7 @@ type Cache struct {
 	items   map[string]*list.Element
 	pending map[string]*inflight
 
-	hits, misses, evictions int64
+	hits, misses, evictions, waits int64
 }
 
 type entry struct {
@@ -74,6 +74,10 @@ type Stats struct {
 	Hits      int64 `json:"hits"`
 	Misses    int64 `json:"misses"`
 	Evictions int64 `json:"evictions"`
+	// SingleflightWaits counts hits that blocked on a peer's in-flight
+	// construction of the same key instead of finding it resident —
+	// contention the budget can't fix but more workers make worse.
+	SingleflightWaits int64 `json:"singleflight_waits"`
 }
 
 // New returns a cache bounded to budget bytes of cached payload;
@@ -95,21 +99,31 @@ func New(budget int64) *Cache {
 // once under concurrency. build returns the value and its payload size
 // in bytes (the unit the budget counts).
 func (c *Cache) GetOrBuild(key string, build func() (any, int64, error)) (any, error) {
+	v, _, err := c.getOrBuildHit(key, build)
+	return v, err
+}
+
+// getOrBuildHit is GetOrBuild plus a hit verdict: true when the value
+// came from the cache (resident or a peer's in-flight build), false
+// when this call paid the construction.
+func (c *Cache) getOrBuildHit(key string, build func() (any, int64, error)) (any, bool, error) {
 	c.mu.Lock()
 	if el, ok := c.items[key]; ok {
 		c.ll.MoveToFront(el)
 		c.hits++
 		v := el.Value.(*entry).value
 		c.mu.Unlock()
-		return v, nil
+		return v, true, nil
 	}
 	if fl, ok := c.pending[key]; ok {
 		// A peer is building this key; its completion counts as our
-		// hit — we paid no construction.
+		// hit — we paid no construction — but record the wait, since
+		// blocked time here is invisible to the hit ratio.
 		c.hits++
+		c.waits++
 		c.mu.Unlock()
 		<-fl.done
-		return fl.value, fl.err
+		return fl.value, true, fl.err
 	}
 	c.misses++
 	fl := &inflight{done: make(chan struct{})}
@@ -126,7 +140,7 @@ func (c *Cache) GetOrBuild(key string, build func() (any, int64, error)) (any, e
 	}
 	c.mu.Unlock()
 	close(fl.done)
-	return v, err
+	return v, false, err
 }
 
 // insert assumes c.mu is held.
@@ -154,20 +168,22 @@ func (c *Cache) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return Stats{
-		Entries:   len(c.items),
-		Bytes:     c.used,
-		Budget:    c.budget,
-		Hits:      c.hits,
-		Misses:    c.misses,
-		Evictions: c.evictions,
+		Entries:           len(c.items),
+		Bytes:             c.used,
+		Budget:            c.budget,
+		Hits:              c.hits,
+		Misses:            c.misses,
+		Evictions:         c.evictions,
+		SingleflightWaits: c.waits,
 	}
 }
 
 // Tables returns the cached interstage tables for cfg, building them
-// on first use.
-func (c *Cache) Tables(cfg topology.Config) (*topology.Tables, error) {
+// on first use. The second result reports whether the tables came from
+// the cache (true) or this call built them (false).
+func (c *Cache) Tables(cfg topology.Config) (*topology.Tables, bool, error) {
 	key := fmt.Sprintf("edn:%d/%d/%d/%d", cfg.A, cfg.B, cfg.C, cfg.L)
-	v, err := c.GetOrBuild(key, func() (any, int64, error) {
+	v, hit, err := c.getOrBuildHit(key, func() (any, int64, error) {
 		t, err := topology.NewTables(cfg)
 		if err != nil {
 			return nil, 0, err
@@ -175,16 +191,16 @@ func (c *Cache) Tables(cfg topology.Config) (*topology.Tables, error) {
 		return t, t.Bytes(), nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, hit, err
 	}
-	return v.(*topology.Tables), nil
+	return v.(*topology.Tables), hit, nil
 }
 
 // DilatedTables returns the cached routing tables for dcfg, building
-// them on first use.
-func (c *Cache) DilatedTables(dcfg dilated.Config) (*dilatedsim.Tables, error) {
+// them on first use, plus the hit verdict.
+func (c *Cache) DilatedTables(dcfg dilated.Config) (*dilatedsim.Tables, bool, error) {
 	key := fmt.Sprintf("dil:%d/%d/%d", dcfg.B, dcfg.D, dcfg.L)
-	v, err := c.GetOrBuild(key, func() (any, int64, error) {
+	v, hit, err := c.getOrBuildHit(key, func() (any, int64, error) {
 		t, err := dilatedsim.NewTables(dcfg)
 		if err != nil {
 			return nil, 0, err
@@ -192,18 +208,18 @@ func (c *Cache) DilatedTables(dcfg dilated.Config) (*dilatedsim.Tables, error) {
 		return t, t.Bytes(), nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, hit, err
 	}
-	return v.(*dilatedsim.Tables), nil
+	return v.(*dilatedsim.Tables), hit, nil
 }
 
 // Masks returns the compiled availability masks for a Bernoulli fault
 // sample over cfg — mode's population dying with probability fraction
 // under the given sample seed. The key pins the full sampling identity
 // (cfg, mode, fraction, seed), so a hit replays the identical draw.
-func (c *Cache) Masks(cfg topology.Config, mode faults.Mode, fraction float64, seed uint64) (*faults.Masks, error) {
+func (c *Cache) Masks(cfg topology.Config, mode faults.Mode, fraction float64, seed uint64) (*faults.Masks, bool, error) {
 	key := fmt.Sprintf("mask:%d/%d/%d/%d:%d:%g:%d", cfg.A, cfg.B, cfg.C, cfg.L, int(mode), fraction, seed)
-	v, err := c.GetOrBuild(key, func() (any, int64, error) {
+	v, hit, err := c.getOrBuildHit(key, func() (any, int64, error) {
 		set := faults.Bernoulli(cfg, mode, fraction, xrand.New(seed))
 		m, err := faults.Compile(cfg, set)
 		if err != nil {
@@ -212,16 +228,16 @@ func (c *Cache) Masks(cfg topology.Config, mode faults.Mode, fraction float64, s
 		return m, maskBytes(cfg, m), nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, hit, err
 	}
-	return v.(*faults.Masks), nil
+	return v.(*faults.Masks), hit, nil
 }
 
 // DilatedMasks is Masks for the dilated engine: a Bernoulli sub-wire
 // sample at the given fraction and seed, compiled to engine rows.
-func (c *Cache) DilatedMasks(dcfg dilated.Config, fraction float64, seed uint64) (*dilatedsim.Masks, error) {
+func (c *Cache) DilatedMasks(dcfg dilated.Config, fraction float64, seed uint64) (*dilatedsim.Masks, bool, error) {
 	key := fmt.Sprintf("dmask:%d/%d/%d:%g:%d", dcfg.B, dcfg.D, dcfg.L, fraction, seed)
-	v, err := c.GetOrBuild(key, func() (any, int64, error) {
+	v, hit, err := c.getOrBuildHit(key, func() (any, int64, error) {
 		set := dilated.BernoulliSubWires(dcfg, fraction, xrand.New(seed))
 		m, err := dilatedsim.Compile(dcfg, set)
 		if err != nil {
@@ -232,9 +248,9 @@ func (c *Cache) DilatedMasks(dcfg dilated.Config, fraction float64, seed uint64)
 		return m, bytes, nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, hit, err
 	}
-	return v.(*dilatedsim.Masks), nil
+	return v.(*dilatedsim.Masks), hit, nil
 }
 
 // maskBytes estimates a compiled mask's payload: one bool per wire per

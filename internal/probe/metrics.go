@@ -1,0 +1,276 @@
+package probe
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Metrics is the live side of the metrics surface: where Registry
+// collects final values at one moment, Metrics hands out long-lived
+// Counter/Gauge/LiveHistogram instruments that concurrent code (a
+// worker pool, a cache, per-job accounting) updates lock-free, and
+// Gather snapshots the whole surface into a Registry for export. The
+// same name+label grammar is enforced at instrument creation — plus
+// duplicate label keys, which the one-shot Registry tolerates but a
+// live instrument keyed by its label set must not — so a bad series
+// fails at wiring time, not at scrape time.
+//
+// Looking an instrument up again with the same name and label set
+// returns the same instrument; the same name with a different kind or
+// (for histograms) different buckets panics.
+type Metrics struct {
+	mu    sync.Mutex
+	kinds map[string]string   // family name -> counter|gauge|histogram
+	ctrs  map[string]*Counter // keyed name+rendered labels
+	gaug  map[string]*Gauge   // likewise
+	hist  map[string]*LiveHistogram
+}
+
+// NewMetrics returns an empty live metrics surface.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		kinds: make(map[string]string),
+		ctrs:  make(map[string]*Counter),
+		gaug:  make(map[string]*Gauge),
+		hist:  make(map[string]*LiveHistogram),
+	}
+}
+
+// checkSeries validates the series grammar shared by every instrument
+// constructor and returns the instrument key. It assumes m.mu is held.
+func (m *Metrics) checkSeries(name, kind string, labels []Label) string {
+	if !validMetricName(name) {
+		panic(fmt.Sprintf("probe: invalid metric name %q", name))
+	}
+	seen := make(map[string]bool, len(labels))
+	for _, l := range labels {
+		if !validLabelKey(l.Key) {
+			panic(fmt.Sprintf("probe: invalid label key %q on %q", l.Key, name))
+		}
+		if seen[l.Key] {
+			panic(fmt.Sprintf("probe: duplicate label key %q on %q", l.Key, name))
+		}
+		seen[l.Key] = true
+	}
+	if k, ok := m.kinds[name]; ok && k != kind {
+		panic(fmt.Sprintf("probe: metric %q registered as %s, requested as %s", name, k, kind))
+	}
+	m.kinds[name] = kind
+	return name + labelString(labels)
+}
+
+// Counter returns the monotonically increasing counter for the given
+// series, creating it on first use.
+func (m *Metrics) Counter(name string, labels ...Label) *Counter {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	key := m.checkSeries(name, "counter", labels)
+	c, ok := m.ctrs[key]
+	if !ok {
+		c = &Counter{name: name, labels: append([]Label(nil), labels...)}
+		m.ctrs[key] = c
+	}
+	return c
+}
+
+// Gauge returns the settable gauge for the given series, creating it
+// on first use.
+func (m *Metrics) Gauge(name string, labels ...Label) *Gauge {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	key := m.checkSeries(name, "gauge", labels)
+	g, ok := m.gaug[key]
+	if !ok {
+		g = &Gauge{name: name, labels: append([]Label(nil), labels...)}
+		m.gaug[key] = g
+	}
+	return g
+}
+
+// Histogram returns the cumulative-bucket histogram for the given
+// series, creating it on first use with the given bucket upper bounds
+// (must be sorted ascending; the +Inf bucket is implicit). A second
+// lookup with different bounds panics.
+func (m *Metrics) Histogram(name string, bounds []float64, labels ...Label) *LiveHistogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("probe: histogram %q bounds not ascending", name))
+		}
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	key := m.checkSeries(name, "histogram", labels)
+	h, ok := m.hist[key]
+	if ok {
+		if len(h.bounds) != len(bounds) {
+			panic(fmt.Sprintf("probe: histogram %q re-registered with different buckets", name))
+		}
+		for i := range bounds {
+			if h.bounds[i] != bounds[i] {
+				panic(fmt.Sprintf("probe: histogram %q re-registered with different buckets", name))
+			}
+		}
+		return h
+	}
+	h = &LiveHistogram{
+		name:   name,
+		labels: append([]Label(nil), labels...),
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+	m.hist[key] = h
+	return h
+}
+
+// Gather snapshots every live instrument into r: counters and gauges
+// as plain samples, histograms as Prometheus histogram families
+// (name_bucket cumulative series with le labels, name_sum, name_count).
+// Export order is the Registry's deterministic sort, so two Gathers of
+// the same values render identically regardless of update order.
+func (m *Metrics) Gather(r *Registry) {
+	m.mu.Lock()
+	ctrs := make([]*Counter, 0, len(m.ctrs))
+	for _, c := range m.ctrs {
+		ctrs = append(ctrs, c)
+	}
+	gaug := make([]*Gauge, 0, len(m.gaug))
+	for _, g := range m.gaug {
+		gaug = append(gaug, g)
+	}
+	hist := make([]*LiveHistogram, 0, len(m.hist))
+	for _, h := range m.hist {
+		hist = append(hist, h)
+	}
+	m.mu.Unlock()
+
+	for _, c := range ctrs {
+		r.Add(c.name, "counter", c.labels, c.Value())
+	}
+	for _, g := range gaug {
+		r.Add(g.name, "gauge", g.labels, g.Value())
+	}
+	for _, h := range hist {
+		counts, sum := h.snapshot()
+		r.AddHistogram(h.name, h.labels, h.bounds, counts, sum)
+	}
+}
+
+// Counter is a lock-free monotonically increasing sample. The zero
+// value outside a Metrics surface is usable for tests.
+type Counter struct {
+	name   string
+	labels []Label
+	bits   atomic.Uint64 // float64 bits
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds d (negative deltas panic — counters only go up).
+func (c *Counter) Add(d float64) {
+	if d < 0 {
+		panic(fmt.Sprintf("probe: counter %q decremented", c.name))
+	}
+	addFloatBits(&c.bits, d)
+}
+
+// Value returns the current total.
+func (c *Counter) Value() float64 { return math.Float64frombits(c.bits.Load()) }
+
+// Gauge is a lock-free settable sample.
+type Gauge struct {
+	name   string
+	labels []Label
+	bits   atomic.Uint64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds d (either sign).
+func (g *Gauge) Add(d float64) { addFloatBits(&g.bits, d) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+func addFloatBits(bits *atomic.Uint64, d float64) {
+	for {
+		old := bits.Load()
+		if bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+d)) {
+			return
+		}
+	}
+}
+
+// LiveHistogram is a fixed-bucket concurrent histogram in the
+// Prometheus cumulative-bucket model: Observe finds the first bound >=
+// v and increments that bucket (the last bucket is +Inf), plus the
+// running sum and count derived at export.
+type LiveHistogram struct {
+	name   string
+	labels []Label
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1; last = +Inf overflow
+	sum    atomic.Uint64   // float64 bits
+}
+
+// Observe records one value.
+func (h *LiveHistogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	addFloatBits(&h.sum, v)
+}
+
+// Count returns the number of observations.
+func (h *LiveHistogram) Count() uint64 {
+	var n uint64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// Sum returns the sum of observed values.
+func (h *LiveHistogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+func (h *LiveHistogram) snapshot() ([]uint64, float64) {
+	counts := make([]uint64, len(h.counts))
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+	}
+	return counts, h.Sum()
+}
+
+// AddHistogram registers one histogram family as its Prometheus
+// exposition series: cumulative name_bucket samples with le labels
+// (including the +Inf bucket), name_sum and name_count. counts has one
+// entry per bound plus the overflow bucket. The family is typed
+// histogram in WritePrometheus.
+func (r *Registry) AddHistogram(name string, labels []Label, bounds []float64, counts []uint64, sum float64) {
+	if len(counts) != len(bounds)+1 {
+		panic(fmt.Sprintf("probe: histogram %q wants %d counts, got %d", name, len(bounds)+1, len(counts)))
+	}
+	if !validMetricName(name) {
+		panic(fmt.Sprintf("probe: invalid metric name %q", name))
+	}
+	if r.histFamilies == nil {
+		r.histFamilies = make(map[string]bool)
+	}
+	r.histFamilies[name] = true
+	var cum uint64
+	for i, c := range counts {
+		cum += c
+		le := "+Inf"
+		if i < len(bounds) {
+			le = strconv.FormatFloat(bounds[i], 'g', -1, 64)
+		}
+		ls := append(append([]Label(nil), labels...), Label{"le", le})
+		r.Add(name+"_bucket", "histogram", ls, float64(cum))
+	}
+	r.Add(name+"_sum", "histogram", labels, sum)
+	r.Add(name+"_count", "histogram", labels, float64(cum))
+}

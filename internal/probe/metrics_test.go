@@ -1,0 +1,158 @@
+package probe
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestMetricsInstrumentsBasics(t *testing.T) {
+	m := NewMetrics()
+	c := m.Counter("jobs_total", Label{"mode", "latency"})
+	c.Inc()
+	c.Add(2)
+	if got := c.Value(); got != 3 {
+		t.Fatalf("counter = %v, want 3", got)
+	}
+	if m.Counter("jobs_total", Label{"mode", "latency"}) != c {
+		t.Fatalf("same series must return the same counter")
+	}
+	if m.Counter("jobs_total", Label{"mode", "drain"}) == c {
+		t.Fatalf("different label set must return a distinct counter")
+	}
+
+	g := m.Gauge("queue_depth")
+	g.Set(5)
+	g.Add(-2)
+	if got := g.Value(); got != 3 {
+		t.Fatalf("gauge = %v, want 3", got)
+	}
+
+	h := m.Histogram("dur_seconds", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("histogram count = %d, want 5", h.Count())
+	}
+	if got, want := h.Sum(), 0.05+0.5+0.5+5+50; got != want {
+		t.Fatalf("histogram sum = %v, want %v", got, want)
+	}
+	if m.Histogram("dur_seconds", []float64{0.1, 1, 10}) != h {
+		t.Fatalf("same bounds must return the same histogram")
+	}
+}
+
+func TestMetricsGatherPrometheus(t *testing.T) {
+	m := NewMetrics()
+	m.Counter("jobs_total", Label{"outcome", "ok"}).Add(4)
+	m.Gauge("busy").Set(2)
+	h := m.Histogram("dur_seconds", []float64{1, 10})
+	h.Observe(0.5)
+	h.Observe(3)
+	h.Observe(30)
+
+	reg := NewRegistry()
+	m.Gather(reg)
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE busy gauge\nbusy 2\n",
+		"# TYPE dur_seconds histogram\n",
+		`dur_seconds_bucket{le="1"} 1`,
+		`dur_seconds_bucket{le="10"} 2`,
+		`dur_seconds_bucket{le="+Inf"} 3`,
+		"dur_seconds_count 3",
+		"dur_seconds_sum 33.5",
+		"# TYPE jobs_total counter\n" + `jobs_total{outcome="ok"} 4`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Count(out, "# TYPE dur_seconds histogram") != 1 {
+		t.Errorf("histogram family must be typed exactly once:\n%s", out)
+	}
+
+	// Deterministic: gathering the same surface twice renders
+	// identically.
+	reg2 := NewRegistry()
+	m.Gather(reg2)
+	var sb2 strings.Builder
+	if err := reg2.WritePrometheus(&sb2); err != nil {
+		t.Fatal(err)
+	}
+	if sb2.String() != out {
+		t.Errorf("two gathers of identical values differ:\n%s\nvs\n%s", out, sb2.String())
+	}
+}
+
+// TestMetricsConcurrent hammers one counter, one gauge and one
+// histogram from many goroutines — the worker-pool shape — and checks
+// the totals are exact. Run under -race (this package is in the CI
+// race job).
+func TestMetricsConcurrent(t *testing.T) {
+	m := NewMetrics()
+	const workers, perWorker = 16, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Mix instrument lookup with updates: lookups race with
+			// each other and must converge on one instrument.
+			c := m.Counter("ops_total", Label{"kind", "mixed"})
+			g := m.Gauge("inflight")
+			h := m.Histogram("lat", []float64{0.5, 1})
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i%3) * 0.5)
+				g.Add(-1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := m.Counter("ops_total", Label{"kind", "mixed"}).Value(); got != workers*perWorker {
+		t.Fatalf("counter = %v, want %d", got, workers*perWorker)
+	}
+	if got := m.Gauge("inflight").Value(); got != 0 {
+		t.Fatalf("gauge = %v, want 0", got)
+	}
+	if got := m.Histogram("lat", []float64{0.5, 1}).Count(); got != workers*perWorker {
+		t.Fatalf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+}
+
+func TestMetricsGrammarRejection(t *testing.T) {
+	m := NewMetrics()
+	wantPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	wantPanic("empty name", func() { m.Counter("") })
+	wantPanic("bad name", func() { m.Counter("bad-name") })
+	wantPanic("leading digit", func() { m.Gauge("9lives") })
+	wantPanic("empty label key", func() { m.Counter("ok", Label{"", "v"}) })
+	wantPanic("duplicate labels", func() {
+		m.Counter("dup", Label{"k", "a"}, Label{"k", "b"})
+	})
+	wantPanic("kind conflict", func() {
+		m.Counter("kindful")
+		m.Gauge("kindful")
+	})
+	wantPanic("bucket conflict", func() {
+		m.Histogram("hb", []float64{1, 2})
+		m.Histogram("hb", []float64{1, 3})
+	})
+	wantPanic("unsorted buckets", func() { m.Histogram("hu", []float64{2, 1}) })
+	wantPanic("counter decrement", func() { m.Counter("down").Add(-1) })
+}

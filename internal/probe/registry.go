@@ -31,6 +31,10 @@ type Metric struct {
 // has no locking or liveness — callers own the collection moment.
 type Registry struct {
 	metrics []Metric
+	// histFamilies names the histogram families registered through
+	// AddHistogram, whose _bucket/_sum/_count samples share one
+	// `# TYPE <family> histogram` line at export.
+	histFamilies map[string]bool
 }
 
 // NewRegistry returns an empty registry.
@@ -136,25 +140,39 @@ func (r *Registry) WriteJSONLines(w io.Writer) error {
 }
 
 // WritePrometheus exports Prometheus text exposition format: one
-// `# TYPE` comment per metric family followed by its samples.
+// `# TYPE` comment per metric family followed by its samples. The
+// _bucket/_sum/_count samples of a histogram family registered through
+// AddHistogram share a single `# TYPE <family> histogram` line.
 func (r *Registry) WritePrometheus(w io.Writer) error {
-	lastName := ""
+	typed := make(map[string]bool)
 	for _, m := range r.sorted() {
-		if m.Name != lastName {
-			kind := m.Kind
-			if kind == "" {
-				kind = "untyped"
-			}
-			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.Name, kind); err != nil {
+		fam, kind := r.family(m)
+		if !typed[fam] {
+			typed[fam] = true
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", fam, kind); err != nil {
 				return err
 			}
-			lastName = m.Name
 		}
 		if _, err := fmt.Fprintf(w, "%s%s %g\n", m.Name, labelString(m.Labels), m.Value); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// family maps a sample to its exposition family name and type: the
+// base name for histogram series, the sample's own name otherwise.
+func (r *Registry) family(m Metric) (string, string) {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(m.Name, suf); ok && r.histFamilies[base] {
+			return base, "histogram"
+		}
+	}
+	kind := m.Kind
+	if kind == "" {
+		kind = "untyped"
+	}
+	return m.Name, kind
 }
 
 // AddReport registers the standard metric set derived from a probe

@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
+	"runtime"
 
 	"edn"
 )
@@ -15,10 +17,14 @@ import (
 //	                     (accepted, point..., result|error), flushed per
 //	                     event so a client sees sweep points live. The
 //	                     job id is ?id=... or assigned; closing the
-//	                     request cancels the job.
+//	                     request cancels the job. Terminal events carry
+//	                     the job's span tree unless spans are disabled.
 //	GET  /v1/healthz     {"ok":true}
-//	GET  /v1/stats       the Stats snapshot
-//	GET  /metrics        the same counters as Prometheus text
+//	GET  /v1/stats       the Stats snapshot (scheduler, cache, span
+//	                     aggregates)
+//	GET  /metrics        scheduler + cache + pool + Go runtime counters
+//	                     as Prometheus text
+//	GET  /debug/pprof/*  net/http/pprof, only when Options.Pprof
 //
 // The estimate mode rides POST /v1/jobs like every other mode: a
 // co-simulating system simulator posts {"mode":"estimate",...} and
@@ -40,6 +46,13 @@ func (s *Server) Handler() http.Handler {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 		s.writeMetrics(w) //nolint:errcheck
 	})
+	if s.pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
@@ -72,8 +85,11 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	s.Execute(r.Context(), id, spec, emit) //nolint:errcheck // reported in the stream
 }
 
-// writeMetrics exports the scheduler and cache counters as Prometheus
-// text through the deterministic probe registry.
+// writeMetrics exports the full runtime surface as Prometheus text
+// through the deterministic probe registry: scheduler and cache
+// counters, the live pool instruments (queue depth, busy workers,
+// jobs by mode x engine x outcome, job-duration histogram), span-stage
+// aggregates, and Go runtime stats.
 func (s *Server) writeMetrics(w http.ResponseWriter) error {
 	st := s.Stats()
 	reg := edn.NewMetricsRegistry()
@@ -90,5 +106,29 @@ func (s *Server) writeMetrics(w http.ResponseWriter) error {
 	reg.Add("edn_serve_cache_hits_total", "counter", nil, float64(st.Cache.Hits))
 	reg.Add("edn_serve_cache_misses_total", "counter", nil, float64(st.Cache.Misses))
 	reg.Add("edn_serve_cache_evictions_total", "counter", nil, float64(st.Cache.Evictions))
+	reg.Add("edn_serve_cache_singleflight_waits_total", "counter", nil, float64(st.Cache.SingleflightWaits))
+	for _, sp := range st.Spans {
+		labels := []edn.MetricLabel{{Key: "stage", Value: sp.Name}}
+		reg.Add("edn_serve_span_count_total", "counter", labels, float64(sp.Count))
+		reg.Add("edn_serve_span_seconds_total", "counter", labels, float64(sp.TotalNS)/1e9)
+	}
+
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	reg.Add("edn_go_goroutines", "gauge", nil, float64(runtime.NumGoroutine()))
+	reg.Add("edn_go_heap_alloc_bytes", "gauge", nil, float64(ms.HeapAlloc))
+	reg.Add("edn_go_heap_objects", "gauge", nil, float64(ms.HeapObjects))
+	reg.Add("edn_go_sys_bytes", "gauge", nil, float64(ms.Sys))
+	reg.Add("edn_go_alloc_bytes_total", "counter", nil, float64(ms.TotalAlloc))
+	reg.Add("edn_go_gc_cycles_total", "counter", nil, float64(ms.NumGC))
+	reg.Add("edn_go_gc_pause_seconds_total", "counter", nil, float64(ms.PauseTotalNs)/1e9)
+
+	// Live instruments last: queue depth, busy workers, jobs_total by
+	// mode x engine x outcome, and the job-duration histogram.
+	s.liveMetrics().Gather(reg)
 	return reg.WritePrometheus(w)
 }
+
+// liveMetrics exposes the live instrument surface (tests gather it
+// directly).
+func (s *Server) liveMetrics() *edn.LiveMetrics { return s.live }

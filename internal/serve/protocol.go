@@ -48,6 +48,13 @@ type Event struct {
 	Result *edn.JobResult `json:"result,omitempty"`
 	Error  string         `json:"error,omitempty"`
 
+	// Spans is the job's completed span tree (terminal events, span
+	// tracing enabled): queue wait, validation, table builds with cache
+	// verdicts, per-shard execution, merge, serialization. Spans ride
+	// beside Result, never inside it — a traced job's Result is
+	// byte-identical to an untraced one's.
+	Spans *edn.Span `json:"spans,omitempty"`
+
 	// Stats events.
 	Stats *Stats `json:"stats,omitempty"`
 }
@@ -60,6 +67,19 @@ type Stats struct {
 	Failed        int64                  `json:"failed"`
 	Cancelled     int64                  `json:"cancelled"`
 	Workers       int                    `json:"workers"`
+	QueueDepth    int                    `json:"queue_depth"`
+	BusyWorkers   int                    `json:"busy_workers"`
 	UptimeSeconds float64                `json:"uptime_seconds"`
 	Cache         edn.GeometryCacheStats `json:"cache"`
+	// Spans aggregates the span trees of every finished job by stage
+	// name (sorted), the service-level view of where job time goes.
+	Spans []SpanStat `json:"spans,omitempty"`
+}
+
+// SpanStat folds every completed job's spans of one stage name.
+type SpanStat struct {
+	Name    string `json:"name"`
+	Count   int64  `json:"count"`
+	TotalNS int64  `json:"total_ns"`
+	MaxNS   int64  `json:"max_ns"`
 }

@@ -51,13 +51,17 @@ func longSpec() edn.JobSpec {
 	return spec
 }
 
-// client drives one stdio conversation against a Server.
+// client drives one stdio conversation against a Server. A pump
+// goroutine drains the server's event lines into a buffered channel,
+// so the server's writes never block on the test being mid-send — over
+// raw unbuffered pipes, a request write and an event write could
+// otherwise deadlock each other.
 type client struct {
-	t    *testing.T
-	raw  io.Writer
-	enc  *json.Encoder
-	sc   *bufio.Scanner
-	done chan error
+	t     *testing.T
+	raw   io.Writer
+	enc   *json.Encoder
+	lines chan string
+	done  chan error
 }
 
 func dial(t *testing.T, s *serve.Server) *client {
@@ -71,9 +75,16 @@ func dial(t *testing.T, s *serve.Server) *client {
 		done <- err
 	}()
 	t.Cleanup(func() { inW.Close() }) //nolint:errcheck
-	sc := bufio.NewScanner(outR)
-	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
-	return &client{t: t, raw: inW, enc: json.NewEncoder(inW), sc: sc, done: done}
+	lines := make(chan string, 4096)
+	go func() {
+		sc := bufio.NewScanner(outR)
+		sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+		for sc.Scan() {
+			lines <- sc.Text()
+		}
+		close(lines)
+	}()
+	return &client{t: t, raw: inW, enc: json.NewEncoder(inW), lines: lines, done: done}
 }
 
 func (c *client) send(req serve.Request) {
@@ -85,12 +96,13 @@ func (c *client) send(req serve.Request) {
 
 func (c *client) recv() serve.Event {
 	c.t.Helper()
-	if !c.sc.Scan() {
-		c.t.Fatalf("event stream ended early: %v", c.sc.Err())
+	line, ok := <-c.lines
+	if !ok {
+		c.t.Fatal("event stream ended early")
 	}
 	var ev serve.Event
-	if err := json.Unmarshal(c.sc.Bytes(), &ev); err != nil {
-		c.t.Fatalf("bad event line %q: %v", c.sc.Text(), err)
+	if err := json.Unmarshal([]byte(line), &ev); err != nil {
+		c.t.Fatalf("bad event line %q: %v", line, err)
 	}
 	return ev
 }

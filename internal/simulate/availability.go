@@ -2,6 +2,7 @@ package simulate
 
 import (
 	"fmt"
+	"time"
 
 	"edn/internal/dilated"
 	"edn/internal/dilatedsim"
@@ -180,6 +181,7 @@ func availabilityPoint(cfg topology.Config, aopts AvailabilityOptions, f float64
 	}
 	parts := make([]partial, shards)
 	runShards(opts.Cycles, shards, func(w, cycles int) {
+		start := time.Now()
 		p := &parts[w]
 		p.masks, p.err = faults.Compile(cfg, plans[w].At(f))
 		if p.err != nil {
@@ -194,8 +196,12 @@ func availabilityPoint(cfg topology.Config, aopts AvailabilityOptions, f float64
 		if p.err == nil && aopts.WithExpected {
 			p.expected = faults.ExpectedUniformBandwidth(p.masks, aopts.Load)
 		}
+		if opts.OnStage != nil {
+			opts.OnStage("shard", w, cycles, start, time.Since(start))
+		}
 	})
 
+	mergeStart := time.Now()
 	merged := AvailabilityResult{
 		Config:        cfg,
 		FaultFraction: f,
@@ -241,6 +247,9 @@ func availabilityPoint(cfg topology.Config, aopts AvailabilityOptions, f float64
 	merged.Histogram = acc.histogram
 	merged.OfferedRate, merged.Throughput, merged.ThroughputPerInput, merged.AcceptedFraction = acc.rates(inputs)
 	merged.LatencyMean, merged.LatencyP50, merged.LatencyP95, merged.LatencyP99, merged.LatencyMax = acc.quantiles()
+	if opts.OnStage != nil {
+		opts.OnStage("merge", -1, 0, mergeStart, time.Since(mergeStart))
+	}
 	return merged, nil
 }
 
@@ -423,6 +432,7 @@ func dilatedAvailabilityPoint(dcfg dilated.Config, aopts AvailabilityOptions, f 
 	}
 	parts := make([]partial, shards)
 	runShards(opts.Cycles, shards, func(w, cycles int) {
+		start := time.Now()
 		p := &parts[w]
 		set := plans[w].At(f)
 		p.masks, p.err = dilatedsim.Compile(dcfg, set)
@@ -442,8 +452,12 @@ func dilatedAvailabilityPoint(dcfg dilated.Config, aopts AvailabilityOptions, f 
 				p.expected = deg.Bandwidth(aopts.Load)
 			}
 		}
+		if opts.OnStage != nil {
+			opts.OnStage("shard", w, cycles, start, time.Since(start))
+		}
 	})
 
+	mergeStart := time.Now()
 	merged := DilatedAvailabilityResult{
 		Dilated:       dcfg,
 		FaultFraction: f,
@@ -482,5 +496,8 @@ func dilatedAvailabilityPoint(dcfg dilated.Config, aopts AvailabilityOptions, f 
 	merged.Histogram = acc.histogram
 	merged.OfferedRate, merged.Throughput, merged.ThroughputPerInput, merged.AcceptedFraction = acc.rates(ports)
 	merged.LatencyMean, merged.LatencyP50, merged.LatencyP95, merged.LatencyP99, merged.LatencyMax = acc.quantiles()
+	if opts.OnStage != nil {
+		opts.OnStage("merge", -1, 0, mergeStart, time.Since(mergeStart))
+	}
 	return merged, nil
 }

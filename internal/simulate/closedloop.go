@@ -3,6 +3,7 @@ package simulate
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"edn/internal/closedloop"
 	"edn/internal/dilated"
@@ -201,12 +202,17 @@ func sweepClosedLoopPoint(inputs, outputs int, rate float64, index int, lo close
 	}
 	parts := make([]closedLoopPartial, shards)
 	runShards(opts.Cycles, shards, func(w, cycles int) {
+		start := time.Now()
 		slo := lo
 		slo.Rate = rate
 		slo.Seed = seeds[w]
 		parts[w] = runClosedLoopShard(build, inputs, outputs, slo, opts.Warmup, cycles, nil)
+		if opts.OnStage != nil {
+			opts.OnStage("shard", w, cycles, start, time.Since(start))
+		}
 	})
 
+	mergeStart := time.Now()
 	res := ClosedLoopResult{Rate: rate, Shards: shards}
 	for w := range parts {
 		p := &parts[w]
@@ -226,12 +232,16 @@ func sweepClosedLoopPoint(inputs, outputs int, rate float64, index int, lo close
 		}
 	}
 	res.fill(inputs)
+	if opts.OnStage != nil {
+		opts.OnStage("merge", -1, 0, mergeStart, time.Since(mergeStart))
+	}
 	if opts.Probe != nil {
 		// Dedicated sequential observation pass under seeds[0] (the
 		// first root draw, shard-count independent) at the full cycle
 		// budget: the trace set is a pure function of Options, and
 		// the measured merge above stays bit-identical to an
 		// unprobed sweep.
+		obsStart := time.Now()
 		slo := lo
 		slo.Rate = rate
 		slo.Seed = seeds[0]
@@ -240,6 +250,9 @@ func sweepClosedLoopPoint(inputs, outputs int, rate float64, index int, lo close
 			return ClosedLoopResult{}, obs.err
 		}
 		res.Observed = obs.rep
+		if opts.OnStage != nil {
+			opts.OnStage("observe", -1, opts.Cycles, obsStart, time.Since(obsStart))
+		}
 	}
 	return res, nil
 }

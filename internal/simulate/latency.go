@@ -3,6 +3,7 @@ package simulate
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"edn/internal/dilated"
 	"edn/internal/dilatedsim"
@@ -392,9 +393,14 @@ func sweepLoadPoint(inputs int, load float64, index int, opts Options, shards in
 	}
 	parts := make([]partial, shards)
 	runShards(opts.Cycles, shards, func(w, cycles int) {
+		start := time.Now()
 		parts[w].res, parts[w].err = measure(load, seeds[w], cycles, nil)
+		if opts.OnStage != nil {
+			opts.OnStage("shard", w, cycles, start, time.Since(start))
+		}
 	})
 
+	mergeStart := time.Now()
 	var merged LatencyResult
 	var queuedWeighted float64
 	first := true
@@ -428,12 +434,19 @@ func sweepLoadPoint(inputs int, load float64, index int, opts Options, shards in
 		merged.AvgQueued = queuedWeighted / float64(merged.Cycles)
 	}
 	merged.fillQuantiles(inputs)
+	if opts.OnStage != nil {
+		opts.OnStage("merge", -1, 0, mergeStart, time.Since(mergeStart))
+	}
 	if opts.Probe != nil {
+		obsStart := time.Now()
 		obs, err := measure(load, seeds[0], opts.Cycles, opts.Probe)
 		if err != nil {
 			return LatencyResult{}, err
 		}
 		merged.Observed = obs.Observed
+		if opts.OnStage != nil {
+			opts.OnStage("observe", -1, opts.Cycles, obsStart, time.Since(obsStart))
+		}
 	}
 	return merged, nil
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"time"
 
 	"edn/internal/analytic"
 	"edn/internal/dilated"
@@ -256,11 +257,17 @@ func runLifetimeShards(lopts LifetimeOptions, opts Options, shards int, runShard
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			start := time.Now()
 			parts[w] = runShard(w, seeds[w].proc, seeds[w].traffic)
+			if opts.OnStage != nil {
+				// Every lifetime shard runs the full epoch schedule.
+				opts.OnStage("shard", w, lopts.Epochs*lopts.EpochCycles, start, time.Since(start))
+			}
 		}(w)
 	}
 	wg.Wait()
 
+	mergeStart := time.Now()
 	m := lifetimeMerge{
 		bandwidth: stats.NewTimeSeries(lopts.Epochs),
 		reachable: stats.NewTimeSeries(lopts.Epochs),
@@ -305,6 +312,9 @@ func runLifetimeShards(lopts LifetimeOptions, opts Options, shards int, runShard
 	}
 	m.timeBelowThreshold = m.bandwidth.FractionBelow(lopts.Threshold)
 	m.recoveryHalfLife = stats.RecoveryHalfLife(m.bandwidth.Means(), 0.1)
+	if opts.OnStage != nil {
+		opts.OnStage("merge", -1, 0, mergeStart, time.Since(mergeStart))
+	}
 	return m, nil
 }
 

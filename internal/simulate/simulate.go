@@ -7,6 +7,7 @@ package simulate
 
 import (
 	"fmt"
+	"time"
 
 	"edn/internal/core"
 	"edn/internal/probe"
@@ -31,7 +32,22 @@ type Options struct {
 	// sweepLoads) or from per-shard heat probes (lifetime sweeps), so
 	// the measured results are bit-identical with and without a probe.
 	Probe *probe.Options
+
+	// OnStage, when non-nil, observes the coarse execution stages of a
+	// sharded measurement as they complete: one "shard" event per shard
+	// run (shard index, cycle share), one "merge" for the exact-merge
+	// step, one "observe" for the dedicated probe pass when Probe is
+	// set. Shard events fire concurrently from shard goroutines.
+	// Observation-only, like Probe: set or nil, the measured results
+	// are bit-identical — the serve layer feeds it into a job's span
+	// tree.
+	OnStage StageTimer
 }
+
+// StageTimer receives one completed execution stage: its name, the
+// shard index (-1 for whole-point stages like merge), the stage's cycle
+// share (0 when not meaningful), and its wall-clock start and duration.
+type StageTimer func(stage string, shard, cycles int, start time.Time, d time.Duration)
 
 // newProbe instantiates a measurement probe: the zero BinCycles means
 // "split the measured window across the configured bins", which is the

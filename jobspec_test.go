@@ -241,7 +241,7 @@ func facadeRun(t *testing.T, spec JobSpec) *JobResult {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := j.wireCache(nil); err != nil {
+	if err := j.wireCache(nil, nil); err != nil {
 		t.Fatal(err)
 	}
 	res := &JobResult{Spec: spec}

@@ -3,6 +3,7 @@ package edn
 import (
 	"context"
 	"fmt"
+	"strconv"
 
 	"edn/internal/netcache"
 	"edn/internal/simulate"
@@ -25,7 +26,7 @@ type GeometryCacheStats = netcache.Stats
 func NewGeometryCache(budget int64) *GeometryCache { return netcache.New(budget) }
 
 // RunOptions tune how Run executes a job without changing what it
-// measures: both fields are invisible in the results.
+// measures: all fields are invisible in the results.
 type RunOptions struct {
 	// Cache, when non-nil, supplies prebuilt routing tables and fault
 	// masks; results are bit-for-bit those of an uncached run.
@@ -38,6 +39,11 @@ type RunOptions struct {
 	// pair) deliver one call with the whole result. Called
 	// sequentially from the Run goroutine.
 	OnPoint func(index, total int, point any)
+	// Trace, when non-nil, records the job's span tree: validation,
+	// table/mask builds with their cache verdicts, per-point execution
+	// with per-shard/merge/observe stages. Observation-only — the
+	// JobResult is byte-identical with and without a trace.
+	Trace *SpanCollector
 }
 
 // EstimateResult answers the estimate mode's co-simulation question:
@@ -110,20 +116,34 @@ func Run(ctx context.Context, spec JobSpec) (*JobResult, error) {
 	return RunJob(ctx, spec, RunOptions{})
 }
 
-// RunJob is Run with execution options: a shared geometry cache and a
-// per-point streaming callback. Results are independent of both.
+// RunJob is Run with execution options: a shared geometry cache, a
+// per-point streaming callback and a span trace. Results are
+// independent of all three.
 func RunJob(ctx context.Context, spec JobSpec, ro RunOptions) (*JobResult, error) {
+	tr := ro.Trace
+	vs := tr.Start("validate", "mode", spec.Mode)
 	j, err := compileJob(spec)
+	tr.End(vs)
 	if err != nil {
 		return nil, err
 	}
-	if err := j.wireCache(ro.Cache); err != nil {
+	bs := tr.Start("build")
+	err = j.wireCache(ro.Cache, tr)
+	tr.End(bs)
+	if err != nil {
 		return nil, err
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	// Shard/merge/observe stage timings from the sharded harnesses land
+	// under whichever point span is current when they complete.
+	if tr != nil {
+		j.opts.OnStage = tr.ObserveStage
+	}
 	res := &JobResult{Spec: spec}
+	es := tr.Start("execute", "engine", j.engine)
+	defer tr.End(es)
 	switch spec.Mode {
 	case JobLatency:
 		err = j.runLatency(ro, res)
@@ -152,32 +172,41 @@ func RunJob(ctx context.Context, spec JobSpec, ro RunOptions) (*JobResult, error
 
 // wireCache swaps cache-built artifacts into the compiled options.
 // Everything wired here is immutable and shared by reference, so the
-// job's results are bit-for-bit those of an uncached run.
-func (j *compiledJob) wireCache(c *GeometryCache) error {
+// job's results are bit-for-bit those of an uncached run. Each
+// artifact build records a child span under tr's current span with its
+// cache verdict ("hit", "cold", or "off" when no cache is wired).
+func (j *compiledJob) wireCache(c *GeometryCache, tr *SpanCollector) error {
 	if j.faults {
 		// The static fault sample of the latency/estimate modes; its
 		// identity is the (mode, fraction, seed) triple, so a cache hit
 		// replays the identical draw.
+		s := tr.Start("fault_masks")
 		if j.engine == EngineEDN {
 			var m *FaultMasks
+			var hit bool
 			var err error
 			if c != nil {
-				m, err = c.Masks(j.cfg, j.fmode, j.ffrac, j.fseed)
+				m, hit, err = c.Masks(j.cfg, j.fmode, j.ffrac, j.fseed)
 			} else {
 				m, err = CompileFaults(j.cfg, BernoulliFaults(j.cfg, j.fmode, j.ffrac, NewRand(j.fseed)))
 			}
+			tr.SetAttr(s, "cache", cacheVerdict(c, hit))
+			tr.End(s)
 			if err != nil {
 				return err
 			}
 			j.qopts.Faults = m
 		} else {
 			var m *DilatedMasks
+			var hit bool
 			var err error
 			if c != nil {
-				m, err = c.DilatedMasks(j.dcfg, j.ffrac, j.fseed)
+				m, hit, err = c.DilatedMasks(j.dcfg, j.ffrac, j.fseed)
 			} else {
 				m, err = CompileDilatedMasks(j.dcfg, BernoulliDilatedSubWires(j.dcfg, j.ffrac, NewRand(j.fseed)))
 			}
+			tr.SetAttr(s, "cache", cacheVerdict(c, hit))
+			tr.End(s)
 			if err != nil {
 				return err
 			}
@@ -188,20 +217,37 @@ func (j *compiledJob) wireCache(c *GeometryCache) error {
 		return nil
 	}
 	if j.engine == EngineEDN || j.engine == EnginePair {
-		t, err := c.Tables(j.cfg)
+		s := tr.Start("edn_tables")
+		t, hit, err := c.Tables(j.cfg)
+		tr.SetAttr(s, "cache", cacheVerdict(c, hit))
+		tr.End(s)
 		if err != nil {
 			return err
 		}
 		j.qopts.Tables = t
 	}
 	if j.engine == EngineDilated || j.engine == EnginePair {
-		t, err := c.DilatedTables(j.dcfg)
+		s := tr.Start("dilated_tables")
+		t, hit, err := c.DilatedTables(j.dcfg)
+		tr.SetAttr(s, "cache", cacheVerdict(c, hit))
+		tr.End(s)
 		if err != nil {
 			return err
 		}
 		j.dopts.Tables = t
 	}
 	return nil
+}
+
+func cacheVerdict(c *GeometryCache, hit bool) string {
+	switch {
+	case c == nil:
+		return "off"
+	case hit:
+		return "hit"
+	default:
+		return "cold"
+	}
 }
 
 // load returns the single-point modes' offered load (default 1,
@@ -219,11 +265,13 @@ func (j *compiledJob) runLatency(ro RunOptions, res *JobResult) error {
 	// SaturationSweep(cfg, []float64{Load}, ...)[0].
 	var r LatencyResult
 	var err error
+	ps := ro.Trace.Start("point", "index", "0", "load", formatAxis(j.load()))
 	if j.engine == EngineDilated {
 		r, err = simulate.DilatedSaturationPoint(j.dcfg, j.load(), 0, j.src, j.dopts, j.opts, j.shards)
 	} else {
 		r, err = simulate.SaturationPoint(j.cfg, j.load(), 0, j.src, j.qopts, j.opts, j.shards)
 	}
+	ro.Trace.End(ps)
 	if err != nil {
 		return err
 	}
@@ -241,11 +289,13 @@ func (j *compiledJob) runSaturation(ctx context.Context, ro RunOptions, res *Job
 		}
 		var r LatencyResult
 		var err error
+		ps := ro.Trace.Start("point", "index", strconv.Itoa(i), "load", formatAxis(load))
 		if j.engine == EngineDilated {
 			r, err = simulate.DilatedSaturationPoint(j.dcfg, load, i, j.src, j.dopts, j.opts, j.shards)
 		} else {
 			r, err = simulate.SaturationPoint(j.cfg, load, i, j.src, j.qopts, j.opts, j.shards)
 		}
+		ro.Trace.End(ps)
 		if err != nil {
 			return err
 		}
@@ -258,11 +308,13 @@ func (j *compiledJob) runSaturation(ctx context.Context, ro RunOptions, res *Job
 func (j *compiledJob) runDrain(ro RunOptions, res *JobResult) error {
 	var r DrainResult
 	var err error
+	ps := ro.Trace.Start("point", "index", "0")
 	if j.engine == EngineDilated {
 		r, err = DilatedDrainPermutations(j.dcfg, j.spec.DrainQ, j.dopts, j.opts)
 	} else {
 		r, err = DrainPermutations(j.cfg, j.spec.DrainQ, j.qopts, j.opts)
 	}
+	ro.Trace.End(ps)
 	if err != nil {
 		return err
 	}
@@ -282,8 +334,10 @@ func (j *compiledJob) runAvailability(ctx context.Context, ro RunOptions, res *J
 		if err := ctx.Err(); err != nil {
 			return err
 		}
+		ps := ro.Trace.Start("point", "index", strconv.Itoa(i), "fraction", formatAxis(f))
 		if j.engine == EngineDilated {
 			r, err := simulate.DilatedAvailabilityPoint(j.dcfg, j.aopts, f, j.src, j.dopts, j.opts, j.shards)
+			ro.Trace.End(ps)
 			if err != nil {
 				return err
 			}
@@ -291,6 +345,7 @@ func (j *compiledJob) runAvailability(ctx context.Context, ro RunOptions, res *J
 			emit(ro, i, len(fractions), r)
 		} else {
 			r, err := simulate.AvailabilityPoint(j.cfg, j.aopts, f, j.src, j.qopts, j.opts, j.shards)
+			ro.Trace.End(ps)
 			if err != nil {
 				return err
 			}
@@ -302,8 +357,10 @@ func (j *compiledJob) runAvailability(ctx context.Context, ro RunOptions, res *J
 }
 
 func (j *compiledJob) runLifetime(ro RunOptions, res *JobResult) error {
+	ps := ro.Trace.Start("point", "index", "0")
 	if j.engine == EngineDilated {
 		r, err := DilatedLifetimeSweep(j.dcfg, j.lopts, j.src, j.dopts, j.opts, j.shards)
+		ro.Trace.End(ps)
 		if err != nil {
 			return err
 		}
@@ -312,6 +369,7 @@ func (j *compiledJob) runLifetime(ro RunOptions, res *JobResult) error {
 		return nil
 	}
 	r, err := LifetimeSweep(j.cfg, j.lopts, j.src, j.qopts, j.opts, j.shards)
+	ro.Trace.End(ps)
 	if err != nil {
 		return err
 	}
@@ -324,8 +382,11 @@ func (j *compiledJob) runClosedLoop(ctx context.Context, ro RunOptions, res *Job
 	rates := j.spec.Rates
 	if j.engine == EnginePair {
 		// The paired comparison asserts bit-equal offered demand across
-		// both engines at every rate, so it runs as one barriered call.
+		// both engines at every rate, so it runs as one barriered call
+		// (its per-rate shard stages all land under one point span).
+		ps := ro.Trace.Start("point", "index", "0")
 		ednRes, dilRes, err := MeasureClosedLoopPair(j.cfg, j.dcfg, rates, j.lo, j.qopts, j.dopts, j.opts, j.shards)
+		ro.Trace.End(ps)
 		if err != nil {
 			return err
 		}
@@ -340,11 +401,13 @@ func (j *compiledJob) runClosedLoop(ctx context.Context, ro RunOptions, res *Job
 		}
 		var r ClosedLoopResult
 		var err error
+		ps := ro.Trace.Start("point", "index", strconv.Itoa(i), "rate", formatAxis(rate))
 		if j.engine == EngineDilated {
 			r, err = simulate.DilatedClosedLoopPoint(j.dcfg, rate, i, j.lo, j.dopts, j.opts, j.shards)
 		} else {
 			r, err = simulate.ClosedLoopPoint(j.cfg, rate, i, j.lo, j.qopts, j.opts, j.shards)
 		}
+		ro.Trace.End(ps)
 		if err != nil {
 			return err
 		}
@@ -357,11 +420,13 @@ func (j *compiledJob) runClosedLoop(ctx context.Context, ro RunOptions, res *Job
 func (j *compiledJob) runClosedLoopLifetime(ro RunOptions, res *JobResult) error {
 	var r ClosedLoopLifetimeResult
 	var err error
+	ps := ro.Trace.Start("point", "index", "0")
 	if j.engine == EngineDilated {
 		r, err = DilatedClosedLoopLifetimeSweep(j.dcfg, j.lopts, j.lo, j.dopts, j.opts, j.shards)
 	} else {
 		r, err = ClosedLoopLifetimeSweep(j.cfg, j.lopts, j.lo, j.qopts, j.opts, j.shards)
 	}
+	ro.Trace.End(ps)
 	if err != nil {
 		return err
 	}
@@ -392,7 +457,9 @@ func (j *compiledJob) runEstimate(ro RunOptions, res *JobResult) error {
 		out.DstReachable = live[est.Dst]
 	}
 	if out.SrcLive && out.DstReachable {
+		ps := ro.Trace.Start("point", "index", "0", "load", formatAxis(load))
 		r, err := simulate.SaturationPoint(j.cfg, load, 0, j.src, j.qopts, j.opts, j.shards)
+		ro.Trace.End(ps)
 		if err != nil {
 			return err
 		}
@@ -414,3 +481,7 @@ func emit(ro RunOptions, i, total int, point any) {
 		ro.OnPoint(i, total, point)
 	}
 }
+
+// formatAxis renders a sweep-axis coordinate for a span attribute:
+// shortest exact float form, deterministic for a given spec.
+func formatAxis(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }

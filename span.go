@@ -1,0 +1,196 @@
+package edn
+
+import (
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Span is one timed step of a job's execution: a node in the
+// deterministic span tree a traced RunJob (and the serve layer around
+// it) records — queue wait, spec validation, table builds with their
+// cache verdicts, per-shard execution, merge, serialization. Offsets
+// and durations are wall-clock nanoseconds relative to the trace
+// start; the tree's *shape* (names, child counts, parentage) is a pure
+// function of the JobSpec, which is what the determinism tests pin —
+// timings are the payload, never the structure.
+//
+// Spans are observation-only: a traced run's JobResult is byte-for-byte
+// identical to an untraced run's.
+type Span struct {
+	Name string `json:"name"`
+	// StartNS is the span's start offset from the trace origin.
+	StartNS int64 `json:"start_ns"`
+	// DurationNS is the span's wall-clock length.
+	DurationNS int64 `json:"duration_ns"`
+	// Attrs carry small facts about the step: the cache verdict of a
+	// build ("hit"/"cold"/"off"), a point's axis index and coordinate,
+	// a shard's index and cycle share, a serialized result's size.
+	Attrs    map[string]string `json:"attrs,omitempty"`
+	Children []*Span           `json:"children,omitempty"`
+
+	parent *Span
+	// order fixes sibling order deterministically: sequential children
+	// take an appearance counter, concurrent shard observations take
+	// their shard index — so the rendered tree is independent of
+	// goroutine scheduling.
+	order int
+}
+
+// Walk visits the span and every descendant in tree order.
+func (s *Span) Walk(f func(depth int, s *Span)) {
+	s.walk(0, f)
+}
+
+func (s *Span) walk(depth int, f func(depth int, s *Span)) {
+	if s == nil {
+		return
+	}
+	f(depth, s)
+	for _, c := range s.Children {
+		c.walk(depth+1, f)
+	}
+}
+
+// SpanCollector builds one job's span tree. The sequential execution
+// path uses Start/End as a stack (Start opens a child of the current
+// span and makes it current; End closes it); concurrent shard
+// goroutines report through ObserveStage, which files completed stages
+// under the current span ordered by shard index. All methods are safe
+// on a nil collector (no-ops returning nil), so instrumented code
+// carries no tracing conditionals.
+type SpanCollector struct {
+	mu   sync.Mutex
+	t0   time.Time
+	root *Span
+	cur  *Span
+	done bool
+}
+
+// NewSpanCollector starts a trace whose origin is now, rooted at a
+// span with the given name.
+func NewSpanCollector(rootName string) *SpanCollector {
+	c := &SpanCollector{t0: time.Now()}
+	c.root = &Span{Name: rootName}
+	c.cur = c.root
+	return c
+}
+
+// Start opens a child span of the current span and makes it current.
+// attrs are alternating key, value pairs.
+func (c *SpanCollector) Start(name string, attrs ...string) *Span {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := &Span{
+		Name:    name,
+		StartNS: time.Since(c.t0).Nanoseconds(),
+		Attrs:   attrMap(attrs),
+		parent:  c.cur,
+		order:   seqOrder + len(c.cur.Children),
+	}
+	c.cur.Children = append(c.cur.Children, s)
+	c.cur = s
+	return s
+}
+
+// End closes s (idempotent on nil) and restores its parent as current.
+func (c *SpanCollector) End(s *Span) {
+	if c == nil || s == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s.DurationNS = time.Since(c.t0).Nanoseconds() - s.StartNS
+	if c.cur == s && s.parent != nil {
+		c.cur = s.parent
+	}
+	sortChildren(s)
+}
+
+// SetAttr annotates s after creation.
+func (c *SpanCollector) SetAttr(s *Span, key, value string) {
+	if c == nil || s == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if s.Attrs == nil {
+		s.Attrs = make(map[string]string, 1)
+	}
+	s.Attrs[key] = value
+}
+
+// ObserveStage files one completed execution stage under the current
+// span. It matches simulate's stage-timer hook signature: stage names
+// the step ("shard", "merge", "observe"), shard is the shard index (-1
+// for whole-point stages), cycles its cycle share (0 when not
+// meaningful). Safe to call concurrently from shard goroutines; shard
+// stages sort by index, whole-point stages keep arrival order after
+// them, so the resulting sibling order is schedule-independent.
+func (c *SpanCollector) ObserveStage(stage string, shard, cycles int, start time.Time, d time.Duration) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := &Span{
+		Name:       stage,
+		StartNS:    start.Sub(c.t0).Nanoseconds(),
+		DurationNS: d.Nanoseconds(),
+		parent:     c.cur,
+		order:      seqOrder + len(c.cur.Children),
+	}
+	if shard >= 0 {
+		s.order = shard
+		s.Attrs = map[string]string{"shard": strconv.Itoa(shard)}
+	}
+	if cycles > 0 {
+		if s.Attrs == nil {
+			s.Attrs = make(map[string]string, 1)
+		}
+		s.Attrs["cycles"] = strconv.Itoa(cycles)
+	}
+	c.cur.Children = append(c.cur.Children, s)
+}
+
+// Finish closes the root span and returns the completed tree; further
+// collector calls are no-ops by convention (the tree is handed off).
+func (c *SpanCollector) Finish() *Span {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.done {
+		c.root.DurationNS = time.Since(c.t0).Nanoseconds()
+		sortChildren(c.root)
+		c.done = true
+	}
+	return c.root
+}
+
+// seqOrder offsets sequential children past any plausible shard index
+// so shard stages always sort before the stages that consume them
+// (merge, observe).
+const seqOrder = 1 << 20
+
+func sortChildren(s *Span) {
+	sort.SliceStable(s.Children, func(i, j int) bool {
+		return s.Children[i].order < s.Children[j].order
+	})
+}
+
+func attrMap(kv []string) map[string]string {
+	if len(kv) == 0 {
+		return nil
+	}
+	m := make(map[string]string, len(kv)/2)
+	for i := 0; i+1 < len(kv); i += 2 {
+		m[kv[i]] = kv[i+1]
+	}
+	return m
+}
