@@ -1,0 +1,255 @@
+// Command edn-explain answers "where did the latency go": it runs a
+// workload with the latency-anatomy collector attached and renders the
+// causal decomposition of every delivered, dropped and stranded
+// packet's time — per stage, split into queue wait (cycles behind
+// packets ahead in the same FIFO), head-of-line blocking (cycles a
+// queue head spent stalled on a full downstream queue or lost
+// arbitration), and service (the traversal cycles themselves) — plus
+// the switch blame ledger (who *caused* the blocked cycles) and the
+// congestion trees the blocking formed (root switch, depth, spread,
+// lifetime).
+//
+//	edn-explain -a 16 -b 4 -c 4 -l 2 -load 0.9
+//	edn-explain -a 16 -b 4 -c 4 -l 2 -engine dilated -traffic hotspot
+//	edn-explain -a 16 -b 4 -c 4 -l 2 -traffic moving-hotspot -period 200
+//	edn-explain -a 16 -b 4 -c 4 -l 2 -mode loop -load 0.4
+//	edn-explain -spec job.json
+//
+// -mode loop runs the closed-loop request/response workload instead
+// and additionally prints the five-way request-time split
+// (client-queue / retry-wait / forward-fabric / service /
+// reply-fabric). -spec replays a saved JobSpec — an explain section is
+// injected when the spec has none — and renders its anatomy the same
+// way. Attribution is observation-only: the measured numbers of an
+// explained run are byte-identical to an unexplained one's.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"edn"
+	"edn/internal/cliutil"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "edn-explain:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("edn-explain", flag.ContinueOnError)
+	a, b, c, l := cliutil.GeometryFlags(fs, 16, 4, 4, 2)
+	engine := fs.String("engine", "edn", "engine: edn, dilated")
+	mode := fs.String("mode", "latency", "workload: latency (open-loop packets), loop (closed-loop requests)")
+	depth := fs.Int("depth", 4, "per-wire FIFO depth (-1 unbounded, 0 unbuffered resubmission)")
+	policy := fs.String("policy", "backpressure", "blocked-packet policy: backpressure, drop")
+	load := fs.Float64("load", 0.9, "offered load (demand rate for -mode loop)")
+	pattern := fs.String("traffic", "uniform", "traffic: uniform, onoff, hotspot, moving-hotspot")
+	burst := fs.Float64("burst", 16, "mean burst length for onoff traffic")
+	hotFraction := fs.Float64("hot-fraction", 0.2, "fraction of requests aimed at the hot output")
+	hot := fs.Int("hot", 0, "initial hot output (hotspot, moving-hotspot)")
+	period := fs.Int("period", 0, "cycles between hot-spot moves (moving-hotspot; 0 = never)")
+	stride := fs.Int("stride", 1, "hot-output step per move (moving-hotspot)")
+	cycles := fs.Int("cycles", 4000, "measured cycles (split across shards)")
+	warmup := fs.Int("warmup", 500, "warmup cycles discarded per shard")
+	shards := fs.Int("shards", 0, "parallel shards (0 = GOMAXPROCS); anatomy is shard-invariant")
+	seed := fs.Uint64("seed", 1, "RNG seed")
+	arb := fs.String("arb", "priority", "arbitration: priority, roundrobin, random")
+	topK := fs.Int("top-k", 8, "entries kept in the blame and congestion-tree lists")
+	format := fs.String("format", "table", "output: table, json")
+	window := fs.Int("window", 4, "outstanding requests per source (-mode loop)")
+	timeout := fs.Int("timeout", 32, "attempt timeout in cycles (-mode loop)")
+	attempts := fs.Int("attempts", 8, "max attempts per request (-mode loop)")
+	retry := fs.String("retry", "backoff", "retry policy: immediate, backoff (-mode loop)")
+	sf := cliutil.SpecFlags(fs)
+	prof := cliutil.ProfileFlags(fs)
+	fs.SetOutput(w)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	stopProf, err := prof.Start()
+	if err != nil {
+		return err
+	}
+	defer stopProf()
+
+	var spec edn.JobSpec
+	if *sf.Path != "" {
+		if err := cliutil.LoadSpec(*sf.Path, &spec); err != nil {
+			return err
+		}
+		if spec.Explain == nil {
+			spec.Explain = &edn.ExplainSpec{TopK: *topK}
+		}
+	} else {
+		spec = edn.JobSpec{
+			Geometry: &edn.GeometrySpec{A: *a, B: *b, C: *c, L: *l},
+			Engine:   *engine,
+			Queue:    &edn.QueueSpec{Depth: *depth, Policy: *policy, Arbiter: *arb},
+			Sim:      edn.SimSpec{Cycles: *cycles, Warmup: *warmup, Seed: *seed, Shards: *shards},
+			Explain:  &edn.ExplainSpec{TopK: *topK},
+		}
+		switch *mode {
+		case "latency":
+			spec.Mode, spec.Load = edn.JobLatency, *load
+		case "loop":
+			spec.Mode, spec.Rates = edn.JobClosedLoop, []float64{*load}
+			spec.Loop = &edn.ClosedLoopSpec{
+				Window: *window, Timeout: *timeout, MaxAttempts: *attempts,
+				Retry: *retry, BackoffBase: 2, BackoffCap: 16,
+			}
+		default:
+			return fmt.Errorf("unknown mode %q (want latency or loop)", *mode)
+		}
+		switch *pattern {
+		case "uniform":
+		case "onoff":
+			spec.Traffic = &edn.TrafficSpec{Kind: "bursty", MeanBurst: *burst}
+		case "hotspot":
+			spec.Traffic = &edn.TrafficSpec{Kind: "hotspot", HotFraction: *hotFraction, Hot: *hot}
+		case "moving-hotspot":
+			spec.Traffic = &edn.TrafficSpec{
+				Kind: "moving-hotspot", HotFraction: *hotFraction,
+				Hot: *hot, Period: *period, Stride: *stride,
+			}
+		default:
+			return fmt.Errorf("unknown traffic %q", *pattern)
+		}
+	}
+	if *sf.Dump {
+		return cliutil.WriteJSON(w, spec)
+	}
+
+	var rep *edn.AnatomyReport
+	res, err := edn.RunJob(context.Background(), spec, edn.RunOptions{
+		OnExplain: func(r *edn.AnatomyReport) { rep = r },
+	})
+	if err != nil {
+		return err
+	}
+	if rep == nil {
+		return fmt.Errorf("no anatomy report collected")
+	}
+
+	if *format == "json" {
+		return cliutil.WriteJSON(w, explainReport{Spec: spec, Result: res, Explain: rep})
+	}
+	return render(w, spec, rep)
+}
+
+// explainReport is the machine-readable output: the job, its untouched
+// result, and the anatomy riding beside it.
+type explainReport struct {
+	Spec    edn.JobSpec        `json:"spec"`
+	Result  *edn.JobResult     `json:"result"`
+	Explain *edn.AnatomyReport `json:"explain"`
+}
+
+func pct(part, whole int64) float64 {
+	if whole == 0 {
+		return 0
+	}
+	return 100 * float64(part) / float64(whole)
+}
+
+func render(w io.Writer, spec edn.JobSpec, rep *edn.AnatomyReport) error {
+	fmt.Fprintf(w, "latency anatomy: %d stages, %d inputs -> %d outputs, %d observed cycles\n",
+		rep.Stages, rep.Inputs, rep.Outputs, rep.Cycles)
+	for _, cl := range []struct {
+		name string
+		t    edn.AnatomyClassTotals
+	}{{"delivered", rep.Delivered}, {"dropped", rep.Dropped}, {"stranded", rep.Stranded}} {
+		total := cl.t.Wait + cl.t.Block + cl.t.Service
+		if cl.t.Count == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "%-9s %8d packets, %10d cycles = wait %5.1f%% + block %5.1f%% + service %5.1f%%\n",
+			cl.name, cl.t.Count, total,
+			pct(cl.t.Wait, total), pct(cl.t.Block, total), pct(cl.t.Service, total))
+	}
+	if rep.FaultParked > 0 {
+		fmt.Fprintf(w, "fault-parked ring-cycles: %d (packets stalled on failed wires)\n", rep.FaultParked)
+	}
+
+	if len(rep.PerStage) > 0 {
+		fmt.Fprintln(w, "\nper-stage ledger (cycles attributed to packets queued at the stage):")
+		rows := make([][]any, len(rep.PerStage))
+		for i, st := range rep.PerStage {
+			rows[i] = []any{st.Stage, st.Wait, st.Block, st.Service, st.Blame,
+				st.DwellSummary.P50, st.DwellSummary.P95, st.DwellSummary.Max}
+		}
+		if err := cliutil.WriteTable(w, stageColumns, rows); err != nil {
+			return err
+		}
+	}
+
+	if len(rep.Blame) > 0 {
+		fmt.Fprintln(w, "\nswitch blame (blocked ring-cycles this switch's full queues caused upstream):")
+		var total int64
+		for _, st := range rep.PerStage {
+			total += st.Blame
+		}
+		rows := make([][]any, len(rep.Blame))
+		for i, sb := range rep.Blame {
+			rows[i] = []any{sb.Stage, sb.Switch, sb.Cycles, pct(sb.Cycles, total)}
+		}
+		if err := cliutil.WriteTable(w, blameColumns, rows); err != nil {
+			return err
+		}
+	}
+
+	if len(rep.Trees) > 0 {
+		fmt.Fprintln(w, "\ncongestion trees (by total blocked ring-cycles):")
+		for _, t := range rep.Trees {
+			root := fmt.Sprintf("stage %d switch %d", t.RootStage, t.RootSwitch)
+			if t.RootTerminal >= 0 {
+				root = fmt.Sprintf("output %d (stage %d switch %d)", t.RootTerminal, t.RootStage, t.RootSwitch)
+			}
+			fmt.Fprintf(w, "  root %-32s depth %2d  spread %3d  cycles %d..%d  blocked %d\n",
+				root, t.Depth, t.Spread, t.FirstCycle, t.LastCycle, t.BlockedCycles)
+		}
+	}
+
+	if r := rep.Requests; r != nil && r.Completed > 0 {
+		total := r.Total()
+		fmt.Fprintf(w, "\nrequest time split (%d completed requests, %d total cycles):\n", r.Completed, total)
+		for _, seg := range []struct {
+			name string
+			v    int64
+		}{
+			{"client-queue", r.ClientQueue}, {"retry-wait", r.RetryWait},
+			{"forward-fabric", r.Forward}, {"service", r.Service}, {"reply-fabric", r.Reply},
+		} {
+			fmt.Fprintf(w, "  %-14s %10d cycles  %5.1f%%  (%.2f/request)\n",
+				seg.name, seg.v, pct(seg.v, total), float64(seg.v)/float64(r.Completed))
+		}
+		if r.GiveUps > 0 {
+			fmt.Fprintf(w, "  gave up: %d requests after %d cycles\n", r.GiveUps, r.GiveUpTime)
+		}
+	}
+	return nil
+}
+
+var stageColumns = []cliutil.Column{
+	{Name: "stage", Format: "%5d"},
+	{Name: "wait", Format: "%10d"},
+	{Name: "block", Format: "%10d"},
+	{Name: "service", Format: "%10d"},
+	{Name: "blame", Format: "%10d"},
+	{Name: "dwell_p50", Head: "dwl-p50", Format: "%8.1f"},
+	{Name: "dwell_p95", Head: "dwl-p95", Format: "%8.1f"},
+	{Name: "dwell_max", Head: "dwl-max", Format: "%8.0f"},
+}
+
+var blameColumns = []cliutil.Column{
+	{Name: "stage", Format: "%5d"},
+	{Name: "switch", Format: "%6d"},
+	{Name: "cycles", Format: "%10d"},
+	{Name: "share", Head: "share%", Format: "%7.1f"},
+}

@@ -55,6 +55,7 @@ func run(args []string, w io.Writer) error {
 	bins := fs.Int("heat-bins", 32, "heat series time bins")
 	heatmap := fs.Bool("heatmap", false, "print per-stage heat rows")
 	dump := fs.Bool("dump", false, "print raw traces, one hop per line")
+	explain := fs.Bool("explain", false, "annotate dumped trace hops with their wait/block/service split (implies -dump)")
 	export := fs.String("export", "", "emit registry metrics instead of the summary: prom, jsonl")
 	format := fs.String("format", "table", "cohort breakdown output: table, csv, json")
 	window := fs.Int("window", 4, "outstanding requests per source (-engine loop)")
@@ -162,8 +163,8 @@ func run(args []string, w io.Writer) error {
 		}
 	}
 
-	if *dump {
-		return dumpTraces(w, rep)
+	if *dump || *explain {
+		return dumpTraces(w, rep, *explain)
 	}
 
 	if *format == "json" {
@@ -283,8 +284,11 @@ func cohortRows(rep *edn.ProbeReport) []cohortRow {
 	return rows
 }
 
-// dumpTraces prints every sampled trace, one hop per line.
-func dumpTraces(w io.Writer, rep *edn.ProbeReport) error {
+// dumpTraces prints every sampled trace, one hop per line. With
+// explain, each hop that ends a stage visit (traverse, deliver, drop,
+// strand) is annotated with the visit's wait/block/service split — the
+// per-packet view of the anatomy ledgers (see edn.SplitTraceHops).
+func dumpTraces(w io.Writer, rep *edn.ProbeReport, explain bool) error {
 	for i := range rep.Traces {
 		t := &rep.Traces[i]
 		status := "open"
@@ -294,8 +298,22 @@ func dumpTraces(w io.Writer, rep *edn.ProbeReport) error {
 		if _, err := fmt.Fprintf(w, "trace %d input=%d dest=%d inject=%d %s\n", t.ID, t.Input, t.Dest, t.Inject, status); err != nil {
 			return err
 		}
+		var splits []edn.TraceSplit
+		if explain {
+			splits = edn.SplitTraceHops(t.Hops)
+		}
+		si := 0
 		for _, h := range t.Hops {
-			if _, err := fmt.Fprintf(w, "  cycle=%-8d stage=%-3d %s\n", h.Cycle, h.Stage, h.Event); err != nil {
+			suffix := ""
+			if si < len(splits) {
+				switch h.Event {
+				case edn.EvTraverse, edn.EvDeliver, edn.EvDrop, edn.EvStrand:
+					s := splits[si]
+					si++
+					suffix = fmt.Sprintf("   wait=%-4d block=%-4d service=%d", s.Wait, s.Block, s.Service)
+				}
+			}
+			if _, err := fmt.Fprintf(w, "  cycle=%-8d stage=%-3d %-8s%s\n", h.Cycle, h.Stage, h.Event, suffix); err != nil {
 				return err
 			}
 		}

@@ -135,6 +135,34 @@
 //     per-benchmark ceilings in CI — over budget is a warning inside
 //     the shared-runner noise band, past 2x the budget (or a budgeted
 //     benchmark disappearing) fails the build.
+//   - Latency anatomy: where the Probe records what happened, the
+//     anatomy layer explains where the time went. An AnatomyCollector
+//     attaches to any of the four engines (SetAnatomy) and decomposes
+//     every closed packet's life — delivered, dropped or stranded —
+//     into wait (queued behind another packet), block (at the head but
+//     unable to advance) and service (cycles that moved it), an exact
+//     partition of its latency: wait + block + service == closed −
+//     inject for the buffered engines (+1 at depth 0, whose latency
+//     convention counts the injection cycle — property-tested across
+//     every depth x policy x fault-churn combination). Each blocked
+//     cycle is charged to the switch that caused it (blame ledgers,
+//     per-stage dwell histograms, per-source/per-destination flows),
+//     and a congestion-tree detector follows blocked-by edges
+//     downstream to name the root switch of each backpressure tree
+//     with its depth, spread and lifetime — tomography for questions
+//     like "which hot output is really responsible for this tail".
+//     Closed-loop requests get a five-way split instead: client-queue,
+//     retry-wait, forward-fabric, service, reply-fabric. Reports are
+//     shard-mergeable and ride the same dedicated observation pass as
+//     the probe, so explaining a run never moves a measured number
+//     (byte-identity property-tested, fault churn included) and a
+//     detached collector costs one nil check per hook
+//     (BenchmarkAnatomyOff, 0 allocs/op, CI-gated). The surface is a
+//     JobSpec explain section, the daemon's /v1/explain endpoint and
+//     stdio explain verb (the report arrives beside the result event,
+//     never inside it), cmd/edn-explain for the human-facing table,
+//     and edn-trace -explain to annotate sampled per-hop traces with
+//     their per-stage split (SplitTraceHops).
 //   - Reproduction: Figure7, Figure8, Figure11, CostTable and
 //     MasParCaseStudy regenerate the paper's evaluation artifacts (see
 //     cmd/edn-figures and EXPERIMENTS.md).

@@ -2,6 +2,7 @@ package edn
 
 import (
 	"edn/internal/analytic"
+	"edn/internal/anatomy"
 	"edn/internal/closedloop"
 	"edn/internal/core"
 	"edn/internal/design"
@@ -858,6 +859,64 @@ type LiveMetrics = probe.Metrics
 
 // NewLiveMetrics returns an empty live-instrument surface.
 func NewLiveMetrics() *LiveMetrics { return probe.NewMetrics() }
+
+// ---------------------------------------------------------------------------
+// Latency anatomy: causal time attribution and congestion-tree tomography
+//
+// Where a Probe records what happened, an AnatomyCollector explains
+// where the time went: every delivered, dropped or stranded packet's
+// end-to-end latency is decomposed per stage into queue-wait,
+// head-of-line blocking and service, blocked heads are attributed to
+// the downstream FIFO or terminal that refused them, and the per-cycle
+// blocked-by edges are folded into congestion trees (root switch,
+// depth, spread, lifetime). Attach with an engine's SetAnatomy; the
+// same non-perturbation contract as probes holds (nil = one branch per
+// site, BenchmarkAnatomyOff pins 0 allocs/op; attached anatomy never
+// moves a measured number). Job-level access: the JobSpec "explain"
+// section plus RunOptions.OnExplain, the serve layer's /v1/explain,
+// or cmd/edn-explain.
+
+// AnatomyCollector accumulates latency anatomy for one engine run.
+type AnatomyCollector = anatomy.Collector
+
+// AnatomyOptions configures a collector (top-K list sizes, dwell
+// histogram shape, test callbacks).
+type AnatomyOptions = anatomy.Options
+
+// NewAnatomyCollector builds a collector; attach it with an engine's
+// SetAnatomy and read it with Report after the run.
+func NewAnatomyCollector(opts AnatomyOptions) *AnatomyCollector { return anatomy.New(opts) }
+
+// AnatomyReport is a collector's mergeable output: per-class and
+// per-stage wait/block/service ledgers, per-switch blame, top-K
+// congestion trees, per-source/per-destination flows, and the
+// closed-loop request split.
+type AnatomyReport = anatomy.Report
+
+// StageAnatomy is one stage's wait/block/service/blame ledger row.
+type StageAnatomy = anatomy.StageTotals
+
+// AnatomyClassTotals aggregates the attributed time of one packet
+// class (delivered, dropped or stranded).
+type AnatomyClassTotals = anatomy.ClassTotals
+
+// CongestionTree is one detected congestion tree: root switch, depth,
+// spread, lifetime and total blocked ring-cycles.
+type CongestionTree = anatomy.Tree
+
+// RequestTimeSplit is the closed-loop five-way request-time
+// decomposition (client-queue / retry-wait / forward-fabric / service
+// / reply-fabric).
+type RequestTimeSplit = anatomy.RequestSplit
+
+// TraceSplit is one stage-visit of a sampled trace annotated with its
+// wait/block/service share (see SplitTraceHops).
+type TraceSplit = anatomy.TraceSplit
+
+// SplitTraceHops decomposes a sampled packet trace's hops into
+// per-stage wait/block/service segments — the per-packet view of the
+// anatomy ledgers, used by edn-trace -explain.
+func SplitTraceHops(hops []PacketHop) []TraceSplit { return anatomy.SplitHops(hops) }
 
 // ---------------------------------------------------------------------------
 // Design-space exploration and physical netlists

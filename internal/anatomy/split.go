@@ -1,0 +1,77 @@
+package anatomy
+
+import "edn/internal/probe"
+
+// TraceSplit is one stage-visit of a sampled packet trace, annotated
+// with its wait/block/service decomposition. The splits of a delivered
+// buffered-engine trace telescope to the trace latency; depth-0 traces
+// telescope to latency+1 (the engines' depth-0 latency convention
+// counts the injection cycle).
+type TraceSplit struct {
+	Stage   int   `json:"stage"`
+	Wait    int64 `json:"wait"`
+	Block   int64 `json:"block"`
+	Service int64 `json:"service"`
+}
+
+// SplitHops decomposes a packet trace's hops into per-stage-visit
+// wait/block/service segments. It understands the probe's hop
+// compression (a run of blocked cycles at one stage is recorded as a
+// single block hop at the run's first cycle): the gap between entering
+// a stage and the first blocked cycle is queue wait, the span from
+// first block to departure is head-of-line blocking, and the departing
+// cycle itself is service (dropping and stranding cycles count as
+// blocked, matching the Collector's ledger attribution). Closed-loop
+// request traces (issue/retry/complete) have no stage geometry and
+// return nil.
+func SplitHops(hops []probe.Hop) []TraceSplit {
+	if len(hops) == 0 || hops[0].Event != probe.EvInject {
+		return nil
+	}
+	var out []TraceSplit
+	prev := hops[0].Cycle // cycle the packet entered the current stage's queue
+	blockStart := int64(-1)
+	for _, h := range hops[1:] {
+		switch h.Event {
+		case probe.EvBlock, probe.EvPark:
+			if blockStart < 0 {
+				blockStart = h.Cycle
+			}
+		case probe.EvTraverse, probe.EvDeliver:
+			seg := TraceSplit{Stage: h.Stage, Service: 1}
+			if blockStart >= 0 {
+				seg.Block = h.Cycle - blockStart
+				seg.Wait = blockStart - prev - 1
+			} else {
+				seg.Wait = h.Cycle - prev - 1
+			}
+			if seg.Wait < 0 {
+				// Depth-0 engines can inject and resolve in the same
+				// cycle; there is no queue to wait in.
+				seg.Wait = 0
+			}
+			out = append(out, seg)
+			prev = h.Cycle
+			blockStart = -1
+		case probe.EvDrop, probe.EvStrand:
+			seg := TraceSplit{Stage: h.Stage}
+			if blockStart >= 0 {
+				seg.Block = h.Cycle - blockStart + 1
+				seg.Wait = blockStart - prev - 1
+			} else {
+				seg.Block = 1
+				seg.Wait = h.Cycle - prev - 1
+			}
+			if seg.Wait < 0 {
+				seg.Wait = 0
+			}
+			out = append(out, seg)
+			prev = h.Cycle
+			blockStart = -1
+		default:
+			// A request-family event inside a packet trace: not ours.
+			return out
+		}
+	}
+	return out
+}

@@ -1,0 +1,187 @@
+package anatomy
+
+import "sort"
+
+// A congestion tree is the signature failure mode of a hot spot in a
+// multistage network: the queues in front of the hot output fill, the
+// switches feeding them block, *their* input queues fill, and the
+// blocking spreads backward stage by stage until traffic that never
+// wanted the hot output is stuck behind traffic that did (the
+// Ultracomputer literature's "tree saturation"). The TreeDetector
+// reconstructs these trees from the per-cycle blocked-by edges the
+// Collector records: each cycle it walks every blocked ring's edge
+// chain downstream to the first node that is not itself blocked — the
+// tree's root — and aggregates per-root statistics over the tree's
+// lifetime.
+
+// Tree is one detected congestion tree, reported with the location of
+// its root, how far back the blocking reached (Depth, in stages), how
+// many wires it froze at its widest (Spread), when it lived, and its
+// total cost in blocked ring-cycles.
+type Tree struct {
+	RootStage     int   `json:"root_stage"`          // 1-based stage of the root node
+	RootSwitch    int   `json:"root_switch"`         // switch index within that stage
+	RootTerminal  int   `json:"root_terminal"`       // output terminal, or -1 for a ring root
+	Depth         int   `json:"depth"`               // longest blocked-by chain observed (edges)
+	Spread        int   `json:"spread"`              // max simultaneously blocked rings
+	FirstCycle    int64 `json:"first_cycle"`         // cycle the tree appeared
+	LastCycle     int64 `json:"last_cycle"`          // last cycle it was observed
+	BlockedCycles int64 `json:"blocked_ring_cycles"` // sum of spread over its lifetime
+}
+
+// treeState tracks one live tree keyed by its root node.
+type treeState struct {
+	root      int32
+	first     int64
+	last      int64
+	cycles    int64
+	maxDepth  int32
+	maxSpread int32
+}
+
+type cycleRoot struct {
+	spread int32
+	depth  int32
+}
+
+type treeDetector struct {
+	topK     int
+	active   map[int32]*treeState
+	finished []Tree
+	agg      map[int32]*cycleRoot // reused per cycle
+}
+
+func (td *treeDetector) reset(topK int) {
+	td.topK = topK
+	td.active = make(map[int32]*treeState)
+	td.finished = td.finished[:0]
+	td.agg = make(map[int32]*cycleRoot)
+}
+
+// observe folds one cycle's blocked-by edges in. blockedBy[r] is the
+// node blocking ring r (bbNone when r's head is not blocked, bbParked
+// for fault parks, which never join a tree).
+func (td *treeDetector) observe(now int64, blocked []int32, blockedBy []int32, lay Layout) {
+	if len(blocked) == 0 {
+		td.closeStale(now, lay)
+		return
+	}
+	for _, b := range blocked {
+		// Walk downstream to the root: the first node that is not
+		// itself a blocked ring. Edges point strictly downstream (a
+		// head is blocked by a *later*-stage ring or a terminal), so
+		// the walk terminates; the bound is defensive.
+		cur := b
+		depth := int32(0)
+		for hops := 0; hops <= lay.Stages+1; hops++ {
+			next := blockedBy[cur]
+			depth++
+			if next >= int32(lay.Rings) {
+				// Terminal node: never blocked, always a root.
+				cur = next
+				break
+			}
+			if blockedBy[next] < 0 {
+				// A full ring whose own head is not blocked (it is
+				// draining, just not fast enough), or a parked ring.
+				cur = next
+				break
+			}
+			cur = next
+		}
+		ca := td.agg[cur]
+		if ca == nil {
+			ca = &cycleRoot{}
+			td.agg[cur] = ca
+		}
+		ca.spread++
+		if depth > ca.depth {
+			ca.depth = depth
+		}
+	}
+	for root, ca := range td.agg {
+		ts := td.active[root]
+		if ts == nil {
+			ts = &treeState{root: root, first: now}
+			td.active[root] = ts
+		}
+		ts.last = now
+		ts.cycles += int64(ca.spread)
+		if ca.depth > ts.maxDepth {
+			ts.maxDepth = ca.depth
+		}
+		if ca.spread > ts.maxSpread {
+			ts.maxSpread = ca.spread
+		}
+		delete(td.agg, root)
+	}
+	td.closeStale(now, lay)
+}
+
+// closeStale retires trees that were not observed this cycle.
+func (td *treeDetector) closeStale(now int64, lay Layout) {
+	for root, ts := range td.active {
+		if ts.last == now {
+			continue
+		}
+		td.finished = append(td.finished, ts.tree(lay))
+		delete(td.active, root)
+	}
+	if len(td.finished) > 8*td.topK+64 {
+		sortTrees(td.finished)
+		td.finished = td.finished[:td.topK]
+	}
+}
+
+func (ts *treeState) tree(lay Layout) Tree {
+	t := Tree{
+		Depth: int(ts.maxDepth), Spread: int(ts.maxSpread),
+		FirstCycle: ts.first, LastCycle: ts.last, BlockedCycles: ts.cycles,
+		RootTerminal: -1,
+	}
+	if int(ts.root) >= lay.Rings {
+		term := int(ts.root) - lay.Rings
+		t.RootStage = lay.Stages
+		t.RootSwitch = int(lay.TermSwitch[term])
+		t.RootTerminal = term
+	} else {
+		t.RootStage = int(lay.RingStage[ts.root])
+		t.RootSwitch = int(lay.RingSwitch[ts.root])
+	}
+	return t
+}
+
+// report drains the detector into a final top-K tree list, closing the
+// trees still live at end of run.
+func (td *treeDetector) report(lay Layout) []Tree {
+	out := append([]Tree(nil), td.finished...)
+	for _, ts := range td.active {
+		out = append(out, ts.tree(lay))
+	}
+	sortTrees(out)
+	if len(out) > td.topK {
+		out = out[:td.topK]
+	}
+	return out
+}
+
+// sortTrees orders by blocked ring-cycles (the tree's total cost),
+// breaking ties deterministically so reports are reproducible.
+func sortTrees(trees []Tree) {
+	sort.Slice(trees, func(i, j int) bool {
+		a, b := trees[i], trees[j]
+		if a.BlockedCycles != b.BlockedCycles {
+			return a.BlockedCycles > b.BlockedCycles
+		}
+		if a.FirstCycle != b.FirstCycle {
+			return a.FirstCycle < b.FirstCycle
+		}
+		if a.RootStage != b.RootStage {
+			return a.RootStage < b.RootStage
+		}
+		if a.RootSwitch != b.RootSwitch {
+			return a.RootSwitch < b.RootSwitch
+		}
+		return a.RootTerminal < b.RootTerminal
+	})
+}

@@ -42,6 +42,7 @@ package closedloop
 import (
 	"fmt"
 
+	"edn/internal/anatomy"
 	"edn/internal/probe"
 	"edn/internal/queuesim"
 	"edn/internal/ringbuf"
@@ -256,6 +257,7 @@ type slot struct {
 	dest      int32 // memory port
 	createdAt int64 // demand arrival cycle (latency epoch)
 	issuedAt  int64 // forward injection cycle of the current attempt
+	firstAt   int64 // forward injection cycle of the first attempt
 	deadline  int64 // issuedAt + Timeout
 	readyAt   int64 // service completion cycle (slotService)
 	replyAt   int64 // return injection cycle (slotReply)
@@ -300,6 +302,11 @@ type Loop struct {
 	// probe, when set, flight-records sampled requests (Hop.Stage is the
 	// attempt number) and per-cycle ledger gauges; see SetProbe.
 	probe *probe.Probe
+
+	// anat, when set, receives every completed request's five-way time
+	// split (client-queue / retry-wait / forward-fabric / service /
+	// reply-fabric); see SetAnatomy.
+	anat *anatomy.Collector
 }
 
 // New builds a closed-loop workload over the given fabrics. fwd and rev
@@ -432,6 +439,21 @@ func (l *Loop) SetProbe(p *probe.Probe) {
 	}
 }
 
+// SetAnatomy attaches a latency-anatomy collector to the request layer
+// (nil detaches): every completed request reports its five-way time
+// split — client-queue, retry-wait, forward-fabric, service (inclusive
+// of reply-injection wait at the server), reply-fabric — which sums
+// exactly to its completion latency. The fabric-internal per-stage
+// breakdown is available by running the same geometry in latency or
+// saturation mode. The non-perturbation contract matches SetProbe.
+// Not safe to swap mid-cycle.
+func (l *Loop) SetAnatomy(a *anatomy.Collector) {
+	l.anat = a
+	if a != nil {
+		a.BindRequests(l.inputs, l.outputs)
+	}
+}
+
 // SetLiveOutputs installs the avoidance list: live[m] reports whether
 // memory port m is currently reachable (typically a fault mask's
 // ReachableOutputsInto vector). New destination draws are steered to
@@ -552,6 +574,11 @@ func (l *Loop) onReplyDelivered(dest int, inject int64) {
 				l.probe.CloseRec(sl.trace, int(sl.attempts), probe.EvComplete, l.now)
 				sl.trace = -1
 			}
+			if l.anat != nil {
+				arrive := sl.readyAt - int64(l.opts.ServiceCycles)
+				l.anat.ReqComplete(int(sl.src), int(sl.dest), sl.createdAt,
+					sl.firstAt, sl.issuedAt, arrive, sl.replyAt, l.now)
+			}
 			return
 		}
 	}
@@ -616,6 +643,9 @@ func (l *Loop) Cycle() (CycleStats, error) {
 				l.probe.CloseRec(sl.trace, int(sl.attempts), probe.EvGiveUp, l.now)
 				sl.trace = -1
 			}
+			if l.anat != nil {
+				l.anat.ReqGiveUp(int(sl.src), int(sl.dest), sl.createdAt, l.now)
+			}
 			continue
 		}
 		sl.state = slotRetry
@@ -668,6 +698,9 @@ func (l *Loop) Cycle() (CycleStats, error) {
 		sl.state = slotFwd
 		sl.attempts++
 		sl.issuedAt = l.now // the engine stamps injections with this cycle
+		if sl.attempts == 1 {
+			sl.firstAt = l.now
+		}
 		sl.deadline = l.now + int64(l.opts.Timeout)
 		l.led.InFlight++
 		l.listAppend(l.fwdHead, l.fwdTail, int(sl.dest), s)

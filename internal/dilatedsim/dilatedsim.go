@@ -45,6 +45,7 @@ import (
 	"fmt"
 	"math"
 
+	"edn/internal/anatomy"
 	"edn/internal/core"
 	"edn/internal/dilated"
 	"edn/internal/probe"
@@ -182,6 +183,14 @@ type Network struct {
 	// trace record handles (-1 = untraced), mirroring pending.
 	probe     *probe.Probe
 	pendTrace []int32
+
+	// anat, when set, mirrors every FIFO and attributes each in-flight
+	// packet's cycles to wait/block/service (see SetAnatomy); the
+	// anatBlockDown/anatTo fields carry advancePacket's diagnosis out
+	// to the caller, as in queuesim.
+	anat          *anatomy.Collector
+	anatTo        int
+	anatBlockDown int
 }
 
 // New builds a queueing network over dcfg. See Options for the depth
@@ -415,6 +424,9 @@ func (n *Network) refreshLiveView() {
 				if n.probe != nil && pkt&ringbuf.TraceBit != 0 {
 					n.probe.Close(pkt, n.ringStage(i), probe.EvStrand, n.now)
 				}
+				if n.anat != nil {
+					n.anat.Strand(i, n.now)
+				}
 			}
 			n.queued -= stranded
 			n.totals.Stranded += stranded
@@ -506,6 +518,44 @@ func (n *Network) SetProbe(p *probe.Probe) {
 	for i := range n.pendTrace {
 		n.pendTrace[i] = -1
 	}
+}
+
+// SetAnatomy attaches a latency-anatomy collector (nil detaches),
+// binding it to this network's ring geometry — the same observation
+// contract as queuesim.SetAnatomy: no decision changes, one branch per
+// site when detached. Not safe to swap mid-cycle.
+func (n *Network) SetAnatomy(a *anatomy.Collector) {
+	n.anat = a
+	if a == nil {
+		return
+	}
+	if n.opts.Depth == 0 {
+		a.Bind(anatomy.Layout{Stages: n.stages, Inputs: n.ports, Outputs: n.ports})
+		return
+	}
+	lay := anatomy.Layout{
+		Stages: n.stages, Inputs: n.ports, Outputs: n.ports,
+		Rings:      len(n.rings),
+		RingStage:  make([]int32, len(n.rings)),
+		RingSwitch: make([]int32, len(n.rings)),
+		TermSwitch: make([]int32, n.ports),
+	}
+	for i := range n.rings {
+		s := n.ringStage(i)
+		width := n.b * n.d
+		switch s {
+		case 1:
+			width = n.b // single-wire input ports
+		case n.stages:
+			width = n.d // the "switch" of the output stage is the port
+		}
+		lay.RingStage[i] = int32(s)
+		lay.RingSwitch[i] = int32((i - n.base[s-1]) / width)
+	}
+	for t := 0; t < n.ports; t++ {
+		lay.TermSwitch[t] = int32(t)
+	}
+	a.Bind(lay)
 }
 
 // ringStage returns the 1-based stage fed by ring i (boundary-l rings
@@ -600,6 +650,12 @@ func (n *Network) Cycle(dest []int) (CycleStats, error) {
 			}
 			r.Push(pkt)
 			n.queued++
+			if n.anat != nil {
+				n.anat.Inject(i, i, dst, n.now)
+			}
+		}
+		if n.anat != nil {
+			n.anat.EndCycle(n.now)
 		}
 	}
 	if n.probe != nil {
@@ -706,20 +762,34 @@ func (n *Network) advanceStage(s int, cs *CycleStats) {
 							n.probe.AddStage(pmDropped, s-1, 1)
 							n.probe.Close(pkt, s, probe.EvDrop, n.now)
 						}
+						if n.anat != nil {
+							n.anat.Drop(swIn+p, n.anatBlocker(s), n.now)
+						}
 					case liveCap != nil && liveCap[sw*n.b+dgt] == 0:
 						cs.ParkedOnDead++ // every sub-wire of its bucket is dead
 						if n.probe != nil {
 							n.probe.AddStage(pmParked, s-1, 1)
 							n.probe.Hop(pkt, s, probe.EvPark, n.now)
 						}
+						if n.anat != nil {
+							n.anat.Park(swIn+p, n.now)
+						}
 					default:
 						if n.probe != nil {
 							n.probe.AddStage(pmHolBlocked, s-1, 1)
 							n.probe.Hop(pkt, s, probe.EvBlock, n.now)
 						}
+						if n.anat != nil {
+							n.anat.Block(swIn+p, n.anatBlocker(s), n.now)
+						}
 					}
-				} else if n.probe != nil {
-					n.probe.Hop(pkt, s, probe.EvTraverse, n.now)
+				} else {
+					if n.probe != nil {
+						n.probe.Hop(pkt, s, probe.EvTraverse, n.now)
+					}
+					if n.anat != nil {
+						n.anat.Advance(swIn+p, n.base[s]+n.anatTo, n.now)
+					}
 				}
 			}
 		}
@@ -768,20 +838,34 @@ func (n *Network) advanceStage(s int, cs *CycleStats) {
 						n.probe.AddStage(pmDropped, s-1, 1)
 						n.probe.Close(pkt, s, probe.EvDrop, n.now)
 					}
+					if n.anat != nil {
+						n.anat.Drop(swIn+p, n.anatBlocker(s), n.now)
+					}
 				case liveCap != nil && liveCap[sw*n.b+dgt] == 0:
 					cs.ParkedOnDead++
 					if n.probe != nil {
 						n.probe.AddStage(pmParked, s-1, 1)
 						n.probe.Hop(pkt, s, probe.EvPark, n.now)
 					}
+					if n.anat != nil {
+						n.anat.Park(swIn+p, n.now)
+					}
 				default:
 					if n.probe != nil {
 						n.probe.AddStage(pmHolBlocked, s-1, 1)
 						n.probe.Hop(pkt, s, probe.EvBlock, n.now)
 					}
+					if n.anat != nil {
+						n.anat.Block(swIn+p, n.anatBlocker(s), n.now)
+					}
 				}
-			} else if n.probe != nil {
-				n.probe.Hop(pkt, s, probe.EvTraverse, n.now)
+			} else {
+				if n.probe != nil {
+					n.probe.Hop(pkt, s, probe.EvTraverse, n.now)
+				}
+				if n.anat != nil {
+					n.anat.Advance(swIn+p, n.base[s]+n.anatTo, n.now)
+				}
 			}
 		}
 	}
@@ -793,6 +877,9 @@ func (n *Network) advanceStage(s int, cs *CycleStats) {
 // identity) into outRings. Each sub-wire carries at most one packet per
 // cycle — used counts grants, full and dead sub-wires alike.
 func (n *Network) advancePacket(r *ringbuf.Ring, pkt uint64, dgt, outBase, depth int, tab []int32, outRings []ringbuf.Ring, live []bool) bool {
+	if n.anat != nil {
+		n.anatBlockDown = -1
+	}
 	for int(n.used[dgt]) < n.d {
 		o := outBase + dgt*n.d + int(n.used[dgt])
 		n.used[dgt]++
@@ -807,11 +894,27 @@ func (n *Network) advancePacket(r *ringbuf.Ring, pkt uint64, dgt, outBase, depth
 		if dr.HasSpace(depth) {
 			r.Pop()
 			dr.Push(pkt)
+			if n.anat != nil {
+				n.anatTo = down
+			}
 			return true
 		}
 		// This sub-wire leads to a full FIFO: consumed for the cycle.
+		if n.anat != nil && n.anatBlockDown < 0 {
+			n.anatBlockDown = down
+		}
 	}
 	return false
+}
+
+// anatBlocker resolves advancePacket's failure diagnosis into an
+// anatomy node: the first full downstream FIFO tried, or -1 when
+// nothing downstream is to blame.
+func (n *Network) anatBlocker(s int) int {
+	if n.anatBlockDown >= 0 {
+		return n.base[s] + n.anatBlockDown
+	}
+	return -1
 }
 
 // advanceOutput runs the output-port stage: each port retires at most
@@ -843,6 +946,9 @@ func (n *Network) advanceOutput(cs *CycleStats) {
 				if !taken {
 					taken = true
 					n.retire(r.Pop(), cs)
+					if n.anat != nil {
+						n.anat.Deliver(pBase+w, n.now)
+					}
 				} else if drop {
 					pkt := r.Pop()
 					n.queued--
@@ -852,9 +958,17 @@ func (n *Network) advanceOutput(cs *CycleStats) {
 						n.probe.AddStage(pmDropped, n.stages-1, 1)
 						n.probe.Close(pkt, n.stages, probe.EvDrop, n.now)
 					}
-				} else if n.probe != nil {
-					n.probe.AddStage(pmHolBlocked, n.stages-1, 1)
-					n.probe.Hop(r.Peek(), n.stages, probe.EvBlock, n.now)
+					if n.anat != nil {
+						n.anat.Drop(pBase+w, len(n.rings)+port, n.now)
+					}
+				} else {
+					if n.probe != nil {
+						n.probe.AddStage(pmHolBlocked, n.stages-1, 1)
+						n.probe.Hop(r.Peek(), n.stages, probe.EvBlock, n.now)
+					}
+					if n.anat != nil {
+						n.anat.Block(pBase+w, len(n.rings)+port, n.now)
+					}
 				}
 			}
 		}
@@ -890,6 +1004,9 @@ func (n *Network) advanceOutput(cs *CycleStats) {
 			if !taken {
 				taken = true
 				n.retire(r.Pop(), cs)
+				if n.anat != nil {
+					n.anat.Deliver(pBase+w, n.now)
+				}
 			} else if drop {
 				pkt := r.Pop()
 				n.queued--
@@ -899,9 +1016,17 @@ func (n *Network) advanceOutput(cs *CycleStats) {
 					n.probe.AddStage(pmDropped, n.stages-1, 1)
 					n.probe.Close(pkt, n.stages, probe.EvDrop, n.now)
 				}
-			} else if n.probe != nil {
-				n.probe.AddStage(pmHolBlocked, n.stages-1, 1)
-				n.probe.Hop(r.Peek(), n.stages, probe.EvBlock, n.now)
+				if n.anat != nil {
+					n.anat.Drop(pBase+w, len(n.rings)+port, n.now)
+				}
+			} else {
+				if n.probe != nil {
+					n.probe.AddStage(pmHolBlocked, n.stages-1, 1)
+					n.probe.Hop(r.Peek(), n.stages, probe.EvBlock, n.now)
+				}
+				if n.anat != nil {
+					n.anat.Block(pBase+w, len(n.rings)+port, n.now)
+				}
 			}
 		}
 	}
@@ -954,6 +1079,9 @@ func (n *Network) cycleUnbuffered(dest []int, cs *CycleStats) {
 				n.pendTrace[i] = rec
 				n.probe.HopRec(rec, 0, probe.EvInject, n.now)
 			}
+		}
+		if n.anat != nil {
+			n.anat.Inject0(i, i, dst, n.now)
 		}
 	}
 
@@ -1092,6 +1220,9 @@ func (n *Network) cycleUnbuffered(dest []int, cs *CycleStats) {
 			}
 		}
 	}
+	if n.anat != nil {
+		n.anat.EndCycle0()
+	}
 }
 
 // grantWave places origin's packet on the first live bucket-dgt
@@ -1126,6 +1257,9 @@ func (n *Network) retireWave(org int32, cs *CycleStats) {
 		n.probe.CloseRec(n.pendTrace[org], n.stages, probe.EvDeliver, n.now)
 		n.pendTrace[org] = -1
 	}
+	if n.anat != nil {
+		n.anat.Deliver0(int(org), n.now)
+	}
 	if n.deliver != nil {
 		n.deliver(n.pending[org], int64(uint32(n.pendAt[org])))
 	}
@@ -1149,6 +1283,9 @@ func (n *Network) blockWave(org int32, s int, cs *CycleStats) {
 			n.probe.CloseRec(n.pendTrace[org], s, probe.EvDrop, n.now)
 			n.pendTrace[org] = -1
 		}
+		if n.anat != nil {
+			n.anat.Drop0(int(org), s, n.now)
+		}
 		return
 	}
 	parked := n.live != nil && n.pinnedDead(int(org))
@@ -1163,6 +1300,9 @@ func (n *Network) blockWave(org int32, s int, cs *CycleStats) {
 			n.probe.AddStage(pmHolBlocked, s-1, 1)
 			n.probe.HopRec(n.pendTrace[org], s, probe.EvBlock, n.now)
 		}
+	}
+	if n.anat != nil {
+		n.anat.Block0(int(org), s, parked, n.now)
 	}
 }
 

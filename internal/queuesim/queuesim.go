@@ -46,6 +46,7 @@ import (
 	"fmt"
 	"math"
 
+	"edn/internal/anatomy"
 	"edn/internal/core"
 	"edn/internal/faults"
 	"edn/internal/probe"
@@ -247,6 +248,17 @@ type Network struct {
 	// trace record handles (-1 = untraced), mirroring pending.
 	probe     *probe.Probe
 	pendTrace []int32
+
+	// anat, when set, mirrors every FIFO and attributes each in-flight
+	// packet's cycles to wait/block/service (see SetAnatomy). The
+	// anatBlock* fields carry advancePacket's failure diagnosis out to
+	// the caller: the relative downstream ring that was full, or the
+	// contended crossbar terminal; anatTo carries the relative ring a
+	// successful hyperbar advance landed in.
+	anat          *anatomy.Collector
+	anatTo        int
+	anatBlockDown int
+	anatBlockTerm bool
 }
 
 // New builds a queueing network over cfg. See Options for the depth and
@@ -510,6 +522,9 @@ func (n *Network) refreshDeadRings() {
 				if n.probe != nil && pkt&ringbuf.TraceBit != 0 {
 					n.probe.Close(pkt, n.ringStage(i), probe.EvStrand, n.now)
 				}
+				if n.anat != nil {
+					n.anat.Strand(i, n.now)
+				}
 			}
 			n.queued -= stranded
 			n.totals.Stranded += stranded
@@ -604,6 +619,44 @@ func (n *Network) SetProbe(p *probe.Probe) {
 	for i := range n.pendTrace {
 		n.pendTrace[i] = -1
 	}
+}
+
+// SetAnatomy attaches a latency-anatomy collector (nil detaches),
+// binding it to this network's ring geometry. Like the probe, the
+// collector observes without perturbing — no routing, arbitration or
+// queueing decision changes, and the detached path costs one branch
+// per site (BenchmarkAnatomyOff pins it at 0 allocs/op). Not safe to
+// swap mid-cycle.
+func (n *Network) SetAnatomy(a *anatomy.Collector) {
+	n.anat = a
+	if a == nil {
+		return
+	}
+	outputs := n.cfg.Outputs()
+	if n.opts.Depth == 0 {
+		a.Bind(anatomy.Layout{Stages: n.stages, Inputs: n.inputs, Outputs: outputs})
+		return
+	}
+	lay := anatomy.Layout{
+		Stages: n.stages, Inputs: n.inputs, Outputs: outputs,
+		Rings:      len(n.rings),
+		RingStage:  make([]int32, len(n.rings)),
+		RingSwitch: make([]int32, len(n.rings)),
+		TermSwitch: make([]int32, outputs),
+	}
+	for i := range n.rings {
+		s := n.ringStage(i)
+		width := n.cfg.A
+		if s == n.stages {
+			width = n.cfg.C
+		}
+		lay.RingStage[i] = int32(s)
+		lay.RingSwitch[i] = int32((i - n.base[s-1]) / width)
+	}
+	for t := 0; t < outputs; t++ {
+		lay.TermSwitch[t] = int32(t / n.cfg.C)
+	}
+	a.Bind(lay)
 }
 
 // ringStage returns the 1-based stage fed by ring i.
@@ -710,6 +763,12 @@ func (n *Network) Cycle(dest []int) (CycleStats, error) {
 			}
 			r.Push(pkt)
 			n.queued++
+			if n.anat != nil {
+				n.anat.Inject(i, i, d, n.now)
+			}
+		}
+		if n.anat != nil {
+			n.anat.EndCycle(n.now)
 		}
 	}
 	if n.probe != nil {
@@ -842,20 +901,38 @@ func (n *Network) advanceStage(s int, cs *CycleStats) {
 							n.probe.AddStage(pmDropped, s-1, 1)
 							n.probe.Close(pkt, s, probe.EvDrop, n.now)
 						}
+						if n.anat != nil {
+							n.anat.Drop(swIn+p, n.anatBlocker(s, sw*bc, d), n.now)
+						}
 					case headDeadBlocked(sw, d, isCrossbar, cfg, live, liveCap):
 						cs.ParkedOnDead++
 						if n.probe != nil {
 							n.probe.AddStage(pmParked, s-1, 1)
 							n.probe.Hop(pkt, s, probe.EvPark, n.now)
 						}
+						if n.anat != nil {
+							n.anat.Park(swIn+p, n.now)
+						}
 					default:
 						if n.probe != nil {
 							n.probe.AddStage(pmHolBlocked, s-1, 1)
 							n.probe.Hop(pkt, s, probe.EvBlock, n.now)
 						}
+						if n.anat != nil {
+							n.anat.Block(swIn+p, n.anatBlocker(s, sw*bc, d), n.now)
+						}
 					}
-				} else if n.probe != nil && !isCrossbar {
-					n.probe.Hop(pkt, s, probe.EvTraverse, n.now)
+				} else {
+					if n.probe != nil && !isCrossbar {
+						n.probe.Hop(pkt, s, probe.EvTraverse, n.now)
+					}
+					if n.anat != nil {
+						if isCrossbar {
+							n.anat.Deliver(swIn+p, n.now)
+						} else {
+							n.anat.Advance(swIn+p, n.base[s]+n.anatTo, n.now)
+						}
+					}
 				}
 			}
 		}
@@ -921,20 +998,38 @@ func (n *Network) advanceStage(s int, cs *CycleStats) {
 						n.probe.AddStage(pmDropped, s-1, 1)
 						n.probe.Close(pkt, s, probe.EvDrop, n.now)
 					}
+					if n.anat != nil {
+						n.anat.Drop(swIn+p, n.anatBlocker(s, sw*bc, d), n.now)
+					}
 				case headDeadBlocked(sw, d, isCrossbar, cfg, live, liveCap):
 					cs.ParkedOnDead++
 					if n.probe != nil {
 						n.probe.AddStage(pmParked, s-1, 1)
 						n.probe.Hop(pkt, s, probe.EvPark, n.now)
 					}
+					if n.anat != nil {
+						n.anat.Park(swIn+p, n.now)
+					}
 				default:
 					if n.probe != nil {
 						n.probe.AddStage(pmHolBlocked, s-1, 1)
 						n.probe.Hop(pkt, s, probe.EvBlock, n.now)
 					}
+					if n.anat != nil {
+						n.anat.Block(swIn+p, n.anatBlocker(s, sw*bc, d), n.now)
+					}
 				}
-			} else if n.probe != nil && !isCrossbar {
-				n.probe.Hop(pkt, s, probe.EvTraverse, n.now)
+			} else {
+				if n.probe != nil && !isCrossbar {
+					n.probe.Hop(pkt, s, probe.EvTraverse, n.now)
+				}
+				if n.anat != nil {
+					if isCrossbar {
+						n.anat.Deliver(swIn+p, n.now)
+					} else {
+						n.anat.Advance(swIn+p, n.base[s]+n.anatTo, n.now)
+					}
+				}
 			}
 		}
 	}
@@ -965,11 +1060,17 @@ func headDeadBlocked(sw, d int, isCrossbar bool, cfg topology.Config, live []boo
 // Returns false if the packet cannot advance this cycle (a packet aimed
 // at a dead output terminal, or at a fully dead bucket, never can).
 func (n *Network) advancePacket(r *ringbuf.Ring, pkt uint64, d, outBase, capacity int, isCrossbar bool, depth int, tab []int32, outRings []ringbuf.Ring, live []bool, cs *CycleStats) bool {
+	if n.anat != nil {
+		n.anatBlockDown, n.anatBlockTerm = -1, false
+	}
 	if isCrossbar {
 		if live != nil && !live[outBase+d] {
 			return false
 		}
 		if n.used[d] != 0 {
+			if n.anat != nil {
+				n.anatBlockTerm = true
+			}
 			return false
 		}
 		n.used[d] = 1
@@ -991,12 +1092,33 @@ func (n *Network) advancePacket(r *ringbuf.Ring, pkt uint64, d, outBase, capacit
 		if dr.HasSpace(depth) {
 			r.Pop()
 			dr.Push(pkt)
+			if n.anat != nil {
+				n.anatTo = down
+			}
 			return true
 		}
 		// This wire leads to a full FIFO: it is consumed for the cycle;
 		// try the bucket's next wire.
+		if n.anat != nil && n.anatBlockDown < 0 {
+			n.anatBlockDown = down
+		}
 	}
 	return false
+}
+
+// anatBlocker resolves advancePacket's failure diagnosis into an
+// anatomy node: the contended crossbar terminal, the first full
+// downstream FIFO tried, or -1 when nothing downstream is to blame
+// (every wire of the bucket was dead, or the head lost to a wire
+// already consumed this cycle).
+func (n *Network) anatBlocker(s, outBase, d int) int {
+	if n.anatBlockTerm {
+		return len(n.rings) + outBase + d
+	}
+	if n.anatBlockDown >= 0 {
+		return n.base[s] + n.anatBlockDown
+	}
+	return -1
 }
 
 func (n *Network) arbiter(stage, sw int) switchfab.Arbiter {
@@ -1046,6 +1168,9 @@ func (n *Network) cycleUnbuffered(dest []int, cs *CycleStats) error {
 				n.probe.HopRec(rec, 0, probe.EvInject, n.now)
 			}
 		}
+		if n.anat != nil {
+			n.anat.Inject0(i, i, d, n.now)
+		}
 	}
 	if _, err := n.net.RouteCycleInto(n.destBuf, n.outBuf); err != nil {
 		return err
@@ -1071,6 +1196,9 @@ func (n *Network) cycleUnbuffered(dest []int, cs *CycleStats) error {
 				n.probe.CloseRec(n.pendTrace[i], n.stages, probe.EvDeliver, n.now)
 				n.pendTrace[i] = -1
 			}
+			if n.anat != nil {
+				n.anat.Deliver0(i, n.now)
+			}
 			if n.deliver != nil {
 				n.deliver(n.pending[i], int64(uint32(n.pendAt[i])))
 			}
@@ -1083,6 +1211,9 @@ func (n *Network) cycleUnbuffered(dest []int, cs *CycleStats) error {
 				n.probe.AddStage(pmDropped, o.BlockedStage-1, 1)
 				n.probe.CloseRec(n.pendTrace[i], o.BlockedStage, probe.EvDrop, n.now)
 				n.pendTrace[i] = -1
+			}
+			if n.anat != nil {
+				n.anat.Drop0(i, o.BlockedStage, n.now)
 			}
 			n.pending[i] = NoRequest
 		default:
@@ -1118,7 +1249,17 @@ func (n *Network) cycleUnbuffered(dest []int, cs *CycleStats) error {
 					n.probe.HopRec(n.pendTrace[i], o.BlockedStage, probe.EvBlock, n.now)
 				}
 			}
+			if n.anat != nil {
+				if parkStage != 0 {
+					n.anat.Block0(i, parkStage, true, n.now)
+				} else {
+					n.anat.Block0(i, o.BlockedStage, false, n.now)
+				}
+			}
 		}
+	}
+	if n.anat != nil {
+		n.anat.EndCycle0()
 	}
 	return nil
 }

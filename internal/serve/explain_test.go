@@ -1,0 +1,98 @@
+package serve_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+
+	"edn"
+	"edn/internal/serve"
+)
+
+// TestHTTPExplain pins the /v1/explain contract: the endpoint runs the
+// same job as /v1/jobs and streams the same measured result byte for
+// byte — the anatomy report rides beside it in the terminal event's
+// explain field, never inside the result payload.
+func TestHTTPExplain(t *testing.T) {
+	s := serve.New(serve.Options{Workers: 2})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	spec := sweepSpec()
+
+	plain := postJob(t, ts.URL+"/v1/jobs?id=p1", spec)
+	lastP := plain[len(plain)-1]
+	if lastP.Event != "result" || lastP.Result == nil {
+		t.Fatalf("plain terminal event: %+v", lastP)
+	}
+	if lastP.Explain != nil {
+		t.Fatalf("/v1/jobs without an explain section grew one: %+v", lastP.Explain)
+	}
+
+	explained := postJob(t, ts.URL+"/v1/explain?id=e1", spec)
+	lastE := explained[len(explained)-1]
+	if lastE.Event != "result" || lastE.Result == nil {
+		t.Fatalf("explain terminal event: %+v", lastE)
+	}
+	if lastE.Explain == nil || lastE.Explain.Delivered.Count == 0 {
+		t.Fatalf("/v1/explain terminal event missing anatomy report: %+v", lastE.Explain)
+	}
+
+	// Identical measured payloads: the only legitimate difference is the
+	// explain section the endpoint injected into the echoed spec.
+	lastE.Result.Spec.Explain = nil
+	got, _ := json.Marshal(lastE.Result)
+	want, _ := json.Marshal(lastP.Result)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("explained result differs from plain run:\n explain: %s\n plain:   %s", got, want)
+	}
+
+	// A spec that already carries an explain section passes through
+	// either endpoint unchanged: result and report agree byte for byte.
+	// (Job IDs and span timestamps are wall-clock, so the comparison is
+	// per field, not whole-event.)
+	spec.Explain = &edn.ExplainSpec{TopK: 4}
+	viaJobs := postJob(t, ts.URL+"/v1/jobs", spec)
+	viaExplain := postJob(t, ts.URL+"/v1/explain", spec)
+	lastJ, lastX := viaJobs[len(viaJobs)-1], viaExplain[len(viaExplain)-1]
+	if lastJ.Explain == nil || lastX.Explain == nil {
+		t.Fatalf("explain-carrying spec lost its report: jobs=%v explain=%v", lastJ.Explain, lastX.Explain)
+	}
+	gotJ, _ := json.Marshal(lastJ.Result)
+	gotX, _ := json.Marshal(lastX.Result)
+	if !bytes.Equal(gotJ, gotX) {
+		t.Fatalf("same explain-carrying spec diverged across endpoints:\n jobs:    %s\n explain: %s", gotJ, gotX)
+	}
+	repJ, _ := json.Marshal(lastJ.Explain)
+	repX, _ := json.Marshal(lastX.Explain)
+	if !bytes.Equal(repJ, repX) {
+		t.Fatalf("anatomy reports diverged across endpoints:\n jobs:    %s\n explain: %s", repJ, repX)
+	}
+}
+
+// TestStdioExplain pins the stdio explain verb: it behaves exactly like
+// run plus a default explain section, and the report arrives on the
+// terminal result event.
+func TestStdioExplain(t *testing.T) {
+	s := serve.New(serve.Options{Workers: 2})
+	c := dial(t, s)
+
+	spec := sweepSpec()
+	c.send(serve.Request{ID: "x1", Op: "explain", Spec: &spec})
+	ev := c.recvUntil(func(ev serve.Event) bool { return ev.ID == "x1" && ev.Event == "result" }, nil)
+	if ev.Result == nil || ev.Explain == nil {
+		t.Fatalf("stdio explain terminal event: result=%v explain=%v", ev.Result, ev.Explain)
+	}
+	if ev.Explain.Stages == 0 || ev.Explain.Delivered.Count == 0 {
+		t.Fatalf("stdio explain report empty: %+v", ev.Explain)
+	}
+
+	c.send(serve.Request{ID: "x2", Op: "explain"})
+	errEv := c.recvUntil(func(ev serve.Event) bool { return ev.ID == "x2" && ev.Event == "error" }, nil)
+	if errEv.Error == "" {
+		t.Fatalf("spec-less explain should error: %+v", errEv)
+	}
+
+	c.shutdown()
+}

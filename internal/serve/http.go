@@ -19,6 +19,12 @@ import (
 //	                     job id is ?id=... or assigned; closing the
 //	                     request cancels the job. Terminal events carry
 //	                     the job's span tree unless spans are disabled.
+//	POST /v1/explain     same grammar as /v1/jobs, but an explain
+//	                     section is injected when the spec carries none,
+//	                     so the terminal result event always carries the
+//	                     latency-anatomy report on its explain field —
+//	                     beside the result, never inside it (the result
+//	                     field is byte-identical to a /v1/jobs run).
 //	GET  /v1/healthz     {"ok":true}
 //	GET  /v1/stats       the Stats snapshot (scheduler, cache, span
 //	                     aggregates)
@@ -31,7 +37,12 @@ import (
 // reads the single result event.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/jobs", s.handleJob)
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		s.handleJob(w, r, false)
+	})
+	mux.HandleFunc("POST /v1/explain", func(w http.ResponseWriter, r *http.Request) {
+		s.handleJob(w, r, true)
+	})
 	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		fmt.Fprintln(w, `{"ok":true}`)
@@ -56,13 +67,16 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
-func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request, explain bool) {
 	var spec edn.JobSpec
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&spec); err != nil {
 		http.Error(w, fmt.Sprintf("bad spec: %v", err), http.StatusBadRequest)
 		return
+	}
+	if explain && spec.Explain == nil {
+		spec.Explain = &edn.ExplainSpec{}
 	}
 	if err := spec.Validate(); err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)

@@ -10,6 +10,9 @@ import "edn"
 // Client → server, one Request per line:
 //
 //	{"id":"j1","op":"run","spec":{...}}   run a JobSpec; events follow
+//	{"id":"j1","op":"explain","spec":{...}} run with a latency-anatomy
+//	                                      report (an explain section is
+//	                                      injected when the spec has none)
 //	{"id":"j1","op":"cancel"}             cancel the job named id
 //	{"id":"p1","op":"ping"}               liveness check
 //	{"id":"s1","op":"stats"}              scheduler + cache snapshot
@@ -22,12 +25,12 @@ import "edn"
 // client can detect drops; events of concurrent jobs interleave and
 // are distinguished by ID.
 type Request struct {
-	// ID names the job (op run/cancel) or correlates the reply (other
-	// ops). Run requests without an ID are assigned one.
+	// ID names the job (op run/explain/cancel) or correlates the reply
+	// (other ops). Run requests without an ID are assigned one.
 	ID string `json:"id,omitempty"`
-	// Op is run, cancel, ping, stats or shutdown.
+	// Op is run, explain, cancel, ping, stats or shutdown.
 	Op string `json:"op"`
-	// Spec is the job to run (op run only).
+	// Spec is the job to run (op run/explain only).
 	Spec *edn.JobSpec `json:"spec,omitempty"`
 }
 
@@ -54,6 +57,14 @@ type Event struct {
 	// beside Result, never inside it — a traced job's Result is
 	// byte-identical to an untraced one's.
 	Spans *edn.Span `json:"spans,omitempty"`
+
+	// Explain is the job's latency-anatomy report (terminal result
+	// events of jobs whose spec carries an explain section): per-stage
+	// wait/block/service attribution, switch blame, congestion trees,
+	// and the closed-loop request split. Like Spans, it rides beside
+	// Result, never inside it — an explained job's Result is
+	// byte-identical to an unexplained one's.
+	Explain *edn.AnatomyReport `json:"explain,omitempty"`
 
 	// Stats events.
 	Stats *Stats `json:"stats,omitempty"`

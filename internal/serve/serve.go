@@ -306,12 +306,14 @@ func (s *Server) Execute(ctx context.Context, id string, spec edn.JobSpec, emit 
 	s.gBusy.Add(1)
 	defer func() { s.gBusy.Add(-1); <-s.sem }()
 
+	var explain *edn.AnatomyReport
 	res, err := edn.RunJob(jctx, spec, edn.RunOptions{
 		Cache: s.cache,
 		Trace: tr,
 		OnPoint: func(index, total int, point any) {
 			next(Event{Event: "point", Index: index, Total: total, Point: point})
 		},
+		OnExplain: func(r *edn.AnatomyReport) { explain = r },
 	})
 	s.unregister(id, err)
 	if err != nil {
@@ -331,6 +333,6 @@ func (s *Server) Execute(ctx context.Context, id string, spec edn.JobSpec, emit 
 	}
 	span := tr.Finish()
 	s.finishJob(id, spec.Mode, engine, "ok", time.Since(started), span)
-	next(Event{Event: "result", Result: res, Spans: span})
+	next(Event{Event: "result", Result: res, Spans: span, Explain: explain})
 	return nil
 }

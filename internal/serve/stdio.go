@@ -8,6 +8,8 @@ import (
 	"fmt"
 	"io"
 	"sync"
+
+	"edn"
 )
 
 // maxLine bounds one request line; a JobSpec is a few hundred bytes,
@@ -52,12 +54,15 @@ func (s *Server) ServeStdio(ctx context.Context, r io.Reader, w io.Writer) error
 			continue
 		}
 		switch req.Op {
-		case "run":
+		case "run", "explain":
 			if req.Spec == nil {
-				write(Event{ID: req.ID, Event: "error", Error: "run request needs a spec"})
+				write(Event{ID: req.ID, Event: "error", Error: req.Op + " request needs a spec"})
 				continue
 			}
 			id, spec := s.assignID(req.ID), *req.Spec
+			if req.Op == "explain" && spec.Explain == nil {
+				spec.Explain = &edn.ExplainSpec{}
+			}
 			jobs.Add(1)
 			go func() {
 				defer jobs.Done()

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"edn/internal/anatomy"
 	"edn/internal/closedloop"
 	"edn/internal/dilated"
 	"edn/internal/dilatedsim"
@@ -126,7 +127,7 @@ func ledgerAdd(into *closedloop.Ledger, d closedloop.Ledger) {
 // runClosedLoopShard builds a fresh loop over fresh fabrics, runs
 // warmup + cycles, asserts conservation, and returns the
 // measurement-window deltas.
-func runClosedLoopShard(build func() (fwd, rev closedloop.Engine, err error), inputs, outputs int, lo closedloop.Options, warmup, cycles int, po *probe.Options) closedLoopPartial {
+func runClosedLoopShard(build func() (fwd, rev closedloop.Engine, err error), inputs, outputs int, lo closedloop.Options, warmup, cycles int, po *probe.Options, ao *anatomy.Options, onAnat func(*anatomy.Report)) closedLoopPartial {
 	fwd, rev, err := build()
 	if err != nil {
 		return closedLoopPartial{err: err}
@@ -146,6 +147,13 @@ func runClosedLoopShard(build func() (fwd, rev closedloop.Engine, err error), in
 	if pr != nil {
 		loop.SetProbe(pr)
 	}
+	var an *anatomy.Collector
+	if ao != nil {
+		// Attached at the measurement boundary, like the probe: the
+		// five-way request split covers completions inside the window.
+		an = anatomy.New(*ao)
+		loop.SetAnatomy(an)
+	}
 	for c := 0; c < cycles; c++ {
 		if _, err := loop.Cycle(); err != nil {
 			return closedLoopPartial{err: err}
@@ -153,6 +161,9 @@ func runClosedLoopShard(build func() (fwd, rev closedloop.Engine, err error), in
 	}
 	if err := loop.CheckConservation(); err != nil {
 		return closedLoopPartial{err: err}
+	}
+	if an != nil && onAnat != nil {
+		onAnat(an.Report())
 	}
 	part := closedLoopPartial{
 		led:    ledgerDelta(loop.Ledger(), warmLed),
@@ -206,7 +217,7 @@ func sweepClosedLoopPoint(inputs, outputs int, rate float64, index int, lo close
 		slo := lo
 		slo.Rate = rate
 		slo.Seed = seeds[w]
-		parts[w] = runClosedLoopShard(build, inputs, outputs, slo, opts.Warmup, cycles, nil)
+		parts[w] = runClosedLoopShard(build, inputs, outputs, slo, opts.Warmup, cycles, nil, nil, nil)
 		if opts.OnStage != nil {
 			opts.OnStage("shard", w, cycles, start, time.Since(start))
 		}
@@ -235,17 +246,17 @@ func sweepClosedLoopPoint(inputs, outputs int, rate float64, index int, lo close
 	if opts.OnStage != nil {
 		opts.OnStage("merge", -1, 0, mergeStart, time.Since(mergeStart))
 	}
-	if opts.Probe != nil {
+	if opts.Probe != nil || opts.Anatomy != nil {
 		// Dedicated sequential observation pass under seeds[0] (the
 		// first root draw, shard-count independent) at the full cycle
-		// budget: the trace set is a pure function of Options, and
-		// the measured merge above stays bit-identical to an
-		// unprobed sweep.
+		// budget: the trace set and the anatomy report are pure
+		// functions of Options, and the measured merge above stays
+		// bit-identical to an unobserved sweep.
 		obsStart := time.Now()
 		slo := lo
 		slo.Rate = rate
 		slo.Seed = seeds[0]
-		obs := runClosedLoopShard(build, inputs, outputs, slo, opts.Warmup, opts.Cycles, opts.Probe)
+		obs := runClosedLoopShard(build, inputs, outputs, slo, opts.Warmup, opts.Cycles, opts.Probe, opts.Anatomy, opts.OnAnatomy)
 		if obs.err != nil {
 			return ClosedLoopResult{}, obs.err
 		}

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"edn/internal/anatomy"
 	"edn/internal/dilated"
 	"edn/internal/dilatedsim"
 	"edn/internal/probe"
@@ -113,6 +114,7 @@ type packetEngine interface {
 	Latency() *stats.Histogram
 	ResetLatency()
 	SetProbe(*probe.Probe)
+	SetAnatomy(*anatomy.Collector)
 }
 
 // measurePacketEngine drives pattern through net for opts.Warmup +
@@ -127,6 +129,16 @@ func measurePacketEngine(net packetEngine, inputs, outputs int, pattern traffic.
 	var queuedSum int64
 	var before queuesim.Totals
 	pr := newProbe(opts.Probe, opts.Cycles)
+	var an *anatomy.Collector
+	if opts.Anatomy != nil {
+		// Unlike the probe, the collector attaches at cycle 0: its FIFO
+		// mirrors must see every injection to stay in lockstep with the
+		// engine's queues, and attributing a packet's full latency means
+		// observing its whole life. The ledgers therefore include warmup
+		// traffic — attribution has no truncation to hide behind.
+		an = anatomy.New(*opts.Anatomy)
+		net.SetAnatomy(an)
+	}
 	for cycle := 0; cycle < opts.Warmup+opts.Cycles; cycle++ {
 		if cycle == opts.Warmup {
 			net.ResetLatency()
@@ -159,6 +171,9 @@ func measurePacketEngine(net packetEngine, inputs, outputs int, pattern traffic.
 	res.fillQuantiles(inputs)
 	if pr != nil {
 		res.Observed = pr.Report()
+	}
+	if an != nil && opts.OnAnatomy != nil {
+		opts.OnAnatomy(an.Report())
 	}
 	return nil
 }
@@ -281,10 +296,11 @@ func SaturationSweep(cfg topology.Config, loads []float64, src LoadPattern, qopt
 // saturation sweep; SaturationSweep and SaturationPoint share it so a
 // streamed point is the batch sweep's point by construction.
 func saturationMeasure(cfg topology.Config, src LoadPattern, qopts queuesim.Options, opts Options) pointMeasure {
-	return func(load float64, seed uint64, cycles int, po *probe.Options) (LatencyResult, error) {
+	return func(load float64, seed uint64, cycles int, po *probe.Options, ao *anatomy.Options) (LatencyResult, error) {
 		sub := opts
 		sub.Cycles = cycles
 		sub.Probe = po
+		sub.Anatomy = ao
 		return MeasureLatency(cfg, src(load, xrand.New(seed)), qopts, sub)
 	}
 }
@@ -305,10 +321,11 @@ func DilatedSaturationSweep(dcfg dilated.Config, loads []float64, src LoadPatter
 
 // dilatedSaturationMeasure is saturationMeasure for the dilated engine.
 func dilatedSaturationMeasure(dcfg dilated.Config, src LoadPattern, dopts dilatedsim.Options, opts Options) pointMeasure {
-	return func(load float64, seed uint64, cycles int, po *probe.Options) (LatencyResult, error) {
+	return func(load float64, seed uint64, cycles int, po *probe.Options, ao *anatomy.Options) (LatencyResult, error) {
 		sub := opts
 		sub.Cycles = cycles
 		sub.Probe = po
+		sub.Anatomy = ao
 		return MeasureDilatedLatency(dcfg, src(load, xrand.New(seed)), dopts, sub)
 	}
 }
@@ -371,8 +388,9 @@ func sweepLoads(inputs int, loads []float64, opts Options, shards int, measure p
 }
 
 // pointMeasure runs one shard of one sweep point: the given load at the
-// given traffic seed for the given cycle share (probed when po is set).
-type pointMeasure func(load float64, seed uint64, cycles int, po *probe.Options) (LatencyResult, error)
+// given traffic seed for the given cycle share (probed when po is set,
+// anatomy-attributed when ao is set — shard runs pass nil for both).
+type pointMeasure func(load float64, seed uint64, cycles int, po *probe.Options, ao *anatomy.Options) (LatencyResult, error)
 
 // sweepLoadPoint measures one point of a load sweep — point `index` on
 // the sweep's axis — splitting the cycle budget across shards with
@@ -394,7 +412,7 @@ func sweepLoadPoint(inputs int, load float64, index int, opts Options, shards in
 	parts := make([]partial, shards)
 	runShards(opts.Cycles, shards, func(w, cycles int) {
 		start := time.Now()
-		parts[w].res, parts[w].err = measure(load, seeds[w], cycles, nil)
+		parts[w].res, parts[w].err = measure(load, seeds[w], cycles, nil, nil)
 		if opts.OnStage != nil {
 			opts.OnStage("shard", w, cycles, start, time.Since(start))
 		}
@@ -437,9 +455,13 @@ func sweepLoadPoint(inputs int, load float64, index int, opts Options, shards in
 	if opts.OnStage != nil {
 		opts.OnStage("merge", -1, 0, mergeStart, time.Since(mergeStart))
 	}
-	if opts.Probe != nil {
+	if opts.Probe != nil || opts.Anatomy != nil {
+		// The observation pass also carries the anatomy collector: same
+		// seeds[0] sequential run, so the attribution report is a pure
+		// function of Options regardless of shard count, and the merged
+		// measured numbers above never see the collector at all.
 		obsStart := time.Now()
-		obs, err := measure(load, seeds[0], opts.Cycles, opts.Probe)
+		obs, err := measure(load, seeds[0], opts.Cycles, opts.Probe, opts.Anatomy)
 		if err != nil {
 			return LatencyResult{}, err
 		}

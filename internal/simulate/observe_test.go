@@ -6,6 +6,8 @@ import (
 	"testing"
 
 	"edn/internal/closedloop"
+	"edn/internal/dilated"
+	"edn/internal/dilatedsim"
 	"edn/internal/faults"
 	"edn/internal/lifecycle"
 	"edn/internal/probe"
@@ -66,6 +68,48 @@ func TestObservedSweepShardInvariant(t *testing.T) {
 	}
 	// And the observation itself must not depend on the shard count.
 	sameTraces(t, probed1.Observed, probed3.Observed)
+}
+
+// TestObservedDilatedSweepShardInvariant pins the same contract for the
+// dilated engine: its sweeps route through the same observation-pass
+// machinery, so traces and heat must not depend on the shard split, and
+// a probed sweep must not move the measured numbers.
+func TestObservedDilatedSweepShardInvariant(t *testing.T) {
+	cfg, err := topology.New(16, 4, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dcfg, err := dilated.Counterpart(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loads := []float64{0.8}
+	dopts := dilatedsim.Options{Depth: 4}
+	run := func(shards int, po *probe.Options) LatencyResult {
+		opts := Options{Cycles: 1200, Warmup: 100, Seed: 9, Probe: po}
+		res, err := DilatedSaturationSweep(dcfg, loads, nil, dopts, opts, shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res[0]
+	}
+
+	plain1 := run(1, nil)
+	probed1 := run(1, observeProbeOptions())
+	probed3 := run(3, observeProbeOptions())
+
+	stripped := probed1
+	stripped.Observed = nil
+	if !reflect.DeepEqual(plain1, stripped) {
+		t.Fatalf("probed dilated sweep changed measured results:\n%+v\nvs\n%+v", plain1, stripped)
+	}
+	sameTraces(t, probed1.Observed, probed3.Observed)
+	if probed1.Observed.Heat == nil || probed3.Observed.Heat == nil {
+		t.Fatalf("missing heat surfaces")
+	}
+	if !reflect.DeepEqual(probed1.Observed.Heat, probed3.Observed.Heat) {
+		t.Fatalf("dilated heat surfaces diverged across shard counts")
+	}
 }
 
 func TestObservedClosedLoopShardInvariant(t *testing.T) {

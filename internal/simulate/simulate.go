@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"time"
 
+	"edn/internal/anatomy"
 	"edn/internal/core"
 	"edn/internal/probe"
 	"edn/internal/stats"
@@ -32,6 +33,21 @@ type Options struct {
 	// sweepLoads) or from per-shard heat probes (lifetime sweeps), so
 	// the measured results are bit-identical with and without a probe.
 	Probe *probe.Options
+
+	// Anatomy, when non-nil, attaches a latency-anatomy collector to the
+	// measurement: per-stage wait/block/service attribution, switch
+	// blame, congestion trees and flow breakdowns (plus the five-way
+	// request split for closed loops), delivered through OnAnatomy.
+	// Like Probe, sharded sweeps keep their shard runs bare and collect
+	// the anatomy on the dedicated sequential observation pass under
+	// seeds[0], so the measured results are bit-identical with and
+	// without it and the report is invariant to the shard count.
+	Anatomy *anatomy.Options
+
+	// OnAnatomy receives each measured point's anatomy report when
+	// Anatomy is set: once per point, from the measuring goroutine,
+	// after the point's observation run completes.
+	OnAnatomy func(*anatomy.Report)
 
 	// OnStage, when non-nil, observes the coarse execution stages of a
 	// sharded measurement as they complete: one "shard" event per shard

@@ -71,15 +71,22 @@ func (g DilatedGeometrySpec) Compile() (DilatedDelta, error) {
 // TrafficSpec selects the traffic source family a sweep instantiates
 // per load point. A nil spec or empty Kind is uniform iid traffic.
 type TrafficSpec struct {
-	// Kind is "uniform", "bursty" (Markov on/off sources) or "hotspot"
-	// (a fraction of requests aimed at output 0).
+	// Kind is "uniform", "bursty" (Markov on/off sources), "hotspot"
+	// (a fraction of requests aimed at the Hot output) or
+	// "moving-hotspot" (a hotspot whose hot output advances over time).
 	Kind string `json:"kind,omitempty"`
 	// MeanBurst is the bursty sources' mean ON-burst length in cycles
 	// (values below 1 behave as 1, as in BurstyLoad).
 	MeanBurst float64 `json:"mean_burst,omitempty"`
-	// HotFraction is the hotspot kind's fraction of requests aimed at
+	// HotFraction is the hotspot kinds' fraction of requests aimed at
 	// the hot output.
 	HotFraction float64 `json:"hot_fraction,omitempty"`
+	// Hot is the moving-hotspot kind's initial hot output; Period is its
+	// dwell time in cycles before the hot output advances by Stride
+	// (Period < 1 behaves as 1, Stride 0 as 1, as in MovingHotSpot).
+	Hot    int `json:"hot,omitempty"`
+	Period int `json:"period,omitempty"`
+	Stride int `json:"stride,omitempty"`
 }
 
 func (t *TrafficSpec) pattern() (LoadPattern, error) {
@@ -92,12 +99,18 @@ func (t *TrafficSpec) pattern() (LoadPattern, error) {
 	case "bursty":
 		return BurstyLoad(t.MeanBurst), nil
 	case "hotspot":
-		f := t.HotFraction
+		f, hot := t.HotFraction, t.Hot
 		return func(load float64, rng *Rand) Pattern {
-			return HotSpot{Rate: load, Fraction: f, Hot: 0, Rng: rng}
+			return HotSpot{Rate: load, Fraction: f, Hot: hot, Rng: rng}
+		}, nil
+	case "moving-hotspot":
+		spec := *t
+		return func(load float64, rng *Rand) Pattern {
+			return &MovingHotSpot{Rate: load, Fraction: spec.HotFraction,
+				Hot: spec.Hot, Period: spec.Period, Stride: spec.Stride, Rng: rng}
 		}, nil
 	default:
-		return nil, fmt.Errorf("edn: unknown traffic kind %q (want uniform, bursty or hotspot)", t.Kind)
+		return nil, fmt.Errorf("edn: unknown traffic kind %q (want uniform, bursty, hotspot or moving-hotspot)", t.Kind)
 	}
 }
 
@@ -387,6 +400,37 @@ func (p *ProbeSpec) compile() *ProbeOptions {
 	}
 }
 
+// ExplainSpec asks a job for a latency-anatomy report alongside its
+// results: per-stage wait/block/service attribution, top switch blame,
+// congestion trees, per-source/per-destination flow breakdowns, and the
+// five-way request split for closed loops. Valid for the latency,
+// saturation, estimate and closedloop modes over the edn or dilated
+// engine. Observation-only: the measured results are byte-identical
+// with and without an explain section, and the report is invariant to
+// the shard count (it comes from the dedicated sequential observation
+// pass). The report is delivered through RunOptions.OnExplain — it
+// rides beside the JobResult, never inside it.
+type ExplainSpec struct {
+	// TopK bounds the reported switch-blame and congestion-tree lists
+	// (default 8).
+	TopK int `json:"top_k,omitempty"`
+	// HistBuckets and HistBucketWidth shape the per-stage dwell-time
+	// histograms (defaults 64 buckets of width 4 cycles).
+	HistBuckets     int     `json:"hist_buckets,omitempty"`
+	HistBucketWidth float64 `json:"hist_bucket_width,omitempty"`
+}
+
+func (e *ExplainSpec) compile() *AnatomyOptions {
+	if e == nil {
+		return nil
+	}
+	return &AnatomyOptions{
+		TopK:            e.TopK,
+		HistBuckets:     e.HistBuckets,
+		HistBucketWidth: e.HistBucketWidth,
+	}
+}
+
 // SimSpec is the serializable face of SimOptions plus the shard count.
 type SimSpec struct {
 	// Cycles is the measured cycle budget (default 1000).
@@ -451,6 +495,7 @@ type JobSpec struct {
 	Loop     *ClosedLoopSpec   `json:"loop,omitempty"`
 	Estimate *EstimateSpec     `json:"estimate,omitempty"`
 	Probe    *ProbeSpec        `json:"probe,omitempty"`
+	Explain  *ExplainSpec      `json:"explain,omitempty"`
 
 	// DrainQ is the drain mode's permutation rounds per input.
 	DrainQ int `json:"drain_q,omitempty"`
@@ -480,6 +525,7 @@ type compiledJob struct {
 	shards int
 	aopts  AvailabilityOptions // availability mode
 	lopts  LifetimeOptions     // lifetime modes
+	anat   *AnatomyOptions     // explain section, when requested
 	faults bool                // latency/estimate static fault sample requested
 	fmode  FaultMode           // its population (EDN engine)
 	ffrac  float64             // its death probability
@@ -547,6 +593,17 @@ func compileJob(s JobSpec) (*compiledJob, error) {
 	j.shards = s.Sim.Shards
 	if j.shards < 0 {
 		return nil, fmt.Errorf("edn: shards %d is negative (0 selects GOMAXPROCS)", j.shards)
+	}
+	if s.Explain != nil {
+		switch s.Mode {
+		case JobLatency, JobSaturation, JobEstimate, JobClosedLoop:
+		default:
+			return nil, fmt.Errorf("edn: explain is not supported for mode %q (want latency, saturation, estimate or closedloop)", s.Mode)
+		}
+		if j.engine == EnginePair {
+			return nil, fmt.Errorf("edn: explain is not supported for engine pair")
+		}
+		j.anat = s.Explain.compile()
 	}
 
 	switch s.Mode {

@@ -44,6 +44,13 @@ type RunOptions struct {
 	// with per-shard/merge/observe stages. Observation-only — the
 	// JobResult is byte-identical with and without a trace.
 	Trace *SpanCollector
+	// OnExplain, when non-nil, receives the job's latency-anatomy
+	// report — only fired when the spec carries an explain section.
+	// Sweeps merge their per-point reports into one; the report rides
+	// beside the JobResult, never inside it, so result payloads stay
+	// byte-identical whether or not anatomy was requested. Called once,
+	// from the Run goroutine, after the measurement completes.
+	OnExplain func(*AnatomyReport)
 }
 
 // EstimateResult answers the estimate mode's co-simulation question:
@@ -141,6 +148,21 @@ func RunJob(ctx context.Context, spec JobSpec, ro RunOptions) (*JobResult, error
 	if tr != nil {
 		j.opts.OnStage = tr.ObserveStage
 	}
+	// The explain section rides on the sharded harnesses' sequential
+	// observation pass: each point's anatomy report merges into one
+	// job-level report, delivered through ro.OnExplain after the run.
+	var explain *AnatomyReport
+	var explainErr error
+	if j.anat != nil {
+		j.opts.Anatomy = j.anat
+		j.opts.OnAnatomy = func(r *AnatomyReport) {
+			if explain == nil {
+				explain = r
+			} else if err := explain.Merge(r); err != nil && explainErr == nil {
+				explainErr = err
+			}
+		}
+	}
 	res := &JobResult{Spec: spec}
 	es := tr.Start("execute", "engine", j.engine)
 	defer tr.End(es)
@@ -166,6 +188,12 @@ func RunJob(ctx context.Context, spec JobSpec, ro RunOptions) (*JobResult, error
 	}
 	if err != nil {
 		return nil, err
+	}
+	if explainErr != nil {
+		return nil, explainErr
+	}
+	if explain != nil && ro.OnExplain != nil {
+		ro.OnExplain(explain)
 	}
 	return res, nil
 }
